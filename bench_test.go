@@ -1,0 +1,318 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation (quick mode — the shapes hold, error bars widen) and
+// measure the hot paths of the simulation substrate.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkTableII -benchtime=1x   # one full regeneration
+//
+// Each BenchmarkTableX/BenchmarkFigX reports the paper-facing headline
+// numbers as custom metrics (variation percentages, ratios) so a bench run
+// doubles as a results check.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"accubench/internal/accubench"
+	"accubench/internal/cluster"
+	"accubench/internal/device"
+	"accubench/internal/experiments"
+	"accubench/internal/monsoon"
+	"accubench/internal/silicon"
+	"accubench/internal/sim"
+	"accubench/internal/soc"
+	"accubench/internal/thermal"
+	"accubench/internal/workload"
+)
+
+func benchOpts(i int) experiments.Options {
+	return experiments.Options{Quick: true, Seed: int64(i + 1)}
+}
+
+// BenchmarkTableI regenerates the Nexus 5 voltage/frequency table.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.TableI()
+		if len(rows) != 7 {
+			b.Fatal("table shape")
+		}
+	}
+}
+
+// BenchmarkTableII regenerates the summary study over all 18 devices and
+// reports each chipset's variations as custom metrics.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.TableII(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.PerfPct, r.Chipset+"-perf-var-%")
+				b.ReportMetric(r.EnergyPct, r.Chipset+"-energy-var-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates the fixed-work Nexus 5 bins comparison.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig1(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(pts[len(pts)-1].NormEnergy, "bin4-energy-x")
+			b.ReportMetric(pts[len(pts)-1].NormTime, "bin4-time-x")
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the ambient-temperature energy sweep.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig2(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(pts[len(pts)-1].NormEnergy, "hot-vs-cold-energy-x")
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates the THERMABOX regulation characterization.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(r.MaxAir-r.MinAir), "air-band-C")
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the UNCONSTRAINED stages trace.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pt, err := experiments.Fig4(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(pt.PeakDie), "peak-die-C")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates the FIXED-FREQUENCY trace.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pt, err := experiments.Fig5(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(pt.PeakDie), "peak-die-C")
+		}
+	}
+}
+
+func benchStudy(b *testing.B, model string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		st, err := experiments.Study(model, benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(st.PerfVariationPct(), "perf-var-%")
+			b.ReportMetric(st.EnergyVariationPct(), "energy-var-%")
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the SD-800 (Nexus 5) study.
+func BenchmarkFig6(b *testing.B) { benchStudy(b, "Nexus 5") }
+
+// BenchmarkFig7 regenerates the SD-810 (Nexus 6P) study.
+func BenchmarkFig7(b *testing.B) { benchStudy(b, "Nexus 6P") }
+
+// BenchmarkFig8 regenerates the SD-820 (LG G5) study.
+func BenchmarkFig8(b *testing.B) { benchStudy(b, "LG G5") }
+
+// BenchmarkFig9 regenerates the SD-821 (Google Pixel) study.
+func BenchmarkFig9(b *testing.B) { benchStudy(b, "Google Pixel") }
+
+// BenchmarkFig10 regenerates the LG G5 input-voltage anomaly comparison.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Supply == "monsoon@3.85V" {
+					b.ReportMetric(r.Normalized, "throttled-vs-battery-x")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates the Pixel frequency/temperature distributions.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, err := experiments.Fig11(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(st.MeanFreqGapPct, "mean-freq-gap-%")
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates the Nexus 5 frequency/temperature distributions.
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, err := experiments.Fig12(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(st.MeanFreqGapPct, "mean-freq-gap-%")
+		}
+	}
+}
+
+// BenchmarkFig13 regenerates the cross-generation efficiency comparison
+// (it needs the full study, so it reuses TableII's work per iteration).
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, studies, err := experiments.TableII(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := experiments.Fig13(studies)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[1].IterPerWh/rows[0].IterPerWh, "sd805-vs-sd800-x")
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks -----------------------------------------
+
+// BenchmarkPiKernel measures the real π spigot at the paper's 4,285 digits —
+// the honest-compute benchmark iteration itself.
+func BenchmarkPiKernel(b *testing.B) {
+	if err := workload.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	var sink uint32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = workload.Iteration()
+	}
+	_ = sink
+}
+
+// BenchmarkPiKernel1000 measures a shorter spigot run for scaling context.
+func BenchmarkPiKernel1000(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		n += len(workload.PiDigits(1000))
+	}
+	_ = n
+}
+
+// BenchmarkDeviceStep measures one 100 ms control step of a busy device —
+// the simulation's innermost loop.
+func BenchmarkDeviceStep(b *testing.B) {
+	mon := monsoon.New(3.8)
+	dev, err := device.New(device.Config{
+		Name:    "bench",
+		Model:   soc.Nexus5(),
+		Corner:  silicon.ProcessCorner{Bin: 2, Leakage: 1.3},
+		Ambient: 26,
+		Seed:    1,
+		Source:  mon.Supply(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev.StartWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dev.Step(100 * time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThermalStep measures the RC network integrator alone.
+func BenchmarkThermalStep(b *testing.B) {
+	body := soc.Nexus5().Body
+	nw, die, _, err := body.Build(26)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nw.Inject(die, 5); err != nil {
+			b.Fatal(err)
+		}
+		nw.Step(100 * time.Millisecond)
+	}
+	_ = thermal.Network{}
+}
+
+// BenchmarkAccubenchIteration measures one full (quick) ACCUBENCH iteration
+// end to end: warmup, cooldown, workload, measurement.
+func BenchmarkAccubenchIteration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mon := monsoon.New(3.8)
+		dev, err := device.New(device.Config{
+			Name:    "bench",
+			Model:   soc.Nexus5(),
+			Corner:  silicon.ProcessCorner{Bin: 2, Leakage: 1.3},
+			Ambient: 26,
+			Seed:    int64(i),
+			Source:  mon.Supply(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := accubench.DefaultConfig(accubench.Unconstrained)
+		cfg.Warmup = 30 * time.Second
+		cfg.Workload = time.Minute
+		cfg.Iterations = 1
+		if _, err := (&accubench.Runner{Device: dev, Monitor: mon, Config: cfg}).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKMeans1D measures exact 1-D k-means over a crowd-sized sample.
+func BenchmarkKMeans1D(b *testing.B) {
+	src := sim.NewSource(1, "bench")
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = src.Normal(100, 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans1D(vals, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Command accubench runs the ACCUBENCH technique on one simulated device
+// and prints per-iteration results — the CLI face of the paper's
+// methodology.
+//
+//	accubench -model "Nexus 5" -bin 3 -leak 1.7 -mode unconstrained
+//	accubench -model "Google Pixel" -leak 1.4 -mode fixed -iterations 3
+//	accubench -list
+//
+// The device is powered through a simulated Monsoon inside a simulated
+// THERMABOX at 26 °C, exactly as the paper's bench wires a physical phone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"accubench/internal/accubench"
+	"accubench/internal/device"
+	"accubench/internal/monsoon"
+	"accubench/internal/report"
+	"accubench/internal/silicon"
+	"accubench/internal/soc"
+	"accubench/internal/thermabox"
+	"accubench/internal/units"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list available device models and exit")
+		modelName  = flag.String("model", "Nexus 5", "device model (see -list)")
+		modelFile  = flag.String("model-file", "", "load a custom device model from a JSON file instead of -model")
+		bin        = flag.Int("bin", 0, "voltage bin of the chip")
+		leak       = flag.Float64("leak", 1.0, "leakage corner (1.0 = typical silicon)")
+		mode       = flag.String("mode", "unconstrained", "workload mode: unconstrained or fixed")
+		iterations = flag.Int("iterations", 5, "back-to-back ACCUBENCH iterations")
+		ambient    = flag.Float64("ambient", 26, "THERMABOX setpoint in °C")
+		seed       = flag.Int64("seed", 1, "random seed")
+		quick      = flag.Bool("quick", false, "shorten phases for a fast smoke run")
+		csvPath    = flag.String("trace", "", "write the device trace as CSV to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, m := range soc.Models() {
+			fmt.Printf("%-13s %s (%s, %d cores, %d bins)\n",
+				m.Name, m.SoC.Name, m.SoC.Process, m.SoC.TotalCores(), m.SoC.Bins)
+		}
+		return
+	}
+	if err := run(*modelName, *modelFile, *bin, *leak, *mode, *iterations, *ambient, *seed, *quick, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "accubench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName, modelFile string, bin int, leak float64, modeName string, iterations int, ambient float64, seed int64, quick bool, csvPath string) error {
+	var model *soc.DeviceModel
+	var err error
+	if modelFile != "" {
+		f, ferr := os.Open(modelFile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		model, err = soc.LoadModel(f)
+	} else {
+		model, err = soc.ModelByName(modelName)
+	}
+	if err != nil {
+		return err
+	}
+	var mode accubench.Mode
+	switch strings.ToLower(modeName) {
+	case "unconstrained", "perf":
+		mode = accubench.Unconstrained
+	case "fixed", "fixed-frequency", "energy":
+		mode = accubench.FixedFrequency
+	default:
+		return fmt.Errorf("unknown mode %q (want unconstrained or fixed)", modeName)
+	}
+
+	mon := monsoon.New(model.Battery.Nominal)
+	if model.VoltageThrottle != nil {
+		mon.SetVoltage(model.Battery.Maximum) // the paper's post-Fig-10 practice
+	}
+	dev, err := device.New(device.Config{
+		Name:    "dut",
+		Model:   model,
+		Corner:  silicon.ProcessCorner{Bin: silicon.Bin(bin), Leakage: leak},
+		Ambient: units.Celsius(ambient),
+		Seed:    seed,
+		Source:  mon.Supply(),
+	})
+	if err != nil {
+		return err
+	}
+	boxCfg := thermabox.DefaultConfig()
+	boxCfg.Target = units.Celsius(ambient)
+	boxCfg.Seed = seed
+	box, err := thermabox.New(boxCfg)
+	if err != nil {
+		return err
+	}
+
+	cfg := accubench.DefaultConfig(mode)
+	cfg.Iterations = iterations
+	cfg.CooldownTarget = units.Celsius(ambient) + 10
+	if quick {
+		cfg.Warmup = 45 * time.Second
+		cfg.Workload = 90 * time.Second
+	}
+
+	fmt.Printf("ACCUBENCH %v on %s — THERMABOX at %s, Monsoon at %v\n",
+		mode, dev.Describe(), units.Celsius(ambient), mon.Voltage())
+	res, err := (&accubench.Runner{Device: dev, Monitor: mon, Box: box, Config: cfg}).Run()
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable("iter", "score", "energy", "mean power", "mean freq", "mean die", "peak die", "cooldown", "throttles", "min cores")
+	for _, it := range res.Iterations {
+		t.AddRow(
+			fmt.Sprintf("%d", it.Index+1),
+			fmt.Sprintf("%d", it.Score),
+			it.Energy.Energy.String(),
+			it.Energy.MeanPower.String(),
+			it.MeanBigFreq.String(),
+			it.MeanDieTemp.String(),
+			it.PeakDieTemp.String(),
+			it.CooldownTook.Truncate(time.Second).String(),
+			fmt.Sprintf("%d", it.ThrottleEvents),
+			fmt.Sprintf("%d", it.MinOnlineCores),
+		)
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		return err
+	}
+	if ps, err := res.PerfSummary(); err == nil {
+		fmt.Printf("performance: %s\n", ps)
+	}
+	if es, err := res.EnergySummary(); err == nil {
+		fmt.Printf("energy:      %s\n", es)
+	}
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := dev.Trace().WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", csvPath)
+	}
+	return nil
+}

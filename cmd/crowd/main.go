@@ -1,0 +1,75 @@
+// Command crowd simulates the paper's §VI proposal: a benchmarking app on
+// Google Play gathering crowdsourced ACCUBENCH runs, estimating each
+// submission's ambient temperature from the cooldown decay, filtering
+// extreme climates, and ranking the surviving devices.
+//
+//	crowd -model "Nexus 5" -population 40
+//	crowd -model "Google Pixel" -population 24 -accept-lo 18 -accept-hi 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"accubench/internal/crowd"
+	"accubench/internal/report"
+	"accubench/internal/units"
+)
+
+func main() {
+	cfg := crowd.DefaultStudyConfig()
+	var acceptLo, acceptHi float64
+	flag.StringVar(&cfg.ModelName, "model", cfg.ModelName, "device model under study")
+	flag.IntVar(&cfg.Population, "population", cfg.Population, "number of submitting devices")
+	flag.Float64Var(&acceptLo, "accept-lo", float64(cfg.AcceptLo), "lowest accepted estimated ambient, °C")
+	flag.Float64Var(&acceptHi, "accept-hi", float64(cfg.AcceptHi), "highest accepted estimated ambient, °C")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	flag.Parse()
+	cfg.AcceptLo = units.Celsius(acceptLo)
+	cfg.AcceptHi = units.Celsius(acceptHi)
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "crowd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg crowd.StudyConfig) error {
+	fmt.Printf("crowdsourced study: %d %s units in the wild (%v–%v ambients)\n",
+		cfg.Population, cfg.ModelName, cfg.AmbientLo, cfg.AmbientHi)
+	res, err := crowd.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ambient estimation MAE %.2f°C; accepted %d/%d submissions inside [%v, %v]\n",
+		res.EstimationMAE, res.Accepted, len(res.Submissions), cfg.AcceptLo, cfg.AcceptHi)
+	fmt.Printf("ambient slope %.1f score/°C; silicon-vs-score Kendall τ = %.2f\n\n",
+		res.AmbientSlope, res.RankCorrelation)
+
+	t := report.NewTable("rank", "device", "score", "normalized", "est ambient", "true ambient", "true leak")
+	for i, s := range res.Ranking() {
+		t.AddRow(
+			fmt.Sprintf("%d", i+1),
+			s.Device,
+			fmt.Sprintf("%.0f", s.Score),
+			fmt.Sprintf("%.0f", s.NormalizedScore),
+			s.EstimatedAmbient.String(),
+			s.TrueAmbient().String(),
+			fmt.Sprintf("×%.2f", s.TrueLeakage()),
+		)
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		return err
+	}
+	if res.BinCount > 0 {
+		fmt.Printf("\ndiscovered %d score bins over the accepted population:", res.BinCount)
+		for _, c := range res.Bins.Centroids {
+			fmt.Printf(" %.0f", c)
+		}
+		fmt.Println()
+	}
+	rejected := len(res.Submissions) - res.Accepted
+	fmt.Printf("%d submissions filtered as out-of-window climates\n", rejected)
+	return nil
+}

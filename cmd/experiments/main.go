@@ -1,0 +1,392 @@
+// Command experiments regenerates the paper's tables and figures from the
+// simulation. Each experiment is named after its table/figure number:
+//
+//	experiments -run tableI
+//	experiments -run fig6 -quick
+//	experiments -run all
+//
+// Use -quick for a ~10× faster smoke run with shorter phases (shapes hold;
+// error bars widen).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"accubench/internal/experiments"
+	"accubench/internal/report"
+	"accubench/internal/stats"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: tableI, tableII, fig1..fig13, repeatability, or all")
+	quick := flag.Bool("quick", false, "shrink phases/iterations for a fast smoke run")
+	seed := flag.Int64("seed", 1, "root random seed")
+	flag.Parse()
+
+	o := experiments.Options{Quick: *quick, Seed: *seed}
+	if err := dispatch(*run, o); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// runners maps experiment ids to their renderers. tableII/fig13/
+// repeatability share one full-fleet study and are handled in dispatch.
+var runners = map[string]func(experiments.Options) error{
+	"tableI":     renderTableI,
+	"fig1":       renderFig1,
+	"fig2":       renderFig2,
+	"fig3":       renderFig3,
+	"fig4":       func(o experiments.Options) error { return renderPhaseTrace(o, "fig4") },
+	"fig5":       func(o experiments.Options) error { return renderPhaseTrace(o, "fig5") },
+	"fig6":       func(o experiments.Options) error { return renderModelStudy(o, "Nexus 5", "fig6") },
+	"fig7":       func(o experiments.Options) error { return renderModelStudy(o, "Nexus 6P", "fig7") },
+	"fig8":       func(o experiments.Options) error { return renderModelStudy(o, "LG G5", "fig8") },
+	"fig9":       func(o experiments.Options) error { return renderModelStudy(o, "Google Pixel", "fig9") },
+	"fig10":      renderFig10,
+	"fig11":      func(o experiments.Options) error { return renderDistributions(o, "fig11") },
+	"fig12":      func(o experiments.Options) error { return renderDistributions(o, "fig12") },
+	"baseline":   renderBaseline,
+	"ablations":  renderAblations,
+	"whatif":     renderWhatIf,
+	"thermalmap": renderThermalMap,
+}
+
+func dispatch(name string, o experiments.Options) error {
+	switch name {
+	case "all":
+		ids := make([]string, 0, len(runners))
+		for id := range runners {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if err := runners[id](o); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Println()
+		}
+		return renderFullFleet(o)
+	case "tableII", "fig13", "repeatability":
+		return renderFullFleet(o)
+	default:
+		fn, ok := runners[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return fn(o)
+	}
+}
+
+func renderTableI(experiments.Options) error {
+	rows := experiments.TableI()
+	fmt.Println("Table I: Voltage vs. Frequency across bins (Nexus 5, mV)")
+	header := []string{"Bin"}
+	for _, f := range rows[0].Frequencies {
+		header = append(header, f.String())
+	}
+	t := report.NewTable(header...)
+	for _, r := range rows {
+		cells := []string{r.Bin.String()}
+		for _, mv := range r.Millivolts {
+			cells = append(cells, fmt.Sprintf("%.0f", mv))
+		}
+		t.AddRow(cells...)
+	}
+	return t.Write(os.Stdout)
+}
+
+func renderFig1(o experiments.Options) error {
+	pts, err := experiments.Fig1(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 1: Energy, time and temperature for fixed work across Nexus 5 bins")
+	t := report.NewTable("unit", "energy", "norm", "took", "norm", "peak die", "min cores")
+	for _, p := range pts {
+		t.AddRow(p.Unit.Name, p.Energy.String(), fmt.Sprintf("%.2f×", p.NormEnergy),
+			p.Took.Truncate(1e9).String(), fmt.Sprintf("%.2f×", p.NormTime),
+			p.PeakDie.String(), fmt.Sprintf("%d", p.MinOnline))
+	}
+	return t.Write(os.Stdout)
+}
+
+func renderFig2(o experiments.Options) error {
+	pts, err := experiments.Fig2(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 2: Energy for fixed work vs ambient temperature")
+	t := report.NewTable("unit", "ambient", "energy", "vs coldest")
+	for _, p := range pts {
+		t.AddRow(p.Unit.Name, p.Ambient.String(), p.Energy.String(), fmt.Sprintf("%.2f×", p.NormEnergy))
+	}
+	return t.Write(os.Stdout)
+}
+
+func renderFig3(o experiments.Options) error {
+	r, err := experiments.Fig3(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 3: THERMABOX regulation")
+	fmt.Printf("target %v; stabilized in %v\n", r.Target, r.StabilizeTook.Truncate(1e9))
+	fmt.Printf("air over 30 min with duty-cycled device load: mean %v, range [%v, %v], RSD %.2f%%\n",
+		r.MeanAir, r.MinAir, r.MaxAir, r.RSD)
+	fmt.Printf("trace: %s\n", report.Sparkline(r.AirTrace))
+	return nil
+}
+
+func renderPhaseTrace(o experiments.Options, id string) error {
+	var (
+		pt  experiments.PhaseTrace
+		err error
+	)
+	if id == "fig4" {
+		pt, err = experiments.Fig4(o)
+	} else {
+		pt, err = experiments.Fig5(o)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: ACCUBENCH stages on %s (%v)\n", strings.ToUpper(id[:1])+id[1:], pt.Unit.Name, pt.Mode)
+	for _, ph := range pt.Phases {
+		fmt.Printf("  %-9s %8s → %8s\n", ph.Name, ph.Start.Truncate(1e9), ph.End.Truncate(1e9))
+	}
+	fmt.Printf("die °C : %s\n", report.Sparkline(pt.Die))
+	fmt.Printf("freq   : %s\n", report.Sparkline(pt.Freq))
+	fmt.Printf("cores  : %s\n", report.Sparkline(pt.Cores))
+	fmt.Printf("peak die %v\n", pt.PeakDie)
+	return nil
+}
+
+func renderModelStudy(o experiments.Options, model, id string) error {
+	st, err := experiments.Study(model, o)
+	if err != nil {
+		return err
+	}
+	printStudy(id, st)
+	return nil
+}
+
+func printStudy(id string, st experiments.ModelStudy) {
+	fmt.Printf("%s: %s — perf variation %s (err %.2f%% RSD), energy variation %s (fixed-freq perf RSD %.2f%%)\n",
+		id, st.Model, report.Pct(st.PerfVariationPct()), st.PerfErrorRSD(),
+		report.Pct(st.EnergyVariationPct()), st.FixedFreqPerfRSD())
+	t := report.NewTable("unit", "corner", "score", "norm perf", "energy", "norm energy")
+	perfs := stats.Normalize(st.PerfScores())
+	energies := st.EnergiesJ()
+	normE := stats.Normalize(energies)
+	for i, out := range st.Perf {
+		t.AddRow(out.Unit.Name, out.Unit.Corner.String(),
+			fmt.Sprintf("%.0f", out.Result.MeanScore()),
+			fmt.Sprintf("%.3f %s", perfs[i], report.Bar(perfs[i], 20)),
+			fmt.Sprintf("%.1fJ", energies[i]),
+			fmt.Sprintf("%.3f %s", normE[i], report.Bar(normE[i], 20)),
+		)
+	}
+	t.Write(os.Stdout)
+}
+
+func renderFig10(o experiments.Options) error {
+	rows, err := experiments.Fig10(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 10: LG G5 input-voltage throttling")
+	t := report.NewTable("supply", "score", "vs battery")
+	for _, r := range rows {
+		t.AddRow(r.Supply, fmt.Sprintf("%.0f", r.MeanScore), fmt.Sprintf("%.2f×", r.Normalized))
+	}
+	return t.Write(os.Stdout)
+}
+
+func renderDistributions(o experiments.Options, id string) error {
+	var (
+		st  experiments.DistributionStudy
+		err error
+	)
+	if id == "fig11" {
+		st, err = experiments.Fig11(o)
+	} else {
+		st, err = experiments.Fig12(o)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s frequency/temperature distributions\n", id, st.Model)
+	for i, u := range st.Units {
+		fmt.Printf("%s (mean freq %v):\n", u.Name, st.MeanFreq[i])
+		for _, b := range st.FreqHist[i] {
+			if b.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %5.0f–%5.0f MHz %5.1f%% %s\n", b.Lo, b.Hi, b.Frac*100, report.Bar(b.Frac, 40))
+		}
+	}
+	fmt.Printf("mean-frequency gap %.1f%%, score gap %.1f%%\n", st.MeanFreqGapPct, st.ScoreGapPct)
+	return nil
+}
+
+func renderFullFleet(o experiments.Options) error {
+	rows, studies, err := experiments.TableII(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table II: Summary of energy-performance variations")
+	t := report.NewTable("Chipset", "Model", "#Devices", "Perf var", "Energy var")
+	for _, r := range rows {
+		t.AddRow(r.Chipset, r.Model, fmt.Sprintf("%d", r.Devices), report.Pct(r.PerfPct), report.Pct(r.EnergyPct))
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	for i, st := range studies {
+		printStudy(fmt.Sprintf("fig%d", 6+i), st)
+		fmt.Println()
+	}
+	fmt.Println("Fig 13: Relative efficiency across SoC generations")
+	effRows, err := experiments.Fig13(studies)
+	if err != nil {
+		return err
+	}
+	et := report.NewTable("Chipset", "Model", "iter/Wh", "vs SD-800")
+	for _, r := range effRows {
+		et.AddRow(r.Chipset, r.Model, fmt.Sprintf("%.0f", r.IterPerWh), fmt.Sprintf("%.2f×", r.Relative))
+	}
+	if err := et.Write(os.Stdout); err != nil {
+		return err
+	}
+	avg, iters := experiments.Repeatability(studies)
+	fmt.Printf("\nRepeatability: average error %.2f%% RSD over %d iterations (paper: 1.1%% over ~300)\n", avg, iters)
+	return nil
+}
+
+func renderBaseline(o experiments.Options) error {
+	r, err := experiments.Baseline(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Baseline: naive press-start benchmarking vs ACCUBENCH (Nexus 5)")
+	t := report.NewTable("run", "score", "start die")
+	for i, s := range r.Naive.Scores {
+		t.AddRow(fmt.Sprintf("%d", i+1), fmt.Sprintf("%d", s), r.Naive.StartDieTemps[i].String())
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("first run beats the rest by %.1f%%; naive RSD %.2f%% vs ACCUBENCH RSD %.2f%%\n",
+		r.Naive.FirstVsRestPct(), r.NaiveRSD, r.AccubenchRSD)
+	fmt.Printf("refrigerator trick: %v score %.0f vs %v score %.0f (+%.0f%%)\n",
+		r.FridgeAmbient, r.FridgeScore, r.HotAmbient, r.HotScore, r.FridgeGainPct())
+	return nil
+}
+
+func renderAblations(o experiments.Options) error {
+	fmt.Println("Ablation: warmup duration (why the paper warms up for 3 minutes)")
+	wu, err := experiments.AblateWarmup(o)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("warmup", "first-vs-rest", "RSD")
+	for _, r := range wu {
+		t.AddRow(r.Warmup.String(), fmt.Sprintf("%+.1f%%", r.FirstVsRestPct), fmt.Sprintf("%.2f%%", r.RSD))
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println("\nAblation: cooldown target (waiting time buys score headroom)")
+	cd, err := experiments.AblateCooldownTarget(o)
+	if err != nil {
+		return err
+	}
+	t = report.NewTable("target", "mean score", "mean cooldown", "RSD")
+	for _, r := range cd {
+		t.AddRow(r.Target.String(), fmt.Sprintf("%.0f", r.MeanScore),
+			r.MeanCooldown.Truncate(time.Second).String(), fmt.Sprintf("%.2f%%", r.RSD))
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println("\nAblation: thermal-engine hysteresis (Nexus 5)")
+	hy, err := experiments.AblateHysteresis(o)
+	if err != nil {
+		return err
+	}
+	t = report.NewTable("hysteresis", "mean score", "throttles/iter", "RSD")
+	for _, r := range hy {
+		t.AddRow(fmt.Sprintf("%.0f°C", r.Hysteresis), fmt.Sprintf("%.0f", r.MeanScore),
+			fmt.Sprintf("%.1f", r.ThrottleEvents), fmt.Sprintf("%.2f%%", r.RSD))
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println("\nAblation: workload shape (why the benchmark must saturate the CPU)")
+	ws, err := experiments.AblateWorkloadShape(o)
+	if err != nil {
+		return err
+	}
+	t = report.NewTable("profile", "mean power", "perf variation")
+	for _, r := range ws {
+		t.AddRow(r.Profile.Name, fmt.Sprintf("%.2fW", r.MeanPowerW), report.Pct(r.PerfVariationPct))
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println("\nAblation: tsens sensor noise")
+	sn, err := experiments.AblateSensorNoise(o)
+	if err != nil {
+		return err
+	}
+	t = report.NewTable("sigma", "mean score", "RSD")
+	for _, r := range sn {
+		t.AddRow(fmt.Sprintf("%.1f°C", r.Sigma), fmt.Sprintf("%.0f", r.MeanScore), fmt.Sprintf("%.2f%%", r.RSD))
+	}
+	return t.Write(os.Stdout)
+}
+
+func renderWhatIf(o experiments.Options) error {
+	r, err := experiments.WhatIfSpeedBinning(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("What-if: the same chip population under the two binning schemes of §II")
+	fmt.Printf("voltage binning (phones): sustained scores spread %s — invisible to the buyer\n",
+		report.Pct(r.VoltageSpreadPct()))
+	fmt.Printf("speed binning (desktop-style): burst spread %s, sustained spread %s, %d chips scrapped\n",
+		report.Pct(r.BurstSpreadPct()), report.Pct(r.SustainedSpreadPct()), r.Scrap)
+	t := report.NewTable("SKU", "chips", "burst (iters/5min)", "sustained")
+	for _, gm := range r.GradeMeans() {
+		t.AddRow(gm.Grade.String(), fmt.Sprintf("%d", gm.Count),
+			fmt.Sprintf("%.0f", gm.Burst), fmt.Sprintf("%.0f", gm.Sustained))
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("passive cooling makes the halo SKU a burst-only promise — one more reason phones voltage-bin")
+	return nil
+}
+
+func renderThermalMap(o experiments.Options) error {
+	r, err := experiments.ThermalMap(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Thermal map: Nexus 5 die at the throttled operating point (Therminator-style extension)")
+	fmt.Printf("all 4 cores: peak %v at (%d,%d), mean %v\n%s\n",
+		r.FullLoadPeak, r.HotspotX, r.HotspotY, r.FullLoadMean, r.FullLoadMap)
+	fmt.Printf("after the 80°C core shutdown (3 cores): peak %v, mean %v\n%s",
+		r.ShedPeak, r.ShedMean, r.ShedMap)
+	return nil
+}

@@ -1,0 +1,86 @@
+// Command thermabox runs the simulated thermal chamber standalone and
+// reports regulation quality — useful for exploring controller settings
+// before trusting a benchmark run to them.
+//
+//	thermabox -target 26 -minutes 30
+//	thermabox -target 35 -room 22 -load 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"accubench/internal/report"
+	"accubench/internal/stats"
+	"accubench/internal/thermabox"
+	"accubench/internal/units"
+)
+
+func main() {
+	var (
+		target  = flag.Float64("target", 26, "setpoint in °C")
+		room    = flag.Float64("room", 22, "room temperature outside the chamber in °C")
+		minutes = flag.Int("minutes", 30, "regulation horizon after stabilization")
+		load    = flag.Float64("load", 8, "device heat during bursts, watts")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*target, *room, *minutes, *load, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "thermabox:", err)
+		os.Exit(1)
+	}
+}
+
+func run(target, room float64, minutes int, load float64, seed int64) error {
+	cfg := thermabox.DefaultConfig()
+	cfg.Target = units.Celsius(target)
+	cfg.Room = units.Celsius(room)
+	cfg.Seed = seed
+	box, err := thermabox.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	took, ok := box.Stabilize(30*time.Second, time.Hour, time.Second)
+	if !ok {
+		return fmt.Errorf("failed to stabilize at %v from a %v room (air %v)", cfg.Target, cfg.Room, box.Air())
+	}
+	fmt.Printf("stabilized at %v in %v (room %v)\n", cfg.Target, took.Truncate(time.Second), cfg.Room)
+
+	var vals []float64
+	heaterSecs, coolerSecs := 0, 0
+	horizon := time.Duration(minutes) * time.Minute
+	for t := time.Duration(0); t < horizon; t += time.Second {
+		w := units.Watts(0.3)
+		if (int(t.Seconds())/180)%2 == 0 {
+			w = units.Watts(load)
+		}
+		box.Step(time.Second, w)
+		vals = append(vals, float64(box.Air()))
+		if box.HeaterOn() {
+			heaterSecs++
+		}
+		if box.CompressorOn() {
+			coolerSecs++
+		}
+	}
+	sum, err := stats.Summarize(vals)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("over %v with %0.1fW duty-cycled device load:\n", horizon, load)
+	fmt.Printf("  air  mean %.2f°C  range [%.2f, %.2f]  RSD %.3f%%\n", sum.Mean, sum.Min, sum.Max, sum.RSD)
+	fmt.Printf("  duty heater %.0f%%  compressor %.0f%%\n",
+		float64(heaterSecs)/horizon.Seconds()*100, float64(coolerSecs)/horizon.Seconds()*100)
+	band := 0.5
+	if sum.Min >= target-band && sum.Max <= target+band {
+		fmt.Printf("  within the paper's ±%.1f°C band\n", band)
+	} else {
+		fmt.Printf("  OUTSIDE the paper's ±%.1f°C band\n", band)
+	}
+	air, _ := box.Trace().Lookup("air")
+	fmt.Printf("  trace %s\n", report.Sparkline(air.Downsample(100)))
+	return nil
+}

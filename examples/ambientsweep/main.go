@@ -1,0 +1,96 @@
+// Ambientsweep: reproduce the paper's Figure 2 effect interactively — the
+// same work costs dramatically more energy in a hot environment, because
+// leakage current compounds with temperature. Sweeps the THERMABOX setpoint
+// and prints energy per fixed workload for a quiet and a leaky chip.
+//
+//	go run ./examples/ambientsweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"accubench/internal/accubench"
+	"accubench/internal/device"
+	"accubench/internal/monsoon"
+	"accubench/internal/silicon"
+	"accubench/internal/soc"
+	"accubench/internal/thermabox"
+	"accubench/internal/units"
+)
+
+func main() {
+	chips := []struct {
+		name   string
+		corner silicon.ProcessCorner
+	}{
+		{"quiet silicon (bin-1)", silicon.ProcessCorner{Bin: 1, Leakage: 1.0}},
+		{"leaky silicon (bin-3)", silicon.ProcessCorner{Bin: 3, Leakage: 1.7}},
+	}
+	ambients := []units.Celsius{15, 20, 25, 30, 35, 40}
+
+	fmt.Println("FIXED-FREQUENCY energy for identical work vs ambient temperature (Nexus 5)")
+	for _, chip := range chips {
+		fmt.Printf("\n%s:\n", chip.name)
+		var coldest units.Joules
+		for i, amb := range ambients {
+			energy, err := measure(chip.corner, amb, int64(100+i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				coldest = energy
+			}
+			ratio := float64(energy) / float64(coldest)
+			fmt.Printf("  %v  %8s  %.2f× coldest  %s\n", amb, energy, ratio, bar(ratio))
+		}
+	}
+	fmt.Println("\nGuo et al.'s refrigerator trick, quantified: cold ambient = cheaper joules.")
+}
+
+func measure(corner silicon.ProcessCorner, ambient units.Celsius, seed int64) (units.Joules, error) {
+	model := soc.Nexus5()
+	mon := monsoon.New(model.Battery.Nominal)
+	dev, err := device.New(device.Config{
+		Name:    "sweep-dut",
+		Model:   model,
+		Corner:  corner,
+		Ambient: ambient,
+		Seed:    seed,
+		Source:  mon.Supply(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	boxCfg := thermabox.DefaultConfig()
+	boxCfg.Target = ambient
+	boxCfg.Seed = seed
+	box, err := thermabox.New(boxCfg)
+	if err != nil {
+		return 0, err
+	}
+	cfg := accubench.DefaultConfig(accubench.FixedFrequency)
+	cfg.Warmup = time.Minute
+	cfg.Workload = 3 * time.Minute
+	cfg.Iterations = 1
+	cfg.CooldownTarget = ambient + 10
+	cfg.PinFreq = 729 // throttle-free even at 40 °C
+	res, err := (&accubench.Runner{Device: dev, Monitor: mon, Box: box, Config: cfg}).Run()
+	if err != nil {
+		return 0, err
+	}
+	return res.Iterations[0].Energy.Energy, nil
+}
+
+func bar(ratio float64) string {
+	n := int((ratio - 0.9) * 50)
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

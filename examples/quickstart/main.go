@@ -1,0 +1,71 @@
+// Quickstart: build one simulated smartphone, wire it to a simulated
+// Monsoon power monitor inside a simulated THERMABOX, and run the paper's
+// ACCUBENCH technique on it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"accubench/internal/accubench"
+	"accubench/internal/device"
+	"accubench/internal/monsoon"
+	"accubench/internal/silicon"
+	"accubench/internal/soc"
+	"accubench/internal/thermabox"
+)
+
+func main() {
+	// A Nexus 5 whose chip drew a mediocre ticket in the silicon lottery:
+	// voltage bin 2, leaking 40% more than typical silicon.
+	model := soc.Nexus5()
+	corner := silicon.ProcessCorner{Bin: 2, Leakage: 1.4}
+
+	// The Monsoon replaces the battery (as in the paper) and integrates
+	// energy over the workload phase.
+	mon := monsoon.New(model.Battery.Nominal)
+
+	dev, err := device.New(device.Config{
+		Name:    "my-nexus5",
+		Model:   model,
+		Corner:  corner,
+		Ambient: 26,
+		Seed:    42,
+		Source:  mon.Supply(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The THERMABOX holds 26 ± 0.5 °C around the device.
+	box, err := thermabox.New(thermabox.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Paper-faithful parameters: 3 min warmup, cooldown to target, 5 min
+	// π workload, 5 back-to-back iterations. Shrink for the demo.
+	cfg := accubench.DefaultConfig(accubench.Unconstrained)
+	cfg.Warmup = time.Minute
+	cfg.Workload = 2 * time.Minute
+	cfg.Iterations = 3
+
+	res, err := (&accubench.Runner{Device: dev, Monitor: mon, Box: box, Config: cfg}).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s under %v:\n", dev.Describe(), res.Mode)
+	for _, it := range res.Iterations {
+		fmt.Printf("  iteration %d: %d iterations of π, %v (mean %v), mean freq %v, peak die %v\n",
+			it.Index+1, it.Score, it.Energy.Energy, it.Energy.MeanPower, it.MeanBigFreq, it.PeakDieTemp)
+	}
+	ps, err := res.PerfSummary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("score %s — the paper's methodology targets ≈1%% RSD\n", ps)
+}

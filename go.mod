@@ -1,0 +1,3 @@
+module accubench
+
+go 1.22

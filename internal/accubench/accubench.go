@@ -1,0 +1,438 @@
+// Package accubench implements the paper's primary contribution: the
+// ACCUBENCH benchmarking technique for repeatable smartphone
+// power/performance measurement.
+//
+// The technique (paper §III):
+//
+//  1. Warm up the CPU for a fixed time (3 minutes) so previously-idle and
+//     previously-busy devices converge to the same thermal state.
+//  2. Cool down — the device sleeps, waking every 5 seconds to poll its
+//     temperature sensor — until the sensor reports a value below a target
+//     temperature.
+//  3. Run the CPU-intensive π workload on all cores for a fixed time
+//     (5 minutes) and count completed iterations.
+//
+// Two workload modes reproduce the paper's two experiments: UNCONSTRAINED
+// (performance governor; thermal throttling differentiates chips) and
+// FIXED-FREQUENCY (userspace pin low enough to never throttle; energy
+// differentiates chips while the work stays constant).
+package accubench
+
+import (
+	"fmt"
+	"time"
+
+	"accubench/internal/device"
+	"accubench/internal/governor"
+	"accubench/internal/monsoon"
+	"accubench/internal/soc"
+	"accubench/internal/stats"
+	"accubench/internal/thermabox"
+	"accubench/internal/units"
+)
+
+// Mode selects the paper's workload variant.
+type Mode int
+
+const (
+	// Unconstrained lets cores run at their maximum frequency; thermal
+	// throttling then happens naturally (performance experiment).
+	Unconstrained Mode = iota
+	// FixedFrequency pins all cores to the model's safe low frequency
+	// (energy experiment).
+	FixedFrequency
+)
+
+// String renders the paper's small-caps names.
+func (m Mode) String() string {
+	switch m {
+	case Unconstrained:
+		return "UNCONSTRAINED"
+	case FixedFrequency:
+		return "FIXED-FREQUENCY"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a run. The zero value is not runnable; use
+// DefaultConfig.
+type Config struct {
+	// Mode is the workload variant.
+	Mode Mode
+	// Warmup is the synthetic-heat phase length (paper: 3 minutes).
+	Warmup time.Duration
+	// Workload is T_workload (paper: 5 minutes).
+	Workload time.Duration
+	// CooldownTarget is the sensor temperature at which the workload may
+	// start.
+	CooldownTarget units.Celsius
+	// CooldownPoll is the sensor polling cadence while asleep (paper: 5 s).
+	CooldownPoll time.Duration
+	// CooldownTimeout bounds the cooldown phase; exceeding it is an error
+	// (the chamber or the device is misbehaving).
+	CooldownTimeout time.Duration
+	// Iterations is how many back-to-back runs to perform (paper: 5).
+	Iterations int
+	// PinFreq overrides the FIXED-FREQUENCY pin; zero uses the device
+	// model's default. Experiments that sweep hot ambients pin lower so
+	// the "guaranteed to not thermally throttle" property still holds.
+	PinFreq units.MegaHertz
+	// CooldownStableWindow, when positive, replaces the absolute cooldown
+	// target with a flatness criterion: the phase ends once the last
+	// CooldownStableWindow sensor polls span no more than CooldownStableBand
+	// degrees. An app in the wild cannot know the local ambient to set an
+	// absolute target; it can only watch the decay flatten — which is also
+	// what makes the cooldown trace usable as an ambient estimate (§VI).
+	CooldownStableWindow int
+	// CooldownStableBand is the flatness band in °C (see above). It must
+	// exceed the sensor's noise floor or the phase never ends.
+	CooldownStableBand float64
+	// CooldownFixed, when positive, makes the cooldown a fixed-length sleep
+	// regardless of temperature — the protocol an in-the-wild app uses when
+	// it wants the decay trace to span the slow case→ambient regime that
+	// actually reveals the ambient (§VI). Takes precedence over both the
+	// target and the flatness criterion.
+	CooldownFixed time.Duration
+	// Step is the simulation control step.
+	Step time.Duration
+}
+
+// DefaultConfig returns the paper's parameters for the given mode.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:            mode,
+		Warmup:          3 * time.Minute,
+		Workload:        5 * time.Minute,
+		CooldownTarget:  36,
+		CooldownPoll:    5 * time.Second,
+		CooldownTimeout: 45 * time.Minute,
+		Iterations:      5,
+		Step:            100 * time.Millisecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Warmup <= 0 || c.Workload <= 0 {
+		return fmt.Errorf("accubench: phases must have positive duration (warmup %v, workload %v)", c.Warmup, c.Workload)
+	}
+	if c.CooldownPoll <= 0 {
+		return fmt.Errorf("accubench: non-positive cooldown poll %v", c.CooldownPoll)
+	}
+	if c.CooldownTimeout <= 0 {
+		return fmt.Errorf("accubench: non-positive cooldown timeout %v", c.CooldownTimeout)
+	}
+	if c.Iterations <= 0 {
+		return fmt.Errorf("accubench: %d iterations", c.Iterations)
+	}
+	if c.Step <= 0 {
+		return fmt.Errorf("accubench: non-positive step %v", c.Step)
+	}
+	return nil
+}
+
+// Phase labels a span of an iteration for trace rendering (Figs. 4–5).
+type Phase struct {
+	Name       string // "warmup", "cooldown", "workload"
+	Start, End time.Duration
+}
+
+// IterationResult is one ACCUBENCH iteration on one device.
+type IterationResult struct {
+	// Index is the iteration number (0-based).
+	Index int
+	// Score is the performance metric: π-loop iterations completed across
+	// all cores within T_workload.
+	Score int
+	// Energy is the Monsoon measurement over the workload phase.
+	Energy monsoon.Measurement
+	// MeanBigFreq is the time-weighted mean big-cluster frequency over the
+	// workload phase (Figs. 11–12 report these distributions).
+	MeanBigFreq units.MegaHertz
+	// MeanDieTemp is the time-weighted mean die temperature over the
+	// workload phase.
+	MeanDieTemp units.Celsius
+	// PeakDieTemp is the hottest instant of the workload phase.
+	PeakDieTemp units.Celsius
+	// CooldownTook is how long the cooldown phase waited. The paper's
+	// future work notes this is a usable ambient-temperature proxy.
+	CooldownTook time.Duration
+	// ThrottleEvents is the thermal engine's step-down count over the
+	// workload phase.
+	ThrottleEvents int
+	// MinOnlineCores is the fewest big cores online during the workload
+	// (Fig. 1: the Nexus 5 sheds a core at 80 °C).
+	MinOnlineCores int
+	// CooldownReadings are the sensor values observed at each cooldown
+	// poll, in order. The paper's future work uses the cooldown decay as an
+	// ambient-temperature estimate for in-the-wild submissions.
+	CooldownReadings []CooldownSample
+	// Phases are the iteration's phase boundaries in device time.
+	Phases []Phase
+}
+
+// CooldownSample is one sensor poll during the cooldown phase.
+type CooldownSample struct {
+	// At is the time since the cooldown began.
+	At time.Duration
+	// Reading is the sensor value.
+	Reading units.Celsius
+}
+
+// Result is a full ACCUBENCH run: several iterations on one device.
+type Result struct {
+	// Device is the unit's name, e.g. "device-363".
+	Device string
+	// Model is the handset product, e.g. "Nexus 6P".
+	Model string
+	// Mode is the workload variant used.
+	Mode Mode
+	// Iterations holds the per-iteration results.
+	Iterations []IterationResult
+}
+
+// Scores returns the per-iteration performance scores.
+func (r Result) Scores() []float64 {
+	out := make([]float64, len(r.Iterations))
+	for i, it := range r.Iterations {
+		out[i] = float64(it.Score)
+	}
+	return out
+}
+
+// Energies returns the per-iteration workload energies in joules.
+func (r Result) Energies() []float64 {
+	out := make([]float64, len(r.Iterations))
+	for i, it := range r.Iterations {
+		out[i] = float64(it.Energy.Energy)
+	}
+	return out
+}
+
+// PerfSummary summarizes the scores (the paper reports mean ± RSD).
+func (r Result) PerfSummary() (stats.Summary, error) { return stats.Summarize(r.Scores()) }
+
+// EnergySummary summarizes the energies.
+func (r Result) EnergySummary() (stats.Summary, error) { return stats.Summarize(r.Energies()) }
+
+// MeanScore returns the mean performance score.
+func (r Result) MeanScore() float64 { return stats.Mean(r.Scores()) }
+
+// MeanEnergy returns the mean workload energy in joules.
+func (r Result) MeanEnergy() float64 { return stats.Mean(r.Energies()) }
+
+// Runner executes the technique on one device. The paper's app drives the
+// phone via an Android intent; Runner is that app plus the backend harness
+// that coordinates the Monsoon and the THERMABOX.
+type Runner struct {
+	// Device is the handset under test.
+	Device *device.Device
+	// Monitor powers the device and integrates energy. Required.
+	Monitor *monsoon.Monitor
+	// Box is the thermal chamber; nil runs at whatever fixed ambient the
+	// device was built with (used by targeted unit tests, never by the
+	// paper experiments).
+	Box *thermabox.Box
+	// KeepSource leaves the device's existing power source in place instead
+	// of wiring in the Monsoon supply. The Fig. 10 battery configuration
+	// measures through the Monsoon while powering from the pack.
+	KeepSource bool
+	// Config is the technique's parameters.
+	Config Config
+}
+
+// step advances the whole bench — chamber, device, power monitor — by dt.
+func (r *Runner) step(dt time.Duration) error {
+	if r.Box != nil {
+		r.Box.Step(dt, r.Device.Power())
+		r.Device.SetAmbient(r.Box.Air())
+	}
+	if err := r.Device.Step(dt); err != nil {
+		return err
+	}
+	return r.Monitor.Sample(r.Device.Elapsed(), r.Device.Power())
+}
+
+// run advances for a total duration in control steps.
+func (r *Runner) run(total time.Duration) error {
+	for remaining := total; remaining > 0; remaining -= r.Config.Step {
+		h := r.Config.Step
+		if remaining < h {
+			h = remaining
+		}
+		if err := r.step(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the configured number of back-to-back iterations and returns
+// the result. Before the first iteration it confirms the chamber is within
+// its band, as the paper's app does.
+func (r *Runner) Run() (Result, error) {
+	if r.Device == nil || r.Monitor == nil {
+		return Result{}, fmt.Errorf("accubench: runner needs a device and a monitor")
+	}
+	if err := r.Config.Validate(); err != nil {
+		return Result{}, err
+	}
+	// The device is powered by the Monsoon for the whole run, unless the
+	// experiment explicitly powers it another way.
+	if !r.KeepSource {
+		r.Device.PowerBy(r.Monitor.Supply())
+	}
+
+	if r.Box != nil && !r.Box.WithinBand() {
+		if _, ok := r.Box.Stabilize(30*time.Second, 30*time.Minute, time.Second); !ok {
+			return Result{}, fmt.Errorf("accubench: THERMABOX failed to stabilize at %v", r.Box.Target())
+		}
+		r.Device.SetAmbient(r.Box.Air())
+	}
+
+	res := Result{
+		Device: r.Device.Name(),
+		Model:  r.Device.Model().Name,
+		Mode:   r.Config.Mode,
+	}
+	for i := 0; i < r.Config.Iterations; i++ {
+		it, err := r.iteration(i)
+		if err != nil {
+			return Result{}, fmt.Errorf("accubench: %s iteration %d: %w", r.Device.Name(), i, err)
+		}
+		res.Iterations = append(res.Iterations, it)
+	}
+	return res, nil
+}
+
+// iteration performs warmup → cooldown → workload once.
+func (r *Runner) iteration(idx int) (IterationResult, error) {
+	d := r.Device
+	out := IterationResult{Index: idx, MinOnlineCores: d.Model().SoC.Big.Cores}
+
+	// --- Warmup: full-tilt synthetic heat under the performance governor.
+	warmStart := d.Elapsed()
+	d.AcquireWakelock()
+	d.SetGovernor(governor.Performance{})
+	d.StartWorkload()
+	if err := r.run(r.Config.Warmup); err != nil {
+		return out, err
+	}
+	d.StopWorkload()
+	out.Phases = append(out.Phases, Phase{Name: "warmup", Start: warmStart, End: d.Elapsed()})
+
+	// --- Cooldown: sleep, waking every CooldownPoll to read the sensor.
+	coolStart := d.Elapsed()
+	d.ReleaseWakelock()
+	for {
+		if d.Elapsed()-coolStart > r.Config.CooldownTimeout {
+			return out, fmt.Errorf("cooldown did not reach %v within %v (sensor %v)",
+				r.Config.CooldownTarget, r.Config.CooldownTimeout, d.ReadTempSensor())
+		}
+		if err := r.run(r.Config.CooldownPoll); err != nil {
+			return out, err
+		}
+		reading := d.ReadTempSensor()
+		out.CooldownReadings = append(out.CooldownReadings, CooldownSample{
+			At:      d.Elapsed() - coolStart,
+			Reading: reading,
+		})
+		if r.Config.CooldownFixed > 0 {
+			if d.Elapsed()-coolStart >= r.Config.CooldownFixed {
+				break
+			}
+		} else if r.Config.CooldownStableWindow > 0 {
+			if cooldownFlattened(out.CooldownReadings, r.Config.CooldownStableWindow, r.Config.CooldownStableBand) {
+				break
+			}
+		} else if reading <= r.Config.CooldownTarget {
+			break
+		}
+	}
+	out.CooldownTook = d.Elapsed() - coolStart
+	out.Phases = append(out.Phases, Phase{Name: "cooldown", Start: coolStart, End: d.Elapsed()})
+
+	// --- Workload: the measured phase.
+	workStart := d.Elapsed()
+	throttleBefore := d.ThrottleEvents()
+	d.AcquireWakelock()
+	switch r.Config.Mode {
+	case Unconstrained:
+		d.SetGovernor(governor.Performance{})
+	case FixedFrequency:
+		pin := r.Config.PinFreq
+		if pin == 0 {
+			pin = d.Model().FixedFreq
+		}
+		d.SetGovernor(governor.Userspace{Freq: pin})
+	default:
+		return out, fmt.Errorf("unknown mode %v", r.Config.Mode)
+	}
+	d.ResetCounters()
+	d.StartWorkload()
+	r.Monitor.StartMeasurement(d.Elapsed())
+	if err := r.run(r.Config.Workload); err != nil {
+		return out, err
+	}
+	meas, err := r.Monitor.StopMeasurement(d.Elapsed())
+	if err != nil {
+		return out, err
+	}
+	d.StopWorkload()
+	d.ReleaseWakelock()
+	workEnd := d.Elapsed()
+	out.Phases = append(out.Phases, Phase{Name: "workload", Start: workStart, End: workEnd})
+
+	// --- Collect metrics from the trace window. A trace sample recorded at
+	// time t describes the simulation step *ending* at t, so the sample
+	// falling exactly on workStart belongs to the last cooldown step; the
+	// window opens one control step later.
+	winStart := workStart + r.Config.Step
+	out.Score = d.CompletedIterations()
+	out.Energy = meas
+	out.ThrottleEvents = d.ThrottleEvents() - throttleBefore
+	if s, ok := d.Trace().Lookup("freq.big"); ok {
+		out.MeanBigFreq = units.MegaHertz(s.MeanOver(winStart, workEnd))
+	}
+	if s, ok := d.Trace().Lookup("die"); ok {
+		out.MeanDieTemp = units.Celsius(s.MeanOver(winStart, workEnd))
+		for _, smp := range s.Window(winStart, workEnd) {
+			if units.Celsius(smp.Value) > out.PeakDieTemp {
+				out.PeakDieTemp = units.Celsius(smp.Value)
+			}
+		}
+	}
+	if s, ok := d.Trace().Lookup("cores.online"); ok {
+		for _, smp := range s.Window(winStart, workEnd) {
+			if int(smp.Value) < out.MinOnlineCores {
+				out.MinOnlineCores = int(smp.Value)
+			}
+		}
+	}
+	return out, nil
+}
+
+// FixedFreqFor returns the paper's FIXED-FREQUENCY pin for a model — a
+// convenience so harness code doesn't reach into the model directly.
+func FixedFreqFor(m *soc.DeviceModel) units.MegaHertz { return m.FixedFreq }
+
+// cooldownFlattened reports whether the last window readings span no more
+// than band degrees.
+func cooldownFlattened(readings []CooldownSample, window int, band float64) bool {
+	if len(readings) < window {
+		return false
+	}
+	tail := readings[len(readings)-window:]
+	lo, hi := float64(tail[0].Reading), float64(tail[0].Reading)
+	for _, s := range tail[1:] {
+		v := float64(s.Reading)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi-lo <= band
+}

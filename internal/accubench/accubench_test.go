@@ -1,0 +1,338 @@
+package accubench
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"accubench/internal/device"
+	"accubench/internal/monsoon"
+	"accubench/internal/silicon"
+	"accubench/internal/soc"
+	"accubench/internal/thermabox"
+	"accubench/internal/units"
+)
+
+// quickConfig shrinks phase durations so unit tests stay fast while keeping
+// the methodology's structure intact.
+func quickConfig(mode Mode) Config {
+	c := DefaultConfig(mode)
+	c.Warmup = 45 * time.Second
+	c.Workload = 90 * time.Second
+	c.Iterations = 2
+	c.CooldownTarget = 40
+	return c
+}
+
+func newRunner(t *testing.T, model *soc.DeviceModel, corner silicon.ProcessCorner, mode Mode, seed int64) *Runner {
+	t.Helper()
+	d, err := device.New(device.Config{
+		Name:    "dut",
+		Model:   model,
+		Corner:  corner,
+		Ambient: 26,
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Runner{
+		Device:  d,
+		Monitor: monsoon.New(model.Battery.Nominal),
+		Config:  quickConfig(mode),
+	}
+}
+
+func typical() silicon.ProcessCorner { return silicon.ProcessCorner{Bin: 3, Leakage: 1.0} }
+
+func TestModeString(t *testing.T) {
+	if Unconstrained.String() != "UNCONSTRAINED" || FixedFrequency.String() != "FIXED-FREQUENCY" {
+		t.Errorf("mode names: %v / %v", Unconstrained, FixedFrequency)
+	}
+	if !strings.Contains(Mode(9).String(), "9") {
+		t.Errorf("unknown mode = %q", Mode(9).String())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(Unconstrained)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	muts := []func(*Config){
+		func(c *Config) { c.Warmup = 0 },
+		func(c *Config) { c.Workload = 0 },
+		func(c *Config) { c.CooldownPoll = 0 },
+		func(c *Config) { c.CooldownTimeout = 0 },
+		func(c *Config) { c.Iterations = 0 },
+		func(c *Config) { c.Step = 0 },
+	}
+	for i, mut := range muts {
+		c := DefaultConfig(Unconstrained)
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestPaperDefaults(t *testing.T) {
+	c := DefaultConfig(Unconstrained)
+	if c.Warmup != 3*time.Minute {
+		t.Errorf("warmup = %v, paper uses 3 minutes", c.Warmup)
+	}
+	if c.Workload != 5*time.Minute {
+		t.Errorf("workload = %v, paper uses 5 minutes", c.Workload)
+	}
+	if c.CooldownPoll != 5*time.Second {
+		t.Errorf("cooldown poll = %v, paper polls every 5 s", c.CooldownPoll)
+	}
+	if c.Iterations != 5 {
+		t.Errorf("iterations = %d, paper runs 5", c.Iterations)
+	}
+}
+
+func TestRunnerRequiresDeviceAndMonitor(t *testing.T) {
+	r := &Runner{Config: DefaultConfig(Unconstrained)}
+	if _, err := r.Run(); err == nil {
+		t.Error("empty runner ran")
+	}
+}
+
+func TestUnconstrainedRunStructure(t *testing.T) {
+	r := newRunner(t, soc.Nexus5(), typical(), Unconstrained, 42)
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Device != "dut" || res.Model != "Nexus 5" || res.Mode != Unconstrained {
+		t.Errorf("result header = %+v", res)
+	}
+	if len(res.Iterations) != 2 {
+		t.Fatalf("iterations = %d", len(res.Iterations))
+	}
+	for _, it := range res.Iterations {
+		if it.Score <= 0 {
+			t.Errorf("iteration %d score = %d", it.Index, it.Score)
+		}
+		if it.Energy.Energy <= 0 {
+			t.Errorf("iteration %d energy = %v", it.Index, it.Energy.Energy)
+		}
+		if it.Energy.Duration != 90*time.Second {
+			t.Errorf("iteration %d energy window = %v", it.Index, it.Energy.Duration)
+		}
+		if it.MeanBigFreq <= 0 || it.MeanDieTemp <= 26 {
+			t.Errorf("iteration %d trace stats: freq %v, temp %v", it.Index, it.MeanBigFreq, it.MeanDieTemp)
+		}
+		if it.PeakDieTemp < it.MeanDieTemp {
+			t.Errorf("iteration %d peak %v below mean %v", it.Index, it.PeakDieTemp, it.MeanDieTemp)
+		}
+		if it.CooldownTook <= 0 {
+			t.Errorf("iteration %d cooldown = %v", it.Index, it.CooldownTook)
+		}
+		if len(it.Phases) != 3 {
+			t.Fatalf("iteration %d phases = %d", it.Index, len(it.Phases))
+		}
+		for j, name := range []string{"warmup", "cooldown", "workload"} {
+			if it.Phases[j].Name != name {
+				t.Errorf("phase %d = %q, want %q", j, it.Phases[j].Name, name)
+			}
+			if it.Phases[j].End <= it.Phases[j].Start {
+				t.Errorf("phase %q has non-positive span", name)
+			}
+		}
+	}
+}
+
+func TestWorkloadStartsCooledDown(t *testing.T) {
+	// The whole point of the cooldown: every iteration's workload starts
+	// from (near) the same thermal state regardless of prior activity.
+	r := newRunner(t, soc.Nexus5(), typical(), Unconstrained, 7)
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := r.Device
+	dieSeries, ok := d.Trace().Lookup("die")
+	if !ok {
+		t.Fatal("no die trace")
+	}
+	for _, it := range res.Iterations {
+		work := it.Phases[2]
+		w := dieSeries.Window(work.Start, work.Start+time.Second)
+		if len(w) == 0 {
+			t.Fatal("no samples at workload start")
+		}
+		startTemp := w[0].Value
+		// Sensor said ≤ CooldownTarget (40 in quickConfig); the true die may
+		// differ by noise but not much.
+		if startTemp > float64(r.Config.CooldownTarget)+1.5 {
+			t.Errorf("iteration %d workload started at %.1f°C, target %v",
+				it.Index, startTemp, r.Config.CooldownTarget)
+		}
+	}
+}
+
+func TestUnconstrainedThrottles(t *testing.T) {
+	r := newRunner(t, soc.Nexus5(), typical(), Unconstrained, 11)
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := res.Iterations[0]
+	if it.ThrottleEvents == 0 {
+		t.Error("UNCONSTRAINED workload never throttled")
+	}
+	if it.MeanBigFreq >= soc.SD800().Big.MaxFreq() {
+		t.Errorf("mean frequency %v equals max — no throttling visible", it.MeanBigFreq)
+	}
+}
+
+func TestFixedFrequencyDoesNotThrottle(t *testing.T) {
+	r := newRunner(t, soc.Nexus5(), typical(), FixedFrequency, 13)
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range res.Iterations {
+		if it.ThrottleEvents != 0 {
+			t.Errorf("iteration %d throttled %d times in FIXED-FREQUENCY", it.Index, it.ThrottleEvents)
+		}
+		if math.Abs(float64(it.MeanBigFreq-soc.Nexus5().FixedFreq)) > 0.01 {
+			t.Errorf("iteration %d mean freq %v, want pinned %v", it.Index, it.MeanBigFreq, soc.Nexus5().FixedFreq)
+		}
+	}
+}
+
+func TestFixedFrequencyWorkIsRepeatable(t *testing.T) {
+	// Paper: "we'd expect to see negligible performance variations" in
+	// FIXED-FREQUENCY — the pinned frequency makes the score deterministic.
+	r := newRunner(t, soc.Nexus5(), typical(), FixedFrequency, 17)
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := res.Iterations[0].Score
+	for _, it := range res.Iterations[1:] {
+		if it.Score != s0 {
+			t.Errorf("fixed-frequency scores differ: %d vs %d", s0, it.Score)
+		}
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	r := newRunner(t, soc.Nexus5(), typical(), Unconstrained, 19)
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := res.Scores()
+	energies := res.Energies()
+	if len(scores) != 2 || len(energies) != 2 {
+		t.Fatalf("accessor lengths: %d, %d", len(scores), len(energies))
+	}
+	ps, err := res.PerfSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.N != 2 || ps.Mean <= 0 {
+		t.Errorf("PerfSummary = %+v", ps)
+	}
+	es, err := res.EnergySummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Mean <= 0 {
+		t.Errorf("EnergySummary = %+v", es)
+	}
+	if res.MeanScore() != ps.Mean || res.MeanEnergy() != es.Mean {
+		t.Error("Mean accessors disagree with summaries")
+	}
+}
+
+func TestWithThermabox(t *testing.T) {
+	d, err := device.New(device.Config{
+		Name:    "dut",
+		Model:   soc.Nexus5(),
+		Corner:  typical(),
+		Ambient: 22, // starts at room; the box pulls it to 26
+		Seed:    23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	box, err := thermabox.New(thermabox.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(Unconstrained)
+	cfg.Iterations = 1
+	r := &Runner{Device: d, Monitor: monsoon.New(3.8), Box: box, Config: cfg}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations[0].Score <= 0 {
+		t.Error("no score with thermabox")
+	}
+	// The device's ambient must now track the chamber, not the initial 22.
+	if d.Ambient() < 25 || d.Ambient() > 27 {
+		t.Errorf("device ambient = %v, want chamber-regulated ≈26", d.Ambient())
+	}
+}
+
+func TestCooldownTimeout(t *testing.T) {
+	r := newRunner(t, soc.Nexus5(), typical(), Unconstrained, 29)
+	r.Config.CooldownTarget = 5 // unreachable: below ambient
+	r.Config.CooldownTimeout = 2 * time.Minute
+	if _, err := r.Run(); err == nil {
+		t.Error("unreachable cooldown target did not error")
+	} else if !strings.Contains(err.Error(), "cooldown") {
+		t.Errorf("error = %v, want cooldown mention", err)
+	}
+}
+
+func TestLeakyChipScoresLowerEndToEnd(t *testing.T) {
+	// End-to-end ACCUBENCH reproduces the paper's core comparison on two
+	// chips of the same model.
+	run := func(leak float64, bin silicon.Bin) float64 {
+		r := newRunner(t, soc.Nexus5(), silicon.ProcessCorner{Bin: bin, Leakage: leak}, Unconstrained, 31)
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanScore()
+	}
+	good := run(0.6, 0)
+	bad := run(2.2, 5)
+	if bad >= good {
+		t.Errorf("leaky chip mean score %v not below quiet chip %v", bad, good)
+	}
+}
+
+func TestFixedFreqForHelper(t *testing.T) {
+	if FixedFreqFor(soc.Nexus5()) != 960 {
+		t.Errorf("FixedFreqFor = %v", FixedFreqFor(soc.Nexus5()))
+	}
+}
+
+func TestEnergyWindowCoversWorkloadOnly(t *testing.T) {
+	// Energy must be integrated over the workload phase only: mean power
+	// implied by the measurement should match busy-device power levels
+	// (watts), not include the long low-power cooldown.
+	r := newRunner(t, soc.Nexus5(), typical(), Unconstrained, 37)
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range res.Iterations {
+		if it.Energy.MeanPower < 1 {
+			t.Errorf("iteration %d mean power %v — looks like cooldown leaked into the window",
+				it.Index, it.Energy.MeanPower)
+		}
+		if it.Energy.MeanPower > units.Watts(20) {
+			t.Errorf("iteration %d mean power %v implausible", it.Index, it.Energy.MeanPower)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package accubench
+
+import (
+	"fmt"
+	"time"
+
+	"accubench/internal/governor"
+	"accubench/internal/monsoon"
+	"accubench/internal/units"
+)
+
+// FixedWorkResult is the outcome of a run-to-completion experiment: the
+// variant behind the paper's Figures 1 and 2, where every chip performs the
+// *same amount of work* and energy/time are compared ("the energy
+// consumption of various Nexus 5 bins while performing a fixed CPU
+// intensive workload").
+type FixedWorkResult struct {
+	// Target is the iteration count every device had to complete.
+	Target int
+	// Took is how long the workload phase ran to finish the work.
+	Took time.Duration
+	// Energy is the Monsoon measurement over the workload phase.
+	Energy monsoon.Measurement
+	// MeanBigFreq is the time-weighted mean big-cluster frequency.
+	MeanBigFreq units.MegaHertz
+	// PeakDieTemp is the hottest workload instant.
+	PeakDieTemp units.Celsius
+	// MinOnlineCores is the fewest big cores online during the workload
+	// (Fig. 1 annotates the Nexus 5's 80 °C core shutdown).
+	MinOnlineCores int
+}
+
+// RunFixedWork performs warmup and cooldown exactly like a normal iteration,
+// then runs the UNCONSTRAINED workload until the device completes target
+// iterations (bounded by 20× the configured workload duration). The
+// performance governor is always used: fixed-work experiments compare how
+// throttling stretches completion time.
+func (r *Runner) RunFixedWork(target int) (FixedWorkResult, error) {
+	if r.Device == nil || r.Monitor == nil {
+		return FixedWorkResult{}, fmt.Errorf("accubench: runner needs a device and a monitor")
+	}
+	if err := r.Config.Validate(); err != nil {
+		return FixedWorkResult{}, err
+	}
+	if target <= 0 {
+		return FixedWorkResult{}, fmt.Errorf("accubench: fixed-work target %d", target)
+	}
+	d := r.Device
+	d.PowerBy(r.Monitor.Supply())
+
+	if r.Box != nil && !r.Box.WithinBand() {
+		if _, ok := r.Box.Stabilize(30*time.Second, 30*time.Minute, time.Second); !ok {
+			return FixedWorkResult{}, fmt.Errorf("accubench: THERMABOX failed to stabilize at %v", r.Box.Target())
+		}
+		d.SetAmbient(r.Box.Air())
+	}
+
+	// Warmup.
+	d.AcquireWakelock()
+	d.SetGovernor(governor.Performance{})
+	d.StartWorkload()
+	if err := r.run(r.Config.Warmup); err != nil {
+		return FixedWorkResult{}, err
+	}
+	d.StopWorkload()
+
+	// Cooldown.
+	coolStart := d.Elapsed()
+	d.ReleaseWakelock()
+	for d.ReadTempSensor() > r.Config.CooldownTarget {
+		if d.Elapsed()-coolStart > r.Config.CooldownTimeout {
+			return FixedWorkResult{}, fmt.Errorf("accubench: fixed-work cooldown did not reach %v within %v",
+				r.Config.CooldownTarget, r.Config.CooldownTimeout)
+		}
+		if err := r.run(r.Config.CooldownPoll); err != nil {
+			return FixedWorkResult{}, err
+		}
+	}
+
+	// Work to completion.
+	workStart := d.Elapsed()
+	deadline := workStart + 20*r.Config.Workload
+	d.AcquireWakelock()
+	d.SetGovernor(governor.Performance{})
+	d.ResetCounters()
+	d.StartWorkload()
+	r.Monitor.StartMeasurement(d.Elapsed())
+	minOnline := d.Model().SoC.Big.Cores
+	for d.CompletedIterations() < target {
+		if d.Elapsed() >= deadline {
+			return FixedWorkResult{}, fmt.Errorf("accubench: %s completed only %d/%d iterations by the %v deadline",
+				d.Name(), d.CompletedIterations(), target, deadline-workStart)
+		}
+		if err := r.step(r.Config.Step); err != nil {
+			return FixedWorkResult{}, err
+		}
+		if n := d.OnlineBigCores(); n < minOnline {
+			minOnline = n
+		}
+	}
+	meas, err := r.Monitor.StopMeasurement(d.Elapsed())
+	if err != nil {
+		return FixedWorkResult{}, err
+	}
+	d.StopWorkload()
+	d.ReleaseWakelock()
+	workEnd := d.Elapsed()
+
+	out := FixedWorkResult{
+		Target:         target,
+		Took:           workEnd - workStart,
+		Energy:         meas,
+		MinOnlineCores: minOnline,
+	}
+	winStart := workStart + r.Config.Step
+	if s, ok := d.Trace().Lookup("freq.big"); ok {
+		out.MeanBigFreq = units.MegaHertz(s.MeanOver(winStart, workEnd))
+	}
+	if s, ok := d.Trace().Lookup("die"); ok {
+		for _, smp := range s.Window(winStart, workEnd) {
+			if units.Celsius(smp.Value) > out.PeakDieTemp {
+				out.PeakDieTemp = units.Celsius(smp.Value)
+			}
+		}
+	}
+	return out, nil
+}

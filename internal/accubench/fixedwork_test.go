@@ -1,0 +1,233 @@
+package accubench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"accubench/internal/battery"
+	"accubench/internal/device"
+	"accubench/internal/monsoon"
+	"accubench/internal/silicon"
+	"accubench/internal/soc"
+	"accubench/internal/thermabox"
+	"accubench/internal/units"
+)
+
+func TestFixedWorkCompletesTarget(t *testing.T) {
+	r := newRunner(t, soc.Nexus5(), typical(), Unconstrained, 101)
+	fw, err := r.RunFixedWork(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Target != 100 {
+		t.Errorf("Target = %d", fw.Target)
+	}
+	// The device must have completed at least the target (the last step may
+	// overshoot by a few iterations across 4 cores).
+	if got := r.Device.CompletedIterations(); got < 100 {
+		t.Errorf("completed %d, want ≥ 100", got)
+	}
+	if fw.Took <= 0 {
+		t.Errorf("Took = %v", fw.Took)
+	}
+	if fw.Energy.Energy <= 0 {
+		t.Errorf("Energy = %v", fw.Energy.Energy)
+	}
+	if fw.MeanBigFreq <= 0 || fw.PeakDieTemp <= 26 {
+		t.Errorf("trace stats: freq %v, peak %v", fw.MeanBigFreq, fw.PeakDieTemp)
+	}
+	if fw.MinOnlineCores < 2 || fw.MinOnlineCores > 4 {
+		t.Errorf("MinOnlineCores = %d", fw.MinOnlineCores)
+	}
+}
+
+func TestFixedWorkLeakyChipSlowerAndHungrier(t *testing.T) {
+	run := func(leak float64, bin silicon.Bin) FixedWorkResult {
+		r := newRunner(t, soc.Nexus5(), silicon.ProcessCorner{Bin: bin, Leakage: leak}, Unconstrained, 103)
+		fw, err := r.RunFixedWork(150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fw
+	}
+	quiet := run(0.55, 0)
+	leaky := run(2.0, 5)
+	if leaky.Took <= quiet.Took {
+		t.Errorf("leaky chip finished in %v, quiet in %v — fixed work should take leaky silicon longer",
+			leaky.Took, quiet.Took)
+	}
+	if leaky.Energy.Energy <= quiet.Energy.Energy {
+		t.Errorf("leaky chip used %v, quiet %v — fixed work should cost leaky silicon more",
+			leaky.Energy.Energy, quiet.Energy.Energy)
+	}
+}
+
+func TestFixedWorkValidation(t *testing.T) {
+	r := newRunner(t, soc.Nexus5(), typical(), Unconstrained, 107)
+	if _, err := r.RunFixedWork(0); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := r.RunFixedWork(-5); err == nil {
+		t.Error("negative target accepted")
+	}
+	empty := &Runner{Config: DefaultConfig(Unconstrained)}
+	if _, err := empty.RunFixedWork(10); err == nil {
+		t.Error("empty runner ran")
+	}
+}
+
+func TestFixedWorkDeadline(t *testing.T) {
+	r := newRunner(t, soc.Nexus5(), typical(), Unconstrained, 109)
+	r.Config.Workload = 2 * time.Second // deadline = 40 s of workload
+	// An absurd target cannot complete within 20× workload.
+	if _, err := r.RunFixedWork(1000000); err == nil {
+		t.Error("impossible target did not error")
+	} else if !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("error = %v, want deadline mention", err)
+	}
+}
+
+func TestNaiveBackToBackDegrades(t *testing.T) {
+	r := newRunner(t, soc.Nexus5(), typical(), Unconstrained, 113)
+	res, err := r.RunNaive(3, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 3 || len(res.StartDieTemps) != 3 {
+		t.Fatalf("result shape: %d scores, %d temps", len(res.Scores), len(res.StartDieTemps))
+	}
+	// First run starts cold, second starts hot.
+	if res.StartDieTemps[0] > 30 {
+		t.Errorf("first run started at %v", res.StartDieTemps[0])
+	}
+	if res.StartDieTemps[1] < 45 {
+		t.Errorf("second run started at %v, want heat-soaked", res.StartDieTemps[1])
+	}
+	if res.FirstVsRestPct() <= 0 {
+		t.Errorf("FirstVsRest = %.1f%%, want positive cold-start bonus", res.FirstVsRestPct())
+	}
+}
+
+func TestNaiveValidation(t *testing.T) {
+	r := newRunner(t, soc.Nexus5(), typical(), Unconstrained, 127)
+	if _, err := r.RunNaive(0, 0); err == nil {
+		t.Error("0 runs accepted")
+	}
+	if _, err := r.RunNaive(2, -time.Second); err == nil {
+		t.Error("negative pause accepted")
+	}
+	empty := &Runner{Config: DefaultConfig(Unconstrained)}
+	if _, err := empty.RunNaive(1, 0); err == nil {
+		t.Error("empty runner ran")
+	}
+}
+
+func TestNaiveFirstVsRestDegenerate(t *testing.T) {
+	if got := (NaiveResult{Scores: []int{100}}).FirstVsRestPct(); got != 0 {
+		t.Errorf("single-run FirstVsRest = %v", got)
+	}
+	if got := (NaiveResult{Scores: []int{100, 0, 0}}).FirstVsRestPct(); got != 0 {
+		t.Errorf("zero-rest FirstVsRest = %v", got)
+	}
+}
+
+func TestCooldownStableWindowMode(t *testing.T) {
+	r := newRunner(t, soc.Nexus5(), typical(), Unconstrained, 131)
+	r.Config.CooldownStableWindow = 8
+	r.Config.CooldownStableBand = 1.2
+	r.Config.CooldownTarget = -100 // would never be reached; flatness must end the phase
+	r.Config.Iterations = 1
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := res.Iterations[0]
+	if len(it.CooldownReadings) < 8 {
+		t.Fatalf("only %d cooldown readings", len(it.CooldownReadings))
+	}
+	// The flatness criterion must hold over the final window.
+	tail := it.CooldownReadings[len(it.CooldownReadings)-8:]
+	lo, hi := tail[0].Reading, tail[0].Reading
+	for _, s := range tail[1:] {
+		if s.Reading < lo {
+			lo = s.Reading
+		}
+		if s.Reading > hi {
+			hi = s.Reading
+		}
+	}
+	if hi.Delta(lo) > 1.2 {
+		t.Errorf("final window spans %.1f°C, band is 1.2", hi.Delta(lo))
+	}
+}
+
+func TestCooldownFixedMode(t *testing.T) {
+	r := newRunner(t, soc.Nexus5(), typical(), Unconstrained, 137)
+	r.Config.CooldownFixed = 90 * time.Second
+	r.Config.CooldownTarget = -100 // ignored in fixed mode
+	r.Config.Iterations = 1
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := res.Iterations[0]
+	if it.CooldownTook < 90*time.Second || it.CooldownTook > 100*time.Second {
+		t.Errorf("fixed cooldown took %v, want ≈90s", it.CooldownTook)
+	}
+	// Readings every 5s over 90s → 18 polls.
+	if len(it.CooldownReadings) != 18 {
+		t.Errorf("readings = %d, want 18", len(it.CooldownReadings))
+	}
+}
+
+func TestChamberFailurePropagates(t *testing.T) {
+	// A chamber that cannot reach its setpoint fails the run up front.
+	boxCfg := thermabox.DefaultConfig()
+	boxCfg.Room = 60
+	boxCfg.CompressorPower = 1 // cannot pull 60 → 26
+	box, err := thermabox.New(boxCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := monsoon.New(3.8)
+	dev, err := device.New(device.Config{
+		Name: "dut", Model: soc.Nexus5(), Corner: typical(), Ambient: 60, Seed: 1, Source: mon.Supply(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Device: dev, Monitor: mon, Box: box, Config: quickConfig(Unconstrained)}
+	if _, err := r.Run(); err == nil {
+		t.Error("broken chamber did not fail the run")
+	} else if !strings.Contains(err.Error(), "THERMABOX") {
+		t.Errorf("error = %v, want THERMABOX mention", err)
+	}
+}
+
+func TestDrainedBatteryStillRuns(t *testing.T) {
+	// Powering from a nearly dead pack: the run completes (the simulation
+	// does not brown-out) but the LG G5's voltage throttle would cap it —
+	// verified at the device layer; here we check the runner tolerates a
+	// sagging source when KeepSource is set.
+	spec := soc.Nexus5().Battery
+	b := battery.NewBattery(spec.Capacity, spec.Nominal, spec.InternalOhms)
+	b.Drain(units.Joules(float64(spec.Capacity.Coulombs()) * float64(spec.Nominal) * 0.7))
+	mon := monsoon.New(3.8)
+	dev, err := device.New(device.Config{
+		Name: "dut", Model: soc.Nexus5(), Corner: typical(), Ambient: 26, Seed: 1, Source: b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(Unconstrained)
+	cfg.Iterations = 1
+	r := &Runner{Device: dev, Monitor: mon, KeepSource: true, Config: cfg}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations[0].Score <= 0 {
+		t.Error("no score on battery power")
+	}
+}

@@ -1,0 +1,91 @@
+package accubench
+
+import (
+	"fmt"
+	"time"
+
+	"accubench/internal/governor"
+	"accubench/internal/units"
+)
+
+// NaiveResult is the outcome of running the workload the way existing
+// benchmarks do — no warmup, no cooldown, just press start. The paper's
+// §I/§III motivation: "Running a benchmark back-to-back often produces
+// significantly different results due to heat" and (citing Guo et al.)
+// "putting a smartphone in a refrigerator could improve the overall score
+// … by more than 60%".
+type NaiveResult struct {
+	// Scores are the back-to-back run scores, in order. The first run
+	// starts cold and scores high; later runs inherit heat and sag.
+	Scores []int
+	// StartDieTemps are the die temperatures each run started at — the
+	// uncontrolled variable ACCUBENCH exists to pin down.
+	StartDieTemps []units.Celsius
+}
+
+// FirstVsRestPct returns how much the cold first run beats the mean of the
+// remaining runs, in percent — the "back-to-back" artifact.
+func (n NaiveResult) FirstVsRestPct() float64 {
+	if len(n.Scores) < 2 {
+		return 0
+	}
+	var rest float64
+	for _, s := range n.Scores[1:] {
+		rest += float64(s)
+	}
+	rest /= float64(len(n.Scores) - 1)
+	if rest == 0 {
+		return 0
+	}
+	return (float64(n.Scores[0]) - rest) / rest * 100
+}
+
+// RunNaive runs the workload back-to-back with no thermal conditioning —
+// the baseline ACCUBENCH is measured against. Each run lasts the configured
+// Workload duration under the performance governor with a short pause
+// (results screen, tapping "run again") between runs. The Monsoon still
+// powers the device; nothing else from the methodology is applied.
+func (r *Runner) RunNaive(runs int, pause time.Duration) (NaiveResult, error) {
+	if r.Device == nil || r.Monitor == nil {
+		return NaiveResult{}, fmt.Errorf("accubench: runner needs a device and a monitor")
+	}
+	if err := r.Config.Validate(); err != nil {
+		return NaiveResult{}, err
+	}
+	if runs <= 0 {
+		return NaiveResult{}, fmt.Errorf("accubench: %d naive runs", runs)
+	}
+	if pause < 0 {
+		return NaiveResult{}, fmt.Errorf("accubench: negative pause %v", pause)
+	}
+	d := r.Device
+	if !r.KeepSource {
+		d.PowerBy(r.Monitor.Supply())
+	}
+	if r.Box != nil && !r.Box.WithinBand() {
+		if _, ok := r.Box.Stabilize(30*time.Second, 30*time.Minute, time.Second); !ok {
+			return NaiveResult{}, fmt.Errorf("accubench: THERMABOX failed to stabilize at %v", r.Box.Target())
+		}
+		d.SetAmbient(r.Box.Air())
+	}
+	var out NaiveResult
+	for i := 0; i < runs; i++ {
+		out.StartDieTemps = append(out.StartDieTemps, d.DieTemperature())
+		d.AcquireWakelock()
+		d.SetGovernor(governor.Performance{})
+		d.ResetCounters()
+		d.StartWorkload()
+		if err := r.run(r.Config.Workload); err != nil {
+			return NaiveResult{}, err
+		}
+		d.StopWorkload()
+		d.ReleaseWakelock()
+		out.Scores = append(out.Scores, d.CompletedIterations())
+		if pause > 0 {
+			if err := r.run(pause); err != nil {
+				return NaiveResult{}, err
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,291 @@
+// Package app models the paper's benchmarking application and its backend
+// (§III): "The entire technique is packaged into an app that could be
+// invoked via an Android intent. … The benefit of writing the app in
+// JavaScript is that the app can be easily updated by the backend without
+// requiring the device to be connected via USB. With this approach, the
+// latest JavaScript code is pulled as part of the web page and executed
+// every time the benchmark is invoked."
+//
+// The simulation keeps the same moving parts — intents trigger runs, the
+// app pulls a versioned benchmark definition from the backend before every
+// invocation, and results are uploaded as structured logs — without a real
+// network: Backend is an in-process service with the same contract.
+package app
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"accubench/internal/accubench"
+	"accubench/internal/device"
+	"accubench/internal/monsoon"
+	"accubench/internal/thermabox"
+	"accubench/internal/units"
+)
+
+// Intent mirrors an Android intent: an action string plus string extras.
+type Intent struct {
+	// Action selects the behaviour: ActionRun or ActionStatus.
+	Action string
+	// Extras carries optional parameters (e.g. "mode": "fixed").
+	Extras map[string]string
+}
+
+// Intent actions the app responds to.
+const (
+	// ActionRun triggers a full ACCUBENCH invocation.
+	ActionRun = "accubench.intent.RUN"
+	// ActionStatus reports app and device state without running anything.
+	ActionStatus = "accubench.intent.STATUS"
+)
+
+// BenchmarkDef is the backend-served benchmark definition — the stand-in
+// for the JavaScript payload the paper's app pulls on every invocation.
+// It is JSON so a real backend could serve it unchanged.
+type BenchmarkDef struct {
+	// Version identifies the payload; the app logs which version each run
+	// used, so the backend can discard results from stale definitions.
+	Version int `json:"version"`
+	// Mode is "unconstrained" or "fixed".
+	Mode string `json:"mode"`
+	// WarmupSec, WorkloadSec are the phase lengths in seconds.
+	WarmupSec   int `json:"warmup_sec"`
+	WorkloadSec int `json:"workload_sec"`
+	// CooldownTargetC is the absolute cooldown target; zero selects the
+	// flatness criterion (the in-the-wild mode).
+	CooldownTargetC float64 `json:"cooldown_target_c,omitempty"`
+	// Iterations is the back-to-back run count.
+	Iterations int `json:"iterations"`
+}
+
+// Validate checks the definition before the app will execute it — a
+// malformed backend payload must not brick the fleet.
+func (d BenchmarkDef) Validate() error {
+	if d.Version <= 0 {
+		return fmt.Errorf("app: definition version %d", d.Version)
+	}
+	if d.Mode != "unconstrained" && d.Mode != "fixed" {
+		return fmt.Errorf("app: unknown mode %q", d.Mode)
+	}
+	if d.WarmupSec <= 0 || d.WorkloadSec <= 0 {
+		return fmt.Errorf("app: non-positive phase lengths (%d, %d)", d.WarmupSec, d.WorkloadSec)
+	}
+	if d.Iterations <= 0 {
+		return fmt.Errorf("app: %d iterations", d.Iterations)
+	}
+	return nil
+}
+
+// config converts the definition into an ACCUBENCH configuration.
+func (d BenchmarkDef) config() accubench.Config {
+	mode := accubench.Unconstrained
+	if d.Mode == "fixed" {
+		mode = accubench.FixedFrequency
+	}
+	cfg := accubench.DefaultConfig(mode)
+	cfg.Warmup = time.Duration(d.WarmupSec) * time.Second
+	cfg.Workload = time.Duration(d.WorkloadSec) * time.Second
+	cfg.Iterations = d.Iterations
+	if d.CooldownTargetC > 0 {
+		cfg.CooldownTarget = units.Celsius(d.CooldownTargetC)
+	} else {
+		cfg.CooldownStableWindow = 10
+		cfg.CooldownStableBand = 1.3
+	}
+	return cfg
+}
+
+// RunLog is the structured record the app uploads after a run.
+type RunLog struct {
+	Device        string    `json:"device"`
+	Model         string    `json:"model"`
+	DefVersion    int       `json:"def_version"`
+	Mode          string    `json:"mode"`
+	Scores        []int     `json:"scores"`
+	EnergiesJ     []float64 `json:"energies_j"`
+	MeanFreqMHz   []float64 `json:"mean_freq_mhz"`
+	CooldownSecs  []float64 `json:"cooldown_secs"`
+	PeakDieTempsC []float64 `json:"peak_die_temps_c"`
+}
+
+// Backend is the paper's server side: it serves the latest benchmark
+// definition and collects run logs. Safe for concurrent use — a fleet of
+// devices reports in.
+type Backend struct {
+	mu   sync.Mutex
+	def  BenchmarkDef
+	logs []RunLog
+}
+
+// NewBackend starts a backend serving the given initial definition.
+func NewBackend(def BenchmarkDef) (*Backend, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	return &Backend{def: def}, nil
+}
+
+// DefaultDef returns the paper's published benchmark: 3-minute warmup,
+// 5-minute workload, 5 iterations, UNCONSTRAINED.
+func DefaultDef() BenchmarkDef {
+	return BenchmarkDef{
+		Version:         1,
+		Mode:            "unconstrained",
+		WarmupSec:       180,
+		WorkloadSec:     300,
+		CooldownTargetC: 36,
+		Iterations:      5,
+	}
+}
+
+// Publish replaces the served definition — the "update the app from the
+// backend" mechanism. Invalid definitions are rejected and the previous one
+// keeps serving.
+func (b *Backend) Publish(def BenchmarkDef) error {
+	if err := def.Validate(); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if def.Version <= b.def.Version {
+		return fmt.Errorf("app: version %d does not supersede %d", def.Version, b.def.Version)
+	}
+	b.def = def
+	return nil
+}
+
+// Fetch returns the current definition as the JSON payload a device pulls.
+func (b *Backend) Fetch() ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return json.Marshal(b.def)
+}
+
+// Upload stores a run log.
+func (b *Backend) Upload(raw []byte) error {
+	var lg RunLog
+	if err := json.Unmarshal(raw, &lg); err != nil {
+		return fmt.Errorf("app: malformed log: %w", err)
+	}
+	if lg.Device == "" || len(lg.Scores) == 0 {
+		return fmt.Errorf("app: incomplete log from %q", lg.Device)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.logs = append(b.logs, lg)
+	return nil
+}
+
+// Logs returns a copy of the collected logs.
+func (b *Backend) Logs() []RunLog {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]RunLog(nil), b.logs...)
+}
+
+// App is the on-device benchmark application.
+type App struct {
+	dev     *device.Device
+	mon     *monsoon.Monitor
+	box     *thermabox.Box
+	backend *Backend
+}
+
+// Install puts the app on a device. The Monsoon is required (it is how the
+// app's lab deployments measure energy); the chamber is optional — nil for
+// in-the-wild devices.
+func Install(dev *device.Device, mon *monsoon.Monitor, box *thermabox.Box, backend *Backend) (*App, error) {
+	if dev == nil || mon == nil || backend == nil {
+		return nil, fmt.Errorf("app: install needs a device, a monitor and a backend")
+	}
+	return &App{dev: dev, mon: mon, box: box, backend: backend}, nil
+}
+
+// StatusReport is the answer to ActionStatus.
+type StatusReport struct {
+	Device      string  `json:"device"`
+	Model       string  `json:"model"`
+	DieTempC    float64 `json:"die_temp_c"`
+	Busy        bool    `json:"busy"`
+	HoldsWake   bool    `json:"holds_wakelock"`
+	BigFreqMHz  float64 `json:"big_freq_mhz"`
+	OnlineCores int     `json:"online_cores"`
+}
+
+// HandleIntent dispatches an intent the way the paper's app does: RUN pulls
+// the latest definition from the backend, executes it, and uploads the log;
+// STATUS reports device state. The returned bytes are JSON (the run log or
+// the status report).
+func (a *App) HandleIntent(in Intent) ([]byte, error) {
+	switch in.Action {
+	case ActionRun:
+		return a.handleRun(in)
+	case ActionStatus:
+		rep := StatusReport{
+			Device:      a.dev.Name(),
+			Model:       a.dev.Model().Name,
+			DieTempC:    float64(a.dev.ReadTempSensor()),
+			Busy:        a.dev.Busy(),
+			HoldsWake:   a.dev.HoldsWakelock(),
+			BigFreqMHz:  float64(a.dev.BigFrequency()),
+			OnlineCores: a.dev.OnlineBigCores(),
+		}
+		return json.Marshal(rep)
+	default:
+		return nil, fmt.Errorf("app: unknown intent action %q", in.Action)
+	}
+}
+
+func (a *App) handleRun(in Intent) ([]byte, error) {
+	// Pull the latest definition — every invocation, like the paper's
+	// WebView pulling the latest JavaScript.
+	raw, err := a.backend.Fetch()
+	if err != nil {
+		return nil, err
+	}
+	var def BenchmarkDef
+	if err := json.Unmarshal(raw, &def); err != nil {
+		return nil, fmt.Errorf("app: backend served malformed definition: %w", err)
+	}
+	if err := def.Validate(); err != nil {
+		return nil, fmt.Errorf("app: backend served invalid definition: %w", err)
+	}
+	// An intent extra may override the mode for this run (the paper fires
+	// different intents for the two experiments).
+	if m, ok := in.Extras["mode"]; ok {
+		def.Mode = m
+		if err := def.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	runner := &accubench.Runner{Device: a.dev, Monitor: a.mon, Box: a.box, Config: def.config()}
+	res, err := runner.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	lg := RunLog{
+		Device:     a.dev.Name(),
+		Model:      a.dev.Model().Name,
+		DefVersion: def.Version,
+		Mode:       def.Mode,
+	}
+	for _, it := range res.Iterations {
+		lg.Scores = append(lg.Scores, it.Score)
+		lg.EnergiesJ = append(lg.EnergiesJ, float64(it.Energy.Energy))
+		lg.MeanFreqMHz = append(lg.MeanFreqMHz, float64(it.MeanBigFreq))
+		lg.CooldownSecs = append(lg.CooldownSecs, it.CooldownTook.Seconds())
+		lg.PeakDieTempsC = append(lg.PeakDieTempsC, float64(it.PeakDieTemp))
+	}
+	out, err := json.Marshal(lg)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.backend.Upload(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,266 @@
+package app
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"accubench/internal/device"
+	"accubench/internal/monsoon"
+	"accubench/internal/silicon"
+	"accubench/internal/soc"
+)
+
+func quickDef(version int) BenchmarkDef {
+	return BenchmarkDef{
+		Version:         version,
+		Mode:            "unconstrained",
+		WarmupSec:       30,
+		WorkloadSec:     60,
+		CooldownTargetC: 40,
+		Iterations:      2,
+	}
+}
+
+func install(t *testing.T, backend *Backend) *App {
+	t.Helper()
+	mon := monsoon.New(3.8)
+	dev, err := device.New(device.Config{
+		Name:    "app-dut",
+		Model:   soc.Nexus5(),
+		Corner:  silicon.ProcessCorner{Bin: 2, Leakage: 1.3},
+		Ambient: 26,
+		Seed:    5,
+		Source:  mon.Supply(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Install(dev, mon, nil, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestDefValidate(t *testing.T) {
+	if err := DefaultDef().Validate(); err != nil {
+		t.Fatalf("paper default rejected: %v", err)
+	}
+	muts := []func(*BenchmarkDef){
+		func(d *BenchmarkDef) { d.Version = 0 },
+		func(d *BenchmarkDef) { d.Mode = "turbo" },
+		func(d *BenchmarkDef) { d.WarmupSec = 0 },
+		func(d *BenchmarkDef) { d.WorkloadSec = -1 },
+		func(d *BenchmarkDef) { d.Iterations = 0 },
+	}
+	for i, mut := range muts {
+		d := DefaultDef()
+		mut(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestDefJSONRoundTrip(t *testing.T) {
+	d := DefaultDef()
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchmarkDef
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Errorf("round trip changed the definition: %+v vs %+v", back, d)
+	}
+}
+
+func TestBackendPublishRules(t *testing.T) {
+	b, err := NewBackend(quickDef(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same or lower version rejected.
+	if err := b.Publish(quickDef(1)); err == nil {
+		t.Error("same version accepted")
+	}
+	// Invalid definition rejected, old one keeps serving.
+	bad := quickDef(5)
+	bad.Mode = "nope"
+	if err := b.Publish(bad); err == nil {
+		t.Error("invalid definition accepted")
+	}
+	raw, err := b.Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var served BenchmarkDef
+	if err := json.Unmarshal(raw, &served); err != nil {
+		t.Fatal(err)
+	}
+	if served.Version != 1 {
+		t.Errorf("served version %d after rejected publishes, want 1", served.Version)
+	}
+	// Proper upgrade accepted.
+	if err := b.Publish(quickDef(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewBackendRejectsInvalid(t *testing.T) {
+	if _, err := NewBackend(BenchmarkDef{}); err == nil {
+		t.Error("zero definition accepted")
+	}
+}
+
+func TestInstallValidation(t *testing.T) {
+	if _, err := Install(nil, nil, nil, nil); err == nil {
+		t.Error("empty install accepted")
+	}
+}
+
+func TestRunIntentEndToEnd(t *testing.T) {
+	backend, err := NewBackend(quickDef(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := install(t, backend)
+	raw, err := a.HandleIntent(Intent{Action: ActionRun})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lg RunLog
+	if err := json.Unmarshal(raw, &lg); err != nil {
+		t.Fatal(err)
+	}
+	if lg.Device != "app-dut" || lg.Model != "Nexus 5" {
+		t.Errorf("log identity: %+v", lg)
+	}
+	if lg.DefVersion != 1 {
+		t.Errorf("log DefVersion = %d", lg.DefVersion)
+	}
+	if len(lg.Scores) != 2 || lg.Scores[0] <= 0 {
+		t.Errorf("log scores = %v", lg.Scores)
+	}
+	if len(lg.EnergiesJ) != 2 || lg.EnergiesJ[0] <= 0 {
+		t.Errorf("log energies = %v", lg.EnergiesJ)
+	}
+	// The backend collected the same log.
+	logs := backend.Logs()
+	if len(logs) != 1 || logs[0].Device != "app-dut" {
+		t.Errorf("backend logs = %+v", logs)
+	}
+}
+
+func TestBackendUpdatePropagatesWithoutReinstall(t *testing.T) {
+	// The paper's headline app feature: the backend updates the benchmark,
+	// the device picks it up on the next intent, no USB required.
+	backend, err := NewBackend(quickDef(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := install(t, backend)
+	if _, err := a.HandleIntent(Intent{Action: ActionRun}); err != nil {
+		t.Fatal(err)
+	}
+	v2 := quickDef(2)
+	v2.Mode = "fixed"
+	v2.Iterations = 1
+	if err := backend.Publish(v2); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := a.HandleIntent(Intent{Action: ActionRun})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lg RunLog
+	if err := json.Unmarshal(raw, &lg); err != nil {
+		t.Fatal(err)
+	}
+	if lg.DefVersion != 2 || lg.Mode != "fixed" || len(lg.Scores) != 1 {
+		t.Errorf("second run did not pick up v2: %+v", lg)
+	}
+	if len(backend.Logs()) != 2 {
+		t.Errorf("backend logs = %d, want 2", len(backend.Logs()))
+	}
+}
+
+func TestModeExtraOverridesDefinition(t *testing.T) {
+	backend, err := NewBackend(quickDef(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := install(t, backend)
+	raw, err := a.HandleIntent(Intent{Action: ActionRun, Extras: map[string]string{"mode": "fixed"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lg RunLog
+	if err := json.Unmarshal(raw, &lg); err != nil {
+		t.Fatal(err)
+	}
+	if lg.Mode != "fixed" {
+		t.Errorf("mode = %q, want intent override", lg.Mode)
+	}
+	// A bogus override is rejected, not executed.
+	if _, err := a.HandleIntent(Intent{Action: ActionRun, Extras: map[string]string{"mode": "ludicrous"}}); err == nil {
+		t.Error("bogus mode override accepted")
+	}
+}
+
+func TestStatusIntent(t *testing.T) {
+	backend, err := NewBackend(quickDef(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := install(t, backend)
+	raw, err := a.HandleIntent(Intent{Action: ActionStatus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep StatusReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Device != "app-dut" || rep.Model != "Nexus 5" {
+		t.Errorf("status identity: %+v", rep)
+	}
+	if rep.Busy || rep.HoldsWake {
+		t.Errorf("fresh device busy in status: %+v", rep)
+	}
+	if rep.DieTempC < 20 || rep.DieTempC > 32 {
+		t.Errorf("status die temp %v implausible for idle 26°C", rep.DieTempC)
+	}
+	if rep.OnlineCores != 4 {
+		t.Errorf("online cores = %d", rep.OnlineCores)
+	}
+}
+
+func TestUnknownIntent(t *testing.T) {
+	backend, err := NewBackend(quickDef(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := install(t, backend)
+	if _, err := a.HandleIntent(Intent{Action: "accubench.intent.DANCE"}); err == nil {
+		t.Error("unknown intent accepted")
+	} else if !strings.Contains(err.Error(), "DANCE") {
+		t.Errorf("error %v should name the action", err)
+	}
+}
+
+func TestUploadValidation(t *testing.T) {
+	backend, err := NewBackend(quickDef(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := backend.Upload([]byte("{not json")); err == nil {
+		t.Error("malformed log accepted")
+	}
+	if err := backend.Upload([]byte(`{"device":"","scores":[]}`)); err == nil {
+		t.Error("incomplete log accepted")
+	}
+}

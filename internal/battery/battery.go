@@ -1,0 +1,148 @@
+// Package battery models the device power source. The paper powers every
+// phone from a Monsoon monitor precisely to *remove* battery behaviour as a
+// variance source, but the LG G5 anomaly (Fig. 10) showed the OS watches the
+// input voltage anyway — so the simulator models both a real battery (OCV
+// curve, internal resistance, sag under load) and the constant-voltage
+// supply the Monsoon provides.
+package battery
+
+import (
+	"fmt"
+
+	"accubench/internal/units"
+)
+
+// Source is anything that can power a device: a battery or a bench supply.
+type Source interface {
+	// Voltage returns the terminal voltage while supplying the given power.
+	// Implementations model sag: terminal voltage drops under load.
+	Voltage(load units.Watts) units.Volts
+	// Drain accounts for energy drawn from the source.
+	Drain(e units.Joules)
+	// Describe returns a human-readable description for logs.
+	Describe() string
+}
+
+// ocvPoint is one point of a state-of-charge → open-circuit-voltage curve.
+type ocvPoint struct {
+	soc float64 // 0..1
+	v   units.Volts
+}
+
+// liIonOCV is a generic Li-ion OCV curve (normalized to a 3.85 V nominal
+// cell), flat through the middle of the discharge like real cells.
+var liIonOCV = []ocvPoint{
+	{0.00, 3.30},
+	{0.05, 3.55},
+	{0.10, 3.68},
+	{0.25, 3.76},
+	{0.50, 3.84},
+	{0.75, 3.98},
+	{0.90, 4.15},
+	{1.00, 4.35},
+}
+
+// Battery is a lithium-ion cell with an OCV curve scaled to the pack's
+// nominal voltage and a series internal resistance.
+type Battery struct {
+	// Capacity is the pack's rated charge.
+	Capacity units.MilliampHours
+	// Nominal is the pack's labelled nominal voltage (e.g. 3.85 V on the
+	// LG G5's sticker — the value the paper initially fed the Monsoon).
+	Nominal units.Volts
+	// InternalResistance in ohms; terminal voltage sags by I·R under load.
+	InternalResistance float64
+
+	charge float64 // remaining, in joule-equivalent bookkeeping below
+	energy units.Joules
+	soc    float64
+}
+
+// NewBattery returns a fully charged battery.
+func NewBattery(capacity units.MilliampHours, nominal units.Volts, internalOhms float64) *Battery {
+	return &Battery{
+		Capacity:           capacity,
+		Nominal:            nominal,
+		InternalResistance: internalOhms,
+		soc:                1.0,
+	}
+}
+
+// SoC returns the state of charge in [0,1].
+func (b *Battery) SoC() float64 { return b.soc }
+
+// OpenCircuit returns the no-load terminal voltage at the current SoC.
+func (b *Battery) OpenCircuit() units.Volts {
+	scale := float64(b.Nominal) / 3.85
+	for i := 1; i < len(liIonOCV); i++ {
+		if b.soc <= liIonOCV[i].soc {
+			lo, hi := liIonOCV[i-1], liIonOCV[i]
+			t := (b.soc - lo.soc) / (hi.soc - lo.soc)
+			return units.Volts(units.Lerp(float64(lo.v), float64(hi.v), t) * scale)
+		}
+	}
+	return units.Volts(float64(liIonOCV[len(liIonOCV)-1].v) * scale)
+}
+
+// Voltage returns the terminal voltage under the given load, including
+// I·R sag. The current is approximated against the open-circuit voltage,
+// which is accurate to within a percent for phone-scale loads.
+func (b *Battery) Voltage(load units.Watts) units.Volts {
+	ocv := b.OpenCircuit()
+	i := units.Current(load, ocv)
+	v := float64(ocv) - float64(i)*b.InternalResistance
+	if v < 0 {
+		v = 0
+	}
+	return units.Volts(v)
+}
+
+// Drain removes energy from the pack, reducing SoC proportionally.
+func (b *Battery) Drain(e units.Joules) {
+	if e <= 0 {
+		return
+	}
+	total := float64(b.Capacity.Coulombs()) * float64(b.Nominal) // J ≈ Q·V_nominal
+	b.energy += e
+	b.soc -= float64(e) / total
+	if b.soc < 0 {
+		b.soc = 0
+	}
+}
+
+// EnergyDrawn returns total energy drained since construction.
+func (b *Battery) EnergyDrawn() units.Joules { return b.energy }
+
+// Describe implements Source.
+func (b *Battery) Describe() string {
+	return fmt.Sprintf("battery %v %v (SoC %.0f%%)", b.Capacity, b.Nominal, b.soc*100)
+}
+
+// BenchSupply is an ideal constant-voltage source — the Monsoon's main
+// channel. It never sags and never runs out.
+type BenchSupply struct {
+	// Setpoint is the configured output voltage.
+	Setpoint units.Volts
+	energy   units.Joules
+}
+
+// NewBenchSupply returns a supply configured at the given voltage.
+func NewBenchSupply(v units.Volts) *BenchSupply { return &BenchSupply{Setpoint: v} }
+
+// Voltage implements Source: constant regardless of load.
+func (s *BenchSupply) Voltage(units.Watts) units.Volts { return s.Setpoint }
+
+// Drain implements Source, accounting delivered energy.
+func (s *BenchSupply) Drain(e units.Joules) {
+	if e > 0 {
+		s.energy += e
+	}
+}
+
+// EnergyDelivered returns total energy supplied.
+func (s *BenchSupply) EnergyDelivered() units.Joules { return s.energy }
+
+// Describe implements Source.
+func (s *BenchSupply) Describe() string {
+	return fmt.Sprintf("bench supply at %v", s.Setpoint)
+}

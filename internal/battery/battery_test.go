@@ -1,0 +1,132 @@
+package battery
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"accubench/internal/units"
+)
+
+func TestFullBatteryOpenCircuit(t *testing.T) {
+	b := NewBattery(2300, 3.85, 0.1)
+	if b.SoC() != 1.0 {
+		t.Fatalf("SoC = %v", b.SoC())
+	}
+	ocv := b.OpenCircuit()
+	// Full Li-ion pack sits well above nominal (≈4.35 V for a 3.85 V pack).
+	if ocv < 4.2 || ocv > 4.5 {
+		t.Errorf("full OCV = %v, want ≈4.35V", ocv)
+	}
+}
+
+func TestOCVDecreasesWithSoC(t *testing.T) {
+	b := NewBattery(2300, 3.85, 0.1)
+	prev := b.OpenCircuit()
+	// Drain in 10% steps and check monotone non-increasing OCV.
+	total := float64(b.Capacity.Coulombs()) * float64(b.Nominal)
+	for i := 0; i < 9; i++ {
+		b.Drain(units.Joules(total * 0.1))
+		cur := b.OpenCircuit()
+		if cur > prev {
+			t.Fatalf("OCV rose from %v to %v at SoC %.2f", prev, cur, b.SoC())
+		}
+		prev = cur
+	}
+	if b.SoC() > 0.15 {
+		t.Errorf("SoC after 90%% drain = %v", b.SoC())
+	}
+}
+
+func TestVoltageSagsUnderLoad(t *testing.T) {
+	b := NewBattery(2300, 3.85, 0.15)
+	idle := b.Voltage(0)
+	loaded := b.Voltage(8) // 8 W burst
+	if loaded >= idle {
+		t.Errorf("no sag: idle %v, loaded %v", idle, loaded)
+	}
+	// Sag should be roughly I·R = (8/4.35)·0.15 ≈ 0.28 V.
+	sag := float64(idle - loaded)
+	if sag < 0.1 || sag > 0.6 {
+		t.Errorf("sag = %vV, want ≈0.28V", sag)
+	}
+}
+
+func TestVoltageNeverNegative(t *testing.T) {
+	b := NewBattery(100, 3.85, 10) // absurd internal resistance
+	if v := b.Voltage(100); v < 0 {
+		t.Errorf("voltage = %v", v)
+	}
+}
+
+func TestDrainBookkeeping(t *testing.T) {
+	b := NewBattery(2300, 3.85, 0.1)
+	b.Drain(1000)
+	b.Drain(500)
+	if b.EnergyDrawn() != 1500 {
+		t.Errorf("EnergyDrawn = %v", b.EnergyDrawn())
+	}
+	// Negative or zero drain ignored.
+	b.Drain(-100)
+	b.Drain(0)
+	if b.EnergyDrawn() != 1500 {
+		t.Errorf("EnergyDrawn after no-ops = %v", b.EnergyDrawn())
+	}
+}
+
+func TestSoCFloorsAtZero(t *testing.T) {
+	b := NewBattery(10, 3.85, 0.1)
+	b.Drain(1e9)
+	if b.SoC() != 0 {
+		t.Errorf("SoC = %v, want 0", b.SoC())
+	}
+}
+
+func TestAgedPackSuppliesLowerVoltage(t *testing.T) {
+	// The paper's discussion connects the LG G5 anomaly to ageing batteries
+	// whose deliverable voltage declines. An aged pack = higher internal
+	// resistance; under the same load it presents a lower terminal voltage.
+	fresh := NewBattery(2800, 3.85, 0.08)
+	aged := NewBattery(2800, 3.85, 0.30)
+	if aged.Voltage(6) >= fresh.Voltage(6) {
+		t.Error("aged pack did not sag more than fresh pack")
+	}
+}
+
+func TestBenchSupplyConstantVoltage(t *testing.T) {
+	s := NewBenchSupply(4.4)
+	if s.Voltage(0) != 4.4 || s.Voltage(50) != 4.4 {
+		t.Errorf("bench supply sagged: %v / %v", s.Voltage(0), s.Voltage(50))
+	}
+	s.Drain(200)
+	s.Drain(-5)
+	if s.EnergyDelivered() != 200 {
+		t.Errorf("EnergyDelivered = %v", s.EnergyDelivered())
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	b := NewBattery(2300, 3.85, 0.1)
+	if !strings.Contains(b.Describe(), "2300mAh") {
+		t.Errorf("battery Describe = %q", b.Describe())
+	}
+	s := NewBenchSupply(3.85)
+	if !strings.Contains(s.Describe(), "3.850V") {
+		t.Errorf("supply Describe = %q", s.Describe())
+	}
+}
+
+func TestSourceInterfaceCompliance(t *testing.T) {
+	var _ Source = NewBattery(2300, 3.85, 0.1)
+	var _ Source = NewBenchSupply(4.4)
+}
+
+func TestNominalScalesOCV(t *testing.T) {
+	lo := NewBattery(2300, 3.80, 0.1)
+	hi := NewBattery(2300, 4.40, 0.1)
+	ratio := float64(hi.OpenCircuit()) / float64(lo.OpenCircuit())
+	want := 4.40 / 3.80
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("OCV scaling = %v, want %v", ratio, want)
+	}
+}

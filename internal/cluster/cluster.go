@@ -1,0 +1,217 @@
+// Package cluster implements the unsupervised bin discovery the paper
+// proposes as future work (§VI): "In cases where there is no clear bin
+// labels … we plan to create our own bins by clustering the performance
+// data using unstructured learning algorithms."
+//
+// Scores from a crowd of same-model devices are one-dimensional, so the
+// package provides an exact 1-D k-means (dynamic programming over sorted
+// values — globally optimal, no seeding luck) plus a small model-selection
+// helper that picks k by silhouette quality.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Assignment is the result of clustering: per-input cluster indices and the
+// cluster centroids in ascending order. Cluster 0 holds the smallest values
+// (for performance scores: the worst silicon).
+type Assignment struct {
+	// Labels[i] is the cluster index of input i.
+	Labels []int
+	// Centroids are the cluster means, ascending.
+	Centroids []float64
+	// Cost is the total within-cluster sum of squared deviations.
+	Cost float64
+}
+
+// KMeans1D exactly solves 1-D k-means for the given values. It runs in
+// O(k·n²) with the classic DP over sorted prefixes, which is plenty for
+// crowdsourced fleets of thousands of devices.
+func KMeans1D(values []float64, k int) (Assignment, error) {
+	n := len(values)
+	if k <= 0 {
+		return Assignment{}, fmt.Errorf("cluster: k = %d", k)
+	}
+	if n == 0 {
+		return Assignment{}, fmt.Errorf("cluster: no values")
+	}
+	if k > n {
+		return Assignment{}, fmt.Errorf("cluster: k = %d exceeds %d values", k, n)
+	}
+
+	// Sort, remembering original positions.
+	type iv struct {
+		v   float64
+		idx int
+	}
+	sorted := make([]iv, n)
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Assignment{}, fmt.Errorf("cluster: non-finite value at %d", i)
+		}
+		sorted[i] = iv{v: v, idx: i}
+	}
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].v < sorted[b].v })
+
+	// Prefix sums for O(1) segment cost.
+	pre := make([]float64, n+1)
+	pre2 := make([]float64, n+1)
+	for i, s := range sorted {
+		pre[i+1] = pre[i] + s.v
+		pre2[i+1] = pre2[i] + s.v*s.v
+	}
+	segCost := func(i, j int) float64 { // cost of sorted[i..j] inclusive
+		cnt := float64(j - i + 1)
+		sum := pre[j+1] - pre[i]
+		sum2 := pre2[j+1] - pre2[i]
+		c := sum2 - sum*sum/cnt
+		if c < 0 { // float guard
+			c = 0
+		}
+		return c
+	}
+
+	const inf = math.MaxFloat64
+	// dp[c][j] = min cost of clustering sorted[0..j] into c+1 clusters.
+	dp := make([][]float64, k)
+	cut := make([][]int, k)
+	for c := range dp {
+		dp[c] = make([]float64, n)
+		cut[c] = make([]int, n)
+	}
+	for j := 0; j < n; j++ {
+		dp[0][j] = segCost(0, j)
+	}
+	for c := 1; c < k; c++ {
+		for j := 0; j < n; j++ {
+			dp[c][j] = inf
+			for i := c; i <= j; i++ {
+				cost := dp[c-1][i-1] + segCost(i, j)
+				if cost < dp[c][j] {
+					dp[c][j] = cost
+					cut[c][j] = i
+				}
+			}
+		}
+	}
+
+	// Recover boundaries.
+	bounds := make([]int, k+1)
+	bounds[k] = n
+	j := n - 1
+	for c := k - 1; c >= 1; c-- {
+		i := cut[c][j]
+		bounds[c] = i
+		j = i - 1
+	}
+	bounds[0] = 0
+
+	out := Assignment{
+		Labels:    make([]int, n),
+		Centroids: make([]float64, k),
+		Cost:      dp[k-1][n-1],
+	}
+	for c := 0; c < k; c++ {
+		lo, hi := bounds[c], bounds[c+1]
+		cnt := float64(hi - lo)
+		out.Centroids[c] = (pre[hi] - pre[lo]) / cnt
+		for s := lo; s < hi; s++ {
+			out.Labels[sorted[s].idx] = c
+		}
+	}
+	return out, nil
+}
+
+// ChooseK picks a cluster count in [1, maxK] by maximizing the silhouette
+// coefficient over k ≥ 2; if even the best split separates poorly
+// (silhouette below 0.75 — 1-D structureless noise plateaus around 0.65–0.7
+// regardless of k), the data is treated as a single bin. Cost-drop elbows misfire on small crowdsourced
+// samples, where a lumpy uniform cloud drops cost as fast as real modes;
+// the silhouette criterion looks at separation, not dispersion.
+func ChooseK(values []float64, maxK int) (int, error) {
+	if maxK <= 0 {
+		return 0, fmt.Errorf("cluster: maxK = %d", maxK)
+	}
+	if maxK > len(values) {
+		maxK = len(values)
+	}
+	bestK, bestSil := 1, 0.0
+	for k := 2; k <= maxK; k++ {
+		a, err := KMeans1D(values, k)
+		if err != nil {
+			return 0, err
+		}
+		if s := Silhouette(values, a); s > bestSil {
+			bestSil = s
+			bestK = k
+		}
+	}
+	if bestSil < 0.75 {
+		return 1, nil
+	}
+	return bestK, nil
+}
+
+// Silhouette returns the mean silhouette coefficient of an assignment over
+// the values — a [-1, 1] quality score (higher is better separated). It
+// returns 0 for a single cluster, where the coefficient is undefined.
+func Silhouette(values []float64, a Assignment) float64 {
+	k := len(a.Centroids)
+	if k < 2 {
+		return 0
+	}
+	// Group values per cluster.
+	groups := make([][]float64, k)
+	for i, v := range values {
+		c := a.Labels[i]
+		groups[c] = append(groups[c], v)
+	}
+	var total float64
+	var n int
+	for i, v := range values {
+		c := a.Labels[i]
+		if len(groups[c]) < 2 {
+			continue // silhouette undefined for singleton clusters
+		}
+		ai := meanDist(v, groups[c], true)
+		bi := math.MaxFloat64
+		for oc := 0; oc < k; oc++ {
+			if oc == c || len(groups[oc]) == 0 {
+				continue
+			}
+			if d := meanDist(v, groups[oc], false); d < bi {
+				bi = d
+			}
+		}
+		den := math.Max(ai, bi)
+		if den > 0 {
+			total += (bi - ai) / den
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+func meanDist(v float64, group []float64, excludeSelf bool) float64 {
+	var sum float64
+	cnt := 0
+	skipped := false
+	for _, g := range group {
+		if excludeSelf && !skipped && g == v {
+			skipped = true
+			continue
+		}
+		sum += math.Abs(v - g)
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}

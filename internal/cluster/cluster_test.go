@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"accubench/internal/sim"
+)
+
+func TestKMeansObviousClusters(t *testing.T) {
+	vals := []float64{1.0, 1.1, 0.9, 10.0, 10.2, 9.8}
+	a, err := KMeans1D(vals, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Centroids) != 2 {
+		t.Fatalf("centroids = %v", a.Centroids)
+	}
+	if math.Abs(a.Centroids[0]-1.0) > 0.1 || math.Abs(a.Centroids[1]-10.0) > 0.1 {
+		t.Errorf("centroids = %v, want ≈[1, 10]", a.Centroids)
+	}
+	// First three inputs in cluster 0, last three in cluster 1.
+	for i := 0; i < 3; i++ {
+		if a.Labels[i] != 0 {
+			t.Errorf("Labels[%d] = %d", i, a.Labels[i])
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if a.Labels[i] != 1 {
+			t.Errorf("Labels[%d] = %d", i, a.Labels[i])
+		}
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	vals := []float64{2, 4, 6}
+	a, err := KMeans1D(vals, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Centroids[0]-4) > 1e-12 {
+		t.Errorf("centroid = %v, want 4", a.Centroids[0])
+	}
+	if math.Abs(a.Cost-8) > 1e-9 { // (2-4)²+(0)²+(6-4)² = 8
+		t.Errorf("cost = %v, want 8", a.Cost)
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	vals := []float64{5, 1, 3}
+	a, err := KMeans1D(vals, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != 0 {
+		t.Errorf("cost = %v, want 0 with k=n", a.Cost)
+	}
+	// Centroids ascend; labels map each value to its own cluster.
+	if a.Centroids[0] != 1 || a.Centroids[1] != 3 || a.Centroids[2] != 5 {
+		t.Errorf("centroids = %v", a.Centroids)
+	}
+	if a.Labels[0] != 2 || a.Labels[1] != 0 || a.Labels[2] != 1 {
+		t.Errorf("labels = %v", a.Labels)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans1D(nil, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := KMeans1D([]float64{1}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans1D([]float64{1}, 2); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := KMeans1D([]float64{math.NaN()}, 1); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := KMeans1D([]float64{math.Inf(1)}, 1); err == nil {
+		t.Error("Inf accepted")
+	}
+}
+
+func TestKMeansOptimalityAgainstBruteForce(t *testing.T) {
+	// For small inputs, compare DP cost against brute-force partitioning.
+	src := sim.NewSource(5, "kmeans")
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + src.Intn(3)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = src.Uniform(0, 100)
+		}
+		for k := 1; k <= 3; k++ {
+			a, err := KMeans1D(vals, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteForceCost(vals, k)
+			if math.Abs(a.Cost-want) > 1e-6 {
+				t.Errorf("trial %d k=%d: DP cost %v, brute force %v (vals %v)", trial, k, a.Cost, want, vals)
+			}
+		}
+	}
+}
+
+// bruteForceCost enumerates all contiguous partitions of the sorted values.
+func bruteForceCost(vals []float64, k int) float64 {
+	s := append([]float64(nil), vals...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	best := math.MaxFloat64
+	var rec func(start, left int, acc float64)
+	cost := func(seg []float64) float64 {
+		var m float64
+		for _, v := range seg {
+			m += v
+		}
+		m /= float64(len(seg))
+		var c float64
+		for _, v := range seg {
+			c += (v - m) * (v - m)
+		}
+		return c
+	}
+	rec = func(start, left int, acc float64) {
+		if left == 1 {
+			total := acc + cost(s[start:])
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for end := start + 1; end <= len(s)-left+1; end++ {
+			rec(end, left-1, acc+cost(s[start:end]))
+		}
+	}
+	rec(0, k, 0)
+	return best
+}
+
+func TestKMeansCostDecreasesInK(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, math.Mod(v, 1000))
+			}
+		}
+		if len(vals) < 4 {
+			return true
+		}
+		prev := math.MaxFloat64
+		for k := 1; k <= 4 && k <= len(vals); k++ {
+			a, err := KMeans1D(vals, k)
+			if err != nil {
+				return false
+			}
+			if a.Cost > prev+1e-6 {
+				return false
+			}
+			prev = a.Cost
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChooseKFindsBinCount(t *testing.T) {
+	// Three well-separated bins of crowdsourced scores.
+	var vals []float64
+	src := sim.NewSource(7, "choosek")
+	for _, center := range []float64{500, 560, 620} {
+		for i := 0; i < 30; i++ {
+			vals = append(vals, src.Normal(center, 5))
+		}
+	}
+	k, err := ChooseK(vals, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 3 {
+		t.Errorf("ChooseK = %d, want 3", k)
+	}
+}
+
+func TestChooseKNoStructure(t *testing.T) {
+	src := sim.NewSource(9, "flat")
+	vals := make([]float64, 60)
+	for i := range vals {
+		vals[i] = src.Uniform(0, 1)
+	}
+	k, err := ChooseK(vals, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k > 2 {
+		t.Errorf("ChooseK on uniform noise = %d, want ≤2", k)
+	}
+}
+
+func TestChooseKIdenticalValues(t *testing.T) {
+	k, err := ChooseK([]float64{7, 7, 7, 7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Errorf("ChooseK on constants = %d, want 1", k)
+	}
+}
+
+func TestChooseKErrors(t *testing.T) {
+	if _, err := ChooseK([]float64{1, 2}, 0); err == nil {
+		t.Error("maxK=0 accepted")
+	}
+}
+
+func TestSilhouette(t *testing.T) {
+	vals := []float64{1.0, 1.1, 0.9, 10.0, 10.2, 9.8}
+	a, err := KMeans1D(vals, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Silhouette(vals, a)
+	if s < 0.8 {
+		t.Errorf("silhouette = %v for well-separated clusters, want >0.8", s)
+	}
+	// One cluster: undefined → 0.
+	a1, _ := KMeans1D(vals, 1)
+	if got := Silhouette(vals, a1); got != 0 {
+		t.Errorf("silhouette k=1 = %v", got)
+	}
+	// Badly split data scores worse than well-split data.
+	flat := []float64{1, 2, 3, 4, 5, 6}
+	af, _ := KMeans1D(flat, 2)
+	if sf := Silhouette(flat, af); sf >= s {
+		t.Errorf("flat-data silhouette %v not below separated-data %v", sf, s)
+	}
+}

@@ -1,0 +1,171 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"accubench/internal/accubench"
+	"accubench/internal/units"
+)
+
+// synthDecay builds a synthetic cooldown trace decaying from start toward
+// amb with the given per-poll retention factor q.
+func synthDecay(start, amb float64, q float64, polls int) []accubench.CooldownSample {
+	out := make([]accubench.CooldownSample, polls)
+	delta := start - amb
+	for i := range out {
+		out[i] = accubench.CooldownSample{
+			At:      time.Duration(i+1) * 5 * time.Second,
+			Reading: units.Celsius(amb + delta*math.Pow(q, float64(i+1))),
+		}
+	}
+	return out
+}
+
+func TestEstimateAmbientExactGeometricDecay(t *testing.T) {
+	for _, amb := range []float64{12, 26, 38} {
+		readings := synthDecay(80, amb, 0.93, 30)
+		got, err := EstimateAmbient(readings)
+		if err != nil {
+			t.Fatalf("amb %v: %v", amb, err)
+		}
+		if math.Abs(got.Delta(units.Celsius(amb))) > 0.01 {
+			t.Errorf("EstimateAmbient = %v, want %v (exact for geometric decay)", got, amb)
+		}
+	}
+}
+
+func TestEstimateAmbientErrors(t *testing.T) {
+	if _, err := EstimateAmbient(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := EstimateAmbient(synthDecay(80, 26, 0.9, 5)); err == nil {
+		t.Error("short trace accepted")
+	}
+	// Perfectly flat trace: no decay to extrapolate.
+	flat := make([]accubench.CooldownSample, 12)
+	for i := range flat {
+		flat[i] = accubench.CooldownSample{At: time.Duration(i) * 5 * time.Second, Reading: 26}
+	}
+	if _, err := EstimateAmbient(flat); err == nil {
+		t.Error("flat trace accepted")
+	}
+}
+
+func TestStudyConfigValidate(t *testing.T) {
+	good := DefaultStudyConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	muts := []func(*StudyConfig){
+		func(c *StudyConfig) { c.Population = 0 },
+		func(c *StudyConfig) { c.AmbientHi = c.AmbientLo },
+		func(c *StudyConfig) { c.AcceptHi = c.AcceptLo },
+		func(c *StudyConfig) { c.Sigma = -1 },
+		func(c *StudyConfig) { c.ModelName = "iPhone" },
+	}
+	for i, mut := range muts {
+		c := DefaultStudyConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	// Perfectly concordant.
+	if got := kendallTau([]float64{1, 2, 3}, []float64{10, 20, 30}); got != 1 {
+		t.Errorf("concordant τ = %v", got)
+	}
+	// Perfectly discordant.
+	if got := kendallTau([]float64{1, 2, 3}, []float64{30, 20, 10}); got != -1 {
+		t.Errorf("discordant τ = %v", got)
+	}
+	// Ties contribute nothing.
+	if got := kendallTau([]float64{1, 1}, []float64{2, 3}); got != 0 {
+		t.Errorf("tied τ = %v", got)
+	}
+	if got := kendallTau([]float64{1}, []float64{1}); got != 0 {
+		t.Errorf("singleton τ = %v", got)
+	}
+}
+
+func TestStudyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population study")
+	}
+	cfg := DefaultStudyConfig()
+	cfg.Population = 36
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Submissions) != 36 {
+		t.Fatalf("submissions = %d", len(res.Submissions))
+	}
+
+	// The ambient estimator must work: the paper calls its preliminary
+	// results "encouraging". Demand a small mean absolute error.
+	if res.EstimationMAE <= 0 || res.EstimationMAE > 3 {
+		t.Errorf("ambient estimation MAE = %.2f°C, want (0, 3]", res.EstimationMAE)
+	}
+
+	// The filters must reject the extreme-climate submissions: with true
+	// ambients uniform on [12,38] and a [20,30] window, a meaningful share
+	// must fall on each side.
+	if res.Accepted == 0 || res.Accepted == len(res.Submissions) {
+		t.Errorf("accepted %d of %d — filters did nothing", res.Accepted, len(res.Submissions))
+	}
+
+	// Silicon quality must predict the accepted ranking: leakier chips
+	// score lower → clearly negative Kendall τ. (Voltage binning partially
+	// equalizes the population and per-device noise is real, so the
+	// correlation is moderate, not perfect — the paper's own §VI lists
+	// exactly these obstacles.)
+	if res.RankCorrelation > -0.2 {
+		t.Errorf("rank correlation τ = %.2f, want clearly negative", res.RankCorrelation)
+	}
+
+	// Filtered rejections really were out-of-window climates.
+	for _, s := range res.Submissions {
+		if !s.Accepted && s.EstimatedAmbient != 0 {
+			if s.EstimatedAmbient >= cfg.AcceptLo && s.EstimatedAmbient <= cfg.AcceptHi {
+				t.Errorf("%s rejected but estimate %v is inside the window", s.Device, s.EstimatedAmbient)
+			}
+		}
+	}
+
+	// Ranking is sorted best-first and only contains accepted entries.
+	rk := res.Ranking()
+	if len(rk) != res.Accepted {
+		t.Fatalf("ranking %d entries, accepted %d", len(rk), res.Accepted)
+	}
+	for i := 1; i < len(rk); i++ {
+		if rk[i].NormalizedScore > rk[i-1].NormalizedScore {
+			t.Error("ranking not sorted")
+		}
+	}
+}
+
+func TestStudyDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two studies")
+	}
+	cfg := DefaultStudyConfig()
+	cfg.Population = 6
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Submissions {
+		if a.Submissions[i].Score != b.Submissions[i].Score {
+			t.Fatalf("submission %d differs across identical runs", i)
+		}
+	}
+}

@@ -1,0 +1,446 @@
+// Package device assembles a complete simulated handset: a specific chip
+// (process corner) of a specific model (SoC + thermal body + policies),
+// powered by a battery or a Monsoon channel, advancing on simulated time.
+//
+// Device.Step is the simulation's inner loop. Each step the device:
+//
+//  1. reads its die temperature sensor (with noise, like a real tsens),
+//  2. lets the thermal engine adjust its frequency cap / core hotplug,
+//  3. resolves effective per-cluster frequencies and rail voltages,
+//  4. evaluates CPU power and injects it into the RC thermal body,
+//  5. advances the π-workload counters on every online core,
+//  6. drains the power source and records the trace.
+//
+// Nothing here knows which experiment is running; ACCUBENCH drives devices
+// purely through this public surface, the way the paper's app drives real
+// phones through Android intents.
+package device
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"accubench/internal/battery"
+	"accubench/internal/governor"
+	"accubench/internal/power"
+	"accubench/internal/silicon"
+	"accubench/internal/sim"
+	"accubench/internal/soc"
+	"accubench/internal/thermal"
+	"accubench/internal/trace"
+	"accubench/internal/units"
+	"accubench/internal/workload"
+)
+
+// Device is one physical handset under test.
+type Device struct {
+	name   string
+	model  *soc.DeviceModel
+	corner silicon.ProcessCorner
+
+	network *thermal.Network
+	dieIdx  int
+	caseIdx int
+
+	engine *governor.Engine
+	gov    governor.Governor
+
+	pm power.Model
+
+	bigCounters    *workload.Group
+	littleCounters *workload.Group
+
+	source battery.Source
+
+	sensorNoise *sim.Source
+	utilNoise   *sim.Source
+
+	elapsed    time.Duration
+	busy       bool
+	wakelock   bool
+	lastPower  units.Watts
+	lastBigF   units.MegaHertz
+	maxFreqCap units.MegaHertz
+
+	// utilLevel is the slowly varying background-activity level: residual
+	// OS work persists for seconds at a time, so the level is resampled on
+	// a coarse cadence rather than per step. This is what gives back-to-
+	// back iterations their small score differences.
+	utilLevel    float64
+	utilLevelEnd time.Duration
+
+	profile workload.Profile
+
+	rec *trace.Recorder
+}
+
+// Config bundles what varies between devices of the same model.
+type Config struct {
+	// Name identifies the unit, e.g. "device-363" (the paper's naming).
+	Name string
+	// Model is the handset product.
+	Model *soc.DeviceModel
+	// Corner is this unit's silicon lottery outcome.
+	Corner silicon.ProcessCorner
+	// Ambient is the initial environment temperature; the device starts in
+	// thermal equilibrium with it.
+	Ambient units.Celsius
+	// Seed drives the device's private noise streams.
+	Seed int64
+	// Source powers the device; nil defaults to the model's stock battery.
+	Source battery.Source
+	// MaxFreqCap, when non-zero, bounds the big cluster below the model's
+	// ladder top — a per-unit SKU cap, as speed-binned products ship
+	// (silicon.SpeedBinner assigns these).
+	MaxFreqCap units.MegaHertz
+}
+
+// New builds a device. It validates the model and corner.
+func New(cfg Config) (*Device, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("device: unnamed device")
+	}
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("device: %s has no model", cfg.Name)
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("device: %s: %w", cfg.Name, err)
+	}
+	if err := cfg.Corner.Validate(); err != nil {
+		return nil, fmt.Errorf("device: %s: %w", cfg.Name, err)
+	}
+	if int(cfg.Corner.Bin) >= cfg.Model.SoC.Bins {
+		return nil, fmt.Errorf("device: %s: bin %d outside %s's %d bins",
+			cfg.Name, cfg.Corner.Bin, cfg.Model.SoC.Name, cfg.Model.SoC.Bins)
+	}
+	nw, die, cs, err := cfg.Model.Body.Build(cfg.Ambient)
+	if err != nil {
+		return nil, fmt.Errorf("device: %s: %w", cfg.Name, err)
+	}
+	src := cfg.Source
+	if src == nil {
+		b := cfg.Model.Battery
+		src = battery.NewBattery(b.Capacity, b.Nominal, b.InternalOhms)
+	}
+	d := &Device{
+		name:    cfg.Name,
+		model:   cfg.Model,
+		corner:  cfg.Corner,
+		network: nw,
+		dieIdx:  die,
+		caseIdx: cs,
+		engine:  governor.NewEngine(cfg.Model.Thermal, cfg.Model.SoC.Big, 0),
+		gov:     governor.Performance{},
+		pm: power.Model{
+			CeffBig: cfg.Model.SoC.Big.Ceff,
+			Leakage: cfg.Model.SoC.Leakage,
+			Uncore:  cfg.Model.SoC.Uncore,
+		},
+		bigCounters: workload.NewGroup(cfg.Model.SoC.Big.Cores, cfg.Model.SoC.Big.CyclesPerIteration),
+		source:      src,
+		sensorNoise: sim.NewSource(cfg.Seed, "sensor:"+cfg.Name),
+		utilNoise:   sim.NewSource(cfg.Seed, "util:"+cfg.Name),
+		rec:         trace.NewRecorder(),
+		lastBigF:    cfg.Model.SoC.Big.OPPs[0],
+		maxFreqCap:  cfg.MaxFreqCap,
+		profile:     workload.PiCPUBound(),
+	}
+	if l := cfg.Model.SoC.Little; l != nil {
+		d.pm.CeffLittle = l.Ceff
+		d.littleCounters = workload.NewGroup(l.Cores, l.CyclesPerIteration)
+	}
+	return d, nil
+}
+
+// Name returns the unit name, e.g. "device-363".
+func (d *Device) Name() string { return d.name }
+
+// Model returns the handset product description.
+func (d *Device) Model() *soc.DeviceModel { return d.model }
+
+// Corner returns the unit's process corner.
+func (d *Device) Corner() silicon.ProcessCorner { return d.corner }
+
+// Describe renders e.g. "device-363 (Nexus 6P, bin-0 leak×1.32)".
+func (d *Device) Describe() string {
+	return fmt.Sprintf("%s (%s, %s)", d.name, d.model.Name, d.corner)
+}
+
+// SetGovernor selects the DVFS governor — Performance for UNCONSTRAINED,
+// Userspace for FIXED-FREQUENCY.
+func (d *Device) SetGovernor(g governor.Governor) { d.gov = g }
+
+// Governor returns the active governor.
+func (d *Device) Governor() governor.Governor { return d.gov }
+
+// PowerBy swaps the power source (the paper replaces the battery with the
+// Monsoon's main channel).
+func (d *Device) PowerBy(src battery.Source) { d.source = src }
+
+// Source returns the active power source.
+func (d *Device) Source() battery.Source { return d.source }
+
+// AcquireWakelock keeps the device from sleeping (the app holds one through
+// warmup and workload).
+func (d *Device) AcquireWakelock() { d.wakelock = true }
+
+// ReleaseWakelock lets the device sleep; during ACCUBENCH's cooldown the
+// device "enters into a sleep state and wakes up momentarily every 5
+// seconds to poll the temperature sensor".
+func (d *Device) ReleaseWakelock() { d.wakelock = false }
+
+// HoldsWakelock reports the wakelock state.
+func (d *Device) HoldsWakelock() bool { return d.wakelock }
+
+// StartWorkload puts the π loop on all online cores.
+func (d *Device) StartWorkload() { d.busy = true }
+
+// SetWorkloadProfile selects the workload's microarchitectural shape
+// (default: the paper's CPU-bound π loop). Invalid profiles are rejected.
+func (d *Device) SetWorkloadProfile(p workload.Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	d.profile = p
+	return nil
+}
+
+// WorkloadProfile returns the active profile.
+func (d *Device) WorkloadProfile() workload.Profile { return d.profile }
+
+// StopWorkload idles the CPU.
+func (d *Device) StopWorkload() { d.busy = false }
+
+// Busy reports whether the workload is running.
+func (d *Device) Busy() bool { return d.busy }
+
+// Counters returns the big-cluster workload counters.
+func (d *Device) Counters() *workload.Group { return d.bigCounters }
+
+// LittleCounters returns the LITTLE-cluster counters, or nil on homogeneous
+// quads.
+func (d *Device) LittleCounters() *workload.Group { return d.littleCounters }
+
+// CompletedIterations sums the workload score across every core, the
+// paper's performance metric.
+func (d *Device) CompletedIterations() int {
+	n := d.bigCounters.Completed()
+	if d.littleCounters != nil {
+		n += d.littleCounters.Completed()
+	}
+	return n
+}
+
+// ResetCounters zeroes the workload score at a phase boundary.
+func (d *Device) ResetCounters() {
+	d.bigCounters.Reset()
+	if d.littleCounters != nil {
+		d.littleCounters.Reset()
+	}
+}
+
+// DieTemperature returns the true die temperature (the physical quantity;
+// experiments should normally use ReadTempSensor, which is what the app
+// can see).
+func (d *Device) DieTemperature() units.Celsius {
+	t, err := d.network.Temperature(d.dieIdx)
+	if err != nil {
+		panic(err) // index built in New; cannot be invalid
+	}
+	return t
+}
+
+// CaseTemperature returns the body/skin temperature.
+func (d *Device) CaseTemperature() units.Celsius {
+	t, err := d.network.Temperature(d.caseIdx)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ReadTempSensor models the on-die tsens: the true temperature plus
+// Gaussian noise, quantized to 0.1 °C steps like the sysfs thermal zone.
+func (d *Device) ReadTempSensor() units.Celsius {
+	raw := float64(d.DieTemperature()) + d.sensorNoise.Normal(0, d.model.SensorNoise)
+	return units.Celsius(math.Round(raw*10) / 10)
+}
+
+// SetAmbient updates the environment temperature around the device (driven
+// by the THERMABOX each step).
+func (d *Device) SetAmbient(t units.Celsius) { d.network.SetAmbient(t) }
+
+// Ambient returns the current environment temperature.
+func (d *Device) Ambient() units.Celsius { return d.network.Ambient() }
+
+// Power returns the most recent total power draw (what the Monsoon samples).
+func (d *Device) Power() units.Watts { return d.lastPower }
+
+// BigFrequency returns the big cluster's current effective frequency.
+func (d *Device) BigFrequency() units.MegaHertz { return d.lastBigF }
+
+// OnlineBigCores returns how many big cores are currently online.
+func (d *Device) OnlineBigCores() int {
+	return d.model.SoC.Big.Cores - d.engine.OfflineBigCores()
+}
+
+// ThrottleEvents returns the thermal engine's cumulative step-down count.
+func (d *Device) ThrottleEvents() int { return d.engine.ThrottleEvents() }
+
+// Elapsed returns the device's simulated uptime.
+func (d *Device) Elapsed() time.Duration { return d.elapsed }
+
+// Trace returns the device's recorder. Series: "die" (°C), "case" (°C),
+// "freq.big" (MHz), "freq.little" (MHz, big.LITTLE only), "power" (W),
+// "cores.online".
+func (d *Device) Trace() *trace.Recorder { return d.rec }
+
+// idleFloor is the non-CPU platform draw: a locked, radios-off phone (the
+// paper disables Bluetooth, radio, location and keeps the display off).
+func (d *Device) idleFloor() units.Watts {
+	if d.wakelock || d.busy {
+		return 0.25 // awake, screen off
+	}
+	return 0.03 // suspended
+}
+
+// Step advances the device by dt. Call it with the control-loop step (100 ms
+// in the harness); the thermal network subdivides internally as needed.
+func (d *Device) Step(dt time.Duration) error {
+	if dt <= 0 {
+		return fmt.Errorf("device: non-positive step %v", dt)
+	}
+	d.elapsed += dt
+	s := d.model.SoC
+
+	// 1. Thermal engine sees the *sensor* temperature, not the truth —
+	// sensor noise is one of the reasons back-to-back iterations differ.
+	d.engine.Poll(d.elapsed, d.ReadTempSensor())
+
+	// 2. Resolve caps and effective frequencies.
+	die := d.DieTemperature()
+	supplyV := d.source.Voltage(d.lastPower)
+	vCap := governor.VoltageCap(d.model.VoltageThrottle, supplyV, s.Big)
+	if d.maxFreqCap > 0 && d.maxFreqCap < vCap {
+		vCap = d.maxFreqCap
+	}
+	bigF := governor.Effective(d.gov, s.Big, d.engine.Cap(), vCap)
+	if !d.busy {
+		bigF = s.Big.OPPs[0] // idle at the floor OPP
+	}
+	var littleF units.MegaHertz
+	if s.Little != nil {
+		littleF = governor.Effective(d.gov, *s.Little, d.engine.Cap(), vCap)
+		if !d.busy {
+			littleF = s.Little.OPPs[0]
+		}
+	}
+
+	// 3. Rail voltages for the current operating point.
+	bigV, err := s.Voltages.Voltage(d.corner, bigF, die)
+	if err != nil {
+		return fmt.Errorf("device: %s: %w", d.name, err)
+	}
+	var littleV units.Volts
+	if s.Little != nil {
+		littleV, err = s.Voltages.Voltage(d.corner, littleF, die)
+		if err != nil {
+			return fmt.Errorf("device: %s: %w", d.name, err)
+		}
+	}
+
+	// 4. Core states. The π workload saturates every online core; idle
+	// cores tick along at ~2% utilization. Small utilization jitter stands
+	// in for the residual OS activity the paper could not fully remove.
+	if d.elapsed >= d.utilLevelEnd {
+		d.utilLevel = 1 - math.Abs(d.utilNoise.Normal(0, 0.012))
+		d.utilLevelEnd = d.elapsed + 15*time.Second
+	}
+	util := 0.02
+	if d.busy {
+		util = d.utilLevel * d.profile.PowerFactor
+	}
+	offline := d.engine.OfflineBigCores()
+	bigStates := make([]power.CoreState, s.Big.Cores)
+	for i := range bigStates {
+		online := i >= offline
+		// cpuidle: an idle device power-collapses all but one core, which
+		// is what lets a leaky chip actually cool during ACCUBENCH's
+		// cooldown — collapsed cores leak nothing.
+		if !d.busy && i != s.Big.Cores-1 {
+			online = false
+		}
+		bigStates[i] = power.CoreState{
+			Online:      online,
+			Freq:        bigF,
+			Voltage:     bigV,
+			Utilization: util,
+		}
+	}
+	var littleStates []power.CoreState
+	if s.Little != nil {
+		littleStates = make([]power.CoreState, s.Little.Cores)
+		for i := range littleStates {
+			littleStates[i] = power.CoreState{Online: d.busy, Freq: littleF, Voltage: littleV, Utilization: util}
+		}
+	}
+
+	// 5. Power and heat.
+	bd := d.pm.Evaluate(bigStates, littleStates, d.corner, die)
+	total := bd.Total() + d.idleFloor()
+	if err := d.network.Inject(d.dieIdx, total); err != nil {
+		return err
+	}
+	d.network.Step(dt)
+
+	// 6. Workload progress on online cores. Progress scales with effective
+	// utilization: the residual OS activity that steals cycles also steals
+	// iterations, which is where the paper's per-device iteration noise
+	// comes from.
+	if d.busy {
+		// The OS-noise level (not the profile's stall share) steals
+		// iterations; stalls are already priced into CycleFactor.
+		effBig := units.MegaHertz(float64(bigF) * d.utilLevel / d.profile.CycleFactor)
+		for i := offline; i < s.Big.Cores; i++ {
+			d.bigCounters.Counter(i).Advance(effBig, dt)
+		}
+		if s.Little != nil {
+			effLittle := units.MegaHertz(float64(littleF) * d.utilLevel / d.profile.CycleFactor)
+			for i := 0; i < s.Little.Cores; i++ {
+				d.littleCounters.Counter(i).Advance(effLittle, dt)
+			}
+		}
+	}
+
+	// 7. Source accounting and traces.
+	d.source.Drain(total.Over(dt))
+	d.lastPower = total
+	d.lastBigF = bigF
+	d.rec.Series("die", "C").Append(d.elapsed, float64(die))
+	d.rec.Series("case", "C").Append(d.elapsed, float64(d.CaseTemperature()))
+	d.rec.Series("freq.big", "MHz").Append(d.elapsed, float64(bigF))
+	if s.Little != nil {
+		d.rec.Series("freq.little", "MHz").Append(d.elapsed, float64(littleF))
+	}
+	d.rec.Series("power", "W").Append(d.elapsed, float64(total))
+	d.rec.Series("cores.online", "n").Append(d.elapsed, float64(d.OnlineBigCores()))
+	return nil
+}
+
+// Run advances the device for a total duration in fixed steps.
+func (d *Device) Run(total, step time.Duration) error {
+	if step <= 0 {
+		return fmt.Errorf("device: non-positive step %v", step)
+	}
+	for remaining := total; remaining > 0; remaining -= step {
+		h := step
+		if remaining < h {
+			h = remaining
+		}
+		if err := d.Step(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}

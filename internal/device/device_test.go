@@ -1,0 +1,527 @@
+package device
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"accubench/internal/battery"
+	"accubench/internal/governor"
+	"accubench/internal/silicon"
+	"accubench/internal/soc"
+	"accubench/internal/units"
+	"accubench/internal/workload"
+)
+
+func nexus5(t *testing.T, corner silicon.ProcessCorner) *Device {
+	t.Helper()
+	d, err := New(Config{
+		Name:    "test-n5",
+		Model:   soc.Nexus5(),
+		Corner:  corner,
+		Ambient: 26,
+		Seed:    42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func typicalCorner() silicon.ProcessCorner {
+	return silicon.ProcessCorner{Bin: 3, Leakage: 1.0}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"unnamed", Config{Model: soc.Nexus5(), Corner: typicalCorner()}},
+		{"no model", Config{Name: "x", Corner: typicalCorner()}},
+		{"bad corner", Config{Name: "x", Model: soc.Nexus5(), Corner: silicon.ProcessCorner{Leakage: -1}}},
+		{"bin out of range", Config{Name: "x", Model: soc.Nexus5(), Corner: silicon.ProcessCorner{Bin: 9, Leakage: 1}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestStartsInEquilibrium(t *testing.T) {
+	d := nexus5(t, typicalCorner())
+	if d.DieTemperature() != 26 || d.CaseTemperature() != 26 {
+		t.Errorf("initial temps = %v/%v, want 26", d.DieTemperature(), d.CaseTemperature())
+	}
+	if d.Busy() || d.HoldsWakelock() {
+		t.Error("fresh device busy or holding wakelock")
+	}
+	if d.CompletedIterations() != 0 {
+		t.Error("fresh device has iterations")
+	}
+}
+
+func TestIdleDeviceStaysCool(t *testing.T) {
+	d := nexus5(t, typicalCorner())
+	if err := d.Run(5*time.Minute, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if d.DieTemperature() > 30 {
+		t.Errorf("idle die heated to %v", d.DieTemperature())
+	}
+	if d.CompletedIterations() != 0 {
+		t.Errorf("idle device completed %d iterations", d.CompletedIterations())
+	}
+}
+
+func TestBusyDeviceHeatsAndThrottles(t *testing.T) {
+	d := nexus5(t, typicalCorner())
+	d.AcquireWakelock()
+	d.StartWorkload()
+	if err := d.Run(3*time.Minute, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if d.DieTemperature() < 60 {
+		t.Errorf("die only reached %v under full load", d.DieTemperature())
+	}
+	if d.ThrottleEvents() == 0 {
+		t.Error("UNCONSTRAINED load never throttled (paper: all devices throttle)")
+	}
+	if d.BigFrequency() >= d.Model().SoC.Big.MaxFreq() {
+		t.Errorf("still at max frequency %v after 3 minutes of load", d.BigFrequency())
+	}
+	if d.CompletedIterations() == 0 {
+		t.Error("no workload progress")
+	}
+}
+
+func TestNexus5ShedsCoreWhenVeryHot(t *testing.T) {
+	// A very leaky chip at a hot ambient pushes past 80 °C and the engine
+	// offlines a core — the paper's Fig. 1 mechanism.
+	d, err := New(Config{
+		Name:    "leaky-n5",
+		Model:   soc.Nexus5(),
+		Corner:  silicon.ProcessCorner{Bin: 5, Leakage: 2.4},
+		Ambient: 38,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.StartWorkload()
+	minOnline := 4
+	for i := 0; i < 1800; i++ { // 3 minutes at 100 ms
+		if err := d.Step(100 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if d.OnlineBigCores() < minOnline {
+			minOnline = d.OnlineBigCores()
+		}
+	}
+	if minOnline == 4 {
+		t.Errorf("hot leaky Nexus 5 never shed a core (die peaked at %v)", d.Trace().Names())
+	}
+}
+
+func TestFixedFrequencyDoesNotThrottle(t *testing.T) {
+	d := nexus5(t, typicalCorner())
+	d.SetGovernor(governor.Userspace{Freq: d.Model().FixedFreq})
+	d.StartWorkload()
+	if err := d.Run(5*time.Minute, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if d.ThrottleEvents() != 0 {
+		t.Errorf("FIXED-FREQUENCY throttled %d times (die %v)", d.ThrottleEvents(), d.DieTemperature())
+	}
+	if d.BigFrequency() != d.Model().FixedFreq {
+		t.Errorf("frequency = %v, want pinned %v", d.BigFrequency(), d.Model().FixedFreq)
+	}
+}
+
+func TestFixedWorkIsFrequencyDeterministic(t *testing.T) {
+	// At a pinned frequency with no throttling, iterations completed are a
+	// pure function of frequency and time: two different corners complete
+	// the same work (the paper uses exactly this to isolate energy).
+	mk := func(leak float64, bin silicon.Bin) int {
+		d, err := New(Config{
+			Name:    "n5",
+			Model:   soc.Nexus5(),
+			Corner:  silicon.ProcessCorner{Bin: bin, Leakage: leak},
+			Ambient: 26,
+			Seed:    1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SetGovernor(governor.Userspace{Freq: d.Model().FixedFreq})
+		d.StartWorkload()
+		if err := d.Run(5*time.Minute, 100*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		return d.CompletedIterations()
+	}
+	quiet := mk(0.6, 0)
+	leaky := mk(2.0, 5)
+	if quiet != leaky {
+		t.Errorf("fixed-frequency work differs: %d vs %d iterations", quiet, leaky)
+	}
+}
+
+func TestLeakyChipConsumesMoreEnergyAtFixedFrequency(t *testing.T) {
+	// The FIXED-FREQUENCY experiment's core claim: same work, more energy
+	// on leaky silicon.
+	run := func(leak float64, bin silicon.Bin) units.Joules {
+		supply := battery.NewBenchSupply(3.8)
+		d, err := New(Config{
+			Name:    "n5",
+			Model:   soc.Nexus5(),
+			Corner:  silicon.ProcessCorner{Bin: bin, Leakage: leak},
+			Ambient: 26,
+			Seed:    1,
+			Source:  supply,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SetGovernor(governor.Userspace{Freq: d.Model().FixedFreq})
+		d.StartWorkload()
+		if err := d.Run(5*time.Minute, 100*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		return supply.EnergyDelivered()
+	}
+	quiet := run(0.6, 0)
+	leaky := run(2.2, 5)
+	if leaky <= quiet {
+		t.Errorf("leaky chip energy %v not above quiet chip %v", leaky, quiet)
+	}
+}
+
+func TestLeakyChipPerformsWorseUnconstrained(t *testing.T) {
+	// The UNCONSTRAINED experiment's core claim: leaky silicon throttles
+	// harder and completes less work in the same wall-clock window.
+	run := func(leak float64, bin silicon.Bin) int {
+		d, err := New(Config{
+			Name:    "n5",
+			Model:   soc.Nexus5(),
+			Corner:  silicon.ProcessCorner{Bin: bin, Leakage: leak},
+			Ambient: 26,
+			Seed:    1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.StartWorkload()
+		// Pre-warm 3 minutes then count 5 minutes, ACCUBENCH-style.
+		if err := d.Run(3*time.Minute, 100*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		d.ResetCounters()
+		if err := d.Run(5*time.Minute, 100*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		return d.CompletedIterations()
+	}
+	quiet := run(0.6, 0)
+	leaky := run(2.2, 5)
+	if leaky >= quiet {
+		t.Errorf("leaky chip score %d not below quiet chip %d", leaky, quiet)
+	}
+}
+
+func TestLGG5InputVoltageThrottle(t *testing.T) {
+	// Fig. 10: at the nominal 3.85 V the G5 runs capped; at 4.4 V it flies.
+	run := func(v units.Volts) int {
+		d, err := New(Config{
+			Name:    "g5",
+			Model:   soc.LGG5(),
+			Corner:  silicon.ProcessCorner{Bin: 0, Leakage: 1},
+			Ambient: 26,
+			Seed:    1,
+			Source:  battery.NewBenchSupply(v),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.StartWorkload()
+		if err := d.Run(time.Minute, 100*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		return d.CompletedIterations()
+	}
+	lo := run(3.85)
+	hi := run(4.40)
+	if lo >= hi {
+		t.Errorf("3.85V score %d not below 4.4V score %d", lo, hi)
+	}
+}
+
+func TestBigLittleDeviceRunsBothClusters(t *testing.T) {
+	d, err := New(Config{
+		Name:    "6p",
+		Model:   soc.Nexus6P(),
+		Corner:  silicon.ProcessCorner{Bin: 0, Leakage: 1},
+		Ambient: 26,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LittleCounters() == nil {
+		t.Fatal("Nexus 6P has no LITTLE counters")
+	}
+	d.StartWorkload()
+	if err := d.Run(30*time.Second, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if d.Counters().Completed() == 0 {
+		t.Error("big cluster made no progress")
+	}
+	if d.LittleCounters().Completed() == 0 {
+		t.Error("LITTLE cluster made no progress")
+	}
+	if d.CompletedIterations() != d.Counters().Completed()+d.LittleCounters().Completed() {
+		t.Error("CompletedIterations does not sum clusters")
+	}
+}
+
+func TestQuadHasNoLittleCounters(t *testing.T) {
+	d := nexus5(t, typicalCorner())
+	if d.LittleCounters() != nil {
+		t.Error("Nexus 5 has LITTLE counters")
+	}
+}
+
+func TestSensorNoiseAndQuantization(t *testing.T) {
+	d := nexus5(t, typicalCorner())
+	saw := make(map[units.Celsius]bool)
+	for i := 0; i < 200; i++ {
+		r := d.ReadTempSensor()
+		saw[r] = true
+		// Quantized to 0.1 °C.
+		tenths := float64(r) * 10
+		if tenths != float64(int64(tenths)) {
+			t.Fatalf("sensor reading %v not quantized to 0.1°C", r)
+		}
+		if r < 20 || r > 32 {
+			t.Fatalf("sensor reading %v implausible for a 26°C idle die", r)
+		}
+	}
+	if len(saw) < 2 {
+		t.Error("sensor shows no noise at all")
+	}
+}
+
+func TestTraceRecorded(t *testing.T) {
+	d := nexus5(t, typicalCorner())
+	d.StartWorkload()
+	if err := d.Run(time.Second, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"die", "case", "freq.big", "power", "cores.online"} {
+		s, ok := d.Trace().Lookup(name)
+		if !ok {
+			t.Fatalf("missing trace series %q", name)
+		}
+		if s.Len() != 10 {
+			t.Errorf("series %q has %d samples, want 10", name, s.Len())
+		}
+	}
+}
+
+func TestWakelockAffectsIdlePower(t *testing.T) {
+	d := nexus5(t, typicalCorner())
+	d.Step(100 * time.Millisecond)
+	asleep := d.Power()
+	d.AcquireWakelock()
+	d.Step(100 * time.Millisecond)
+	awake := d.Power()
+	if awake <= asleep {
+		t.Errorf("wakelock idle power %v not above suspended %v", awake, asleep)
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	d := nexus5(t, typicalCorner())
+	if err := d.Step(0); err == nil {
+		t.Error("zero step accepted")
+	}
+	if err := d.Run(time.Second, 0); err == nil {
+		t.Error("zero run step accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int, units.Celsius) {
+		d := nexus5(t, typicalCorner())
+		d.StartWorkload()
+		if err := d.Run(time.Minute, 100*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		return d.CompletedIterations(), d.DieTemperature()
+	}
+	i1, t1 := run()
+	i2, t2 := run()
+	if i1 != i2 || t1 != t2 {
+		t.Errorf("same seed diverged: (%d,%v) vs (%d,%v)", i1, t1, i2, t2)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := nexus5(t, typicalCorner())
+	got := d.Describe()
+	if !strings.Contains(got, "Nexus 5") || !strings.Contains(got, "bin-3") {
+		t.Errorf("Describe = %q", got)
+	}
+}
+
+func TestAmbientRoundTrip(t *testing.T) {
+	d := nexus5(t, typicalCorner())
+	d.SetAmbient(31.5)
+	if d.Ambient() != 31.5 {
+		t.Errorf("Ambient = %v", d.Ambient())
+	}
+}
+
+func TestEnergyAccountingConsistent(t *testing.T) {
+	// The source's delivered energy must equal the step-wise integral of
+	// the power the device reports — no joules invented or lost.
+	supply := battery.NewBenchSupply(3.8)
+	d, err := New(Config{
+		Name:    "n5",
+		Model:   soc.Nexus5(),
+		Corner:  typicalCorner(),
+		Ambient: 26,
+		Seed:    1,
+		Source:  supply,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.StartWorkload()
+	var integral float64
+	const dt = 100 * time.Millisecond
+	for i := 0; i < 600; i++ {
+		if err := d.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+		integral += float64(d.Power()) * dt.Seconds()
+	}
+	delivered := float64(supply.EnergyDelivered())
+	if math.Abs(delivered-integral) > integral*1e-9 {
+		t.Errorf("source delivered %.3f J, power integral %.3f J", delivered, integral)
+	}
+}
+
+func TestDieNeverBelowAmbient(t *testing.T) {
+	// There is no refrigeration inside a phone: through any activity
+	// pattern the die stays at or above the ambient (tiny integrator
+	// tolerance allowed).
+	d := nexus5(t, typicalCorner())
+	pattern := []struct {
+		busy bool
+		dur  time.Duration
+	}{
+		{true, 90 * time.Second},
+		{false, 2 * time.Minute},
+		{true, 30 * time.Second},
+		{false, 5 * time.Minute},
+	}
+	for _, p := range pattern {
+		if p.busy {
+			d.StartWorkload()
+		} else {
+			d.StopWorkload()
+		}
+		for elapsed := time.Duration(0); elapsed < p.dur; elapsed += 100 * time.Millisecond {
+			if err := d.Step(100 * time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+			if d.DieTemperature() < d.Ambient()-0.01 {
+				t.Fatalf("die %v below ambient %v", d.DieTemperature(), d.Ambient())
+			}
+		}
+	}
+}
+
+func TestMaxFreqCapRespected(t *testing.T) {
+	// A speed-binned SKU cap bounds the frequency through warmup, idle and
+	// throttling alike.
+	d, err := New(Config{
+		Name:       "sku",
+		Model:      soc.Nexus5(),
+		Corner:     typicalCorner(),
+		Ambient:    26,
+		Seed:       3,
+		MaxFreqCap: 1574,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.StartWorkload()
+	for i := 0; i < 1200; i++ {
+		if err := d.Step(100 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if d.BigFrequency() > 1574 {
+			t.Fatalf("frequency %v exceeds the 1574 MHz SKU cap", d.BigFrequency())
+		}
+	}
+	// The cap must actually have been the binding constraint at some point:
+	// an uncapped device at this corner runs 2265 when cool.
+	free := nexus5(t, typicalCorner())
+	free.StartWorkload()
+	free.Step(100 * time.Millisecond)
+	if free.BigFrequency() != 2265 {
+		t.Fatalf("uncapped device starts at %v, expected 2265", free.BigFrequency())
+	}
+}
+
+func TestWorkloadProfileAffectsPowerAndThroughput(t *testing.T) {
+	run := func(p workload.Profile) (units.Joules, int) {
+		supply := battery.NewBenchSupply(3.8)
+		d, err := New(Config{
+			Name:    "n5",
+			Model:   soc.Nexus5(),
+			Corner:  typicalCorner(),
+			Ambient: 26,
+			Seed:    1,
+			Source:  supply,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.SetWorkloadProfile(p); err != nil {
+			t.Fatal(err)
+		}
+		d.SetGovernor(governor.Userspace{Freq: 960})
+		d.StartWorkload()
+		if err := d.Run(3*time.Minute, 100*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		return supply.EnergyDelivered(), d.CompletedIterations()
+	}
+	cpuE, cpuIters := run(workload.PiCPUBound())
+	memE, memIters := run(workload.MemoryBound())
+	// At the same pinned frequency, memory-bound work burns less power and
+	// completes fewer iterations — the paper's CPU-bound choice maximizes
+	// both the stress and the work per joule of stress.
+	if memE >= cpuE {
+		t.Errorf("memory-bound energy %v not below CPU-bound %v", memE, cpuE)
+	}
+	if memIters >= cpuIters {
+		t.Errorf("memory-bound iterations %d not below CPU-bound %d", memIters, cpuIters)
+	}
+}
+
+func TestSetWorkloadProfileValidation(t *testing.T) {
+	d := nexus5(t, typicalCorner())
+	if err := d.SetWorkloadProfile(workload.Profile{Name: "bad", PowerFactor: 2, CycleFactor: 1}); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	if d.WorkloadProfile().Name != "pi-cpu-bound" {
+		t.Errorf("default profile = %q", d.WorkloadProfile().Name)
+	}
+}

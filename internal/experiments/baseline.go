@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"accubench/internal/accubench"
+	"accubench/internal/fleet"
+	"accubench/internal/stats"
+	"accubench/internal/units"
+)
+
+// BaselineResult quantifies why the paper had to invent ACCUBENCH: the
+// naive press-start protocol of existing benchmarks is not repeatable and
+// is gameable with a refrigerator.
+type BaselineResult struct {
+	// Naive is the back-to-back naive run on one device at 26 °C.
+	Naive accubench.NaiveResult
+	// NaiveRSD is the RSD across the naive scores.
+	NaiveRSD float64
+	// AccubenchRSD is the RSD across ACCUBENCH iterations on the same
+	// device under the same chamber.
+	AccubenchRSD float64
+	// FridgeScore is the first naive run with the device cold-soaked at
+	// FridgeAmbient (Guo et al.'s trick).
+	FridgeScore float64
+	// HotScore is the first naive run at HotAmbient.
+	HotScore float64
+	// FridgeAmbient and HotAmbient are the two cheat setpoints.
+	FridgeAmbient, HotAmbient units.Celsius
+}
+
+// FridgeGainPct is how much the refrigerator inflates the score over the
+// hot-pocket run.
+func (b BaselineResult) FridgeGainPct() float64 {
+	if b.HotScore == 0 {
+		return 0
+	}
+	return (b.FridgeScore - b.HotScore) / b.HotScore * 100
+}
+
+// Baseline runs the comparison on a mid-fleet Nexus 5.
+func Baseline(o Options) (BaselineResult, error) {
+	u := fleet.Nexus5Units()[1]
+	runs := 5
+	if o.Quick {
+		runs = 3
+	}
+	out := BaselineResult{FridgeAmbient: 5, HotAmbient: 35}
+
+	// Naive back-to-back at the paper's 26 °C.
+	b, err := newBench(u, o, 0)
+	if err != nil {
+		return out, err
+	}
+	cfg := o.benchConfig(accubench.Unconstrained)
+	naive, err := (&accubench.Runner{Device: b.dev, Monitor: b.mon, Box: b.box, Config: cfg}).
+		RunNaive(runs, 30*time.Second)
+	if err != nil {
+		return out, fmt.Errorf("experiments: baseline naive: %w", err)
+	}
+	out.Naive = naive
+	scores := make([]float64, len(naive.Scores))
+	for i, s := range naive.Scores {
+		scores[i] = float64(s)
+	}
+	out.NaiveRSD = stats.RSD(scores)
+
+	// ACCUBENCH on a fresh identical device for the repeatability contrast.
+	b2, err := newBench(u, Options{Quick: o.Quick, Seed: o.seed() + 1, Ambient: o.Ambient}, 0)
+	if err != nil {
+		return out, err
+	}
+	cfg2 := o.benchConfig(accubench.Unconstrained)
+	cfg2.Iterations = runs
+	res, err := b2.runAccubench(cfg2)
+	if err != nil {
+		return out, fmt.Errorf("experiments: baseline accubench: %w", err)
+	}
+	if sm, err := res.PerfSummary(); err == nil {
+		out.AccubenchRSD = sm.RSD
+	}
+
+	// The refrigerator trick: one naive run cold-soaked at 5 °C vs one in a
+	// 35 °C pocket. (Guo et al. report >60% on Antutu's composite score; a
+	// pure CPU loop gains less but plenty.)
+	for _, amb := range []units.Celsius{out.FridgeAmbient, out.HotAmbient} {
+		bn, err := newBench(u, Options{Quick: o.Quick, Seed: o.seed() + 2, Ambient: amb}, 0)
+		if err != nil {
+			return out, err
+		}
+		cfgA := o.benchConfig(accubench.Unconstrained)
+		nv, err := (&accubench.Runner{Device: bn.dev, Monitor: bn.mon, Box: bn.box, Config: cfgA}).
+			RunNaive(1, 0)
+		if err != nil {
+			return out, fmt.Errorf("experiments: baseline fridge@%v: %w", amb, err)
+		}
+		if amb == out.FridgeAmbient {
+			out.FridgeScore = float64(nv.Scores[0])
+		} else {
+			out.HotScore = float64(nv.Scores[0])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment has a dedicated runner returning typed rows /
+// series; cmd/experiments renders them and EXPERIMENTS.md records
+// paper-vs-measured for each.
+//
+// All experiments run the full bench: device + Monsoon + THERMABOX, seeded
+// and deterministic.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"accubench/internal/accubench"
+	"accubench/internal/device"
+	"accubench/internal/fleet"
+	"accubench/internal/monsoon"
+	"accubench/internal/soc"
+	"accubench/internal/thermabox"
+	"accubench/internal/units"
+)
+
+// Options tune experiment scale. Zero value means paper-faithful.
+type Options struct {
+	// Quick shrinks phase durations and iteration counts (~10× faster) for
+	// tests and smoke runs. Shapes still hold; error bars widen.
+	Quick bool
+	// Seed is the root seed for all randomness. Zero means 1.
+	Seed int64
+	// Ambient is the THERMABOX target. Zero means the paper's 26 °C.
+	Ambient units.Celsius
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) ambient() units.Celsius {
+	if o.Ambient == 0 {
+		return 26
+	}
+	return o.Ambient
+}
+
+// benchConfig returns the ACCUBENCH configuration for the options.
+func (o Options) benchConfig(mode accubench.Mode) accubench.Config {
+	cfg := accubench.DefaultConfig(mode)
+	cfg.CooldownTarget = o.ambient() + 10
+	if o.Quick {
+		cfg.Warmup = 45 * time.Second
+		cfg.Workload = 90 * time.Second
+		cfg.Iterations = 3
+	}
+	return cfg
+}
+
+// bench assembles a full bench (device powered by a Monsoon inside a
+// THERMABOX) for one fleet unit.
+type bench struct {
+	dev *device.Device
+	mon *monsoon.Monitor
+	box *thermabox.Box
+}
+
+// newBench builds the bench. The Monsoon is configured at the handset's
+// nominal battery voltage — except for the LG G5, where the paper learned
+// the hard way to use the battery's 4.4 V maximum (§IV-A3); experiments
+// that *study* the anomaly (Fig. 10) override this.
+func newBench(u fleet.Unit, o Options, monsoonVoltage units.Volts) (*bench, error) {
+	model, err := soc.ModelByName(u.ModelName)
+	if err != nil {
+		return nil, err
+	}
+	if monsoonVoltage == 0 {
+		monsoonVoltage = model.Battery.Nominal
+		if model.VoltageThrottle != nil {
+			// Post-discovery practice: feed voltage-throttled handsets the
+			// battery's maximum so the OS does not cap the CPU.
+			monsoonVoltage = model.Battery.Maximum
+		}
+	}
+	mon := monsoon.New(monsoonVoltage)
+	dev, err := u.NewDevice(o.ambient(), o.seed(), mon.Supply())
+	if err != nil {
+		return nil, err
+	}
+	boxCfg := thermabox.DefaultConfig()
+	boxCfg.Target = o.ambient()
+	boxCfg.Seed = o.seed() + int64(len(u.Name))
+	box, err := thermabox.New(boxCfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := box.Stabilize(30*time.Second, time.Hour, time.Second); !ok {
+		return nil, fmt.Errorf("experiments: THERMABOX failed to reach %v", boxCfg.Target)
+	}
+	dev.SetAmbient(box.Air())
+	return &bench{dev: dev, mon: mon, box: box}, nil
+}
+
+// runAccubench executes the technique on the bench.
+func (b *bench) runAccubench(cfg accubench.Config) (accubench.Result, error) {
+	r := &accubench.Runner{Device: b.dev, Monitor: b.mon, Box: b.box, Config: cfg}
+	return r.Run()
+}
+
+// DeviceOutcome pairs a fleet unit with its ACCUBENCH result.
+type DeviceOutcome struct {
+	Unit   fleet.Unit
+	Result accubench.Result
+}
+
+// defaultBoxConfig returns the chamber configuration for the options.
+func defaultBoxConfig(o Options) thermabox.Config {
+	cfg := thermabox.DefaultConfig()
+	cfg.Target = o.ambient()
+	cfg.Seed = o.seed()
+	// Setpoints below room temperature need the compressor to hold the
+	// band; setpoints far above need the lamp. Both exist; nothing to vary.
+	return cfg
+}
+
+// newBox wraps thermabox.New for harness use.
+func newBox(cfg thermabox.Config) (*thermabox.Box, error) { return thermabox.New(cfg) }

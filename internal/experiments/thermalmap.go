@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"time"
+
+	"accubench/internal/power"
+	"accubench/internal/silicon"
+	"accubench/internal/soc"
+	"accubench/internal/thermal"
+	"accubench/internal/units"
+)
+
+// ThermalMapResult is the spatial extension (Therminator-style, §V related
+// work): the Nexus 5 die as a temperature map under full load, and the same
+// die after the 80 °C core-shutdown action — showing *where* the heat lives,
+// not just how much.
+type ThermalMapResult struct {
+	// FullLoadMap is the ASCII map with all four cores powered.
+	FullLoadMap string
+	// FullLoadPeak and FullLoadMean summarize it.
+	FullLoadPeak, FullLoadMean units.Celsius
+	// ShedMap is the map with one core offlined.
+	ShedMap string
+	// ShedPeak and ShedMean summarize it.
+	ShedPeak, ShedMean units.Celsius
+	// HotspotX and HotspotY locate the full-load hotspot.
+	HotspotX, HotspotY int
+}
+
+// ThermalMap renders the two maps. Core powers come from the same power
+// model the device simulation uses, evaluated at the throttled operating
+// point, so the spatial picture is consistent with the lumped experiments.
+func ThermalMap(o Options) (ThermalMapResult, error) {
+	model := soc.Nexus5()
+	corner := silicon.ProcessCorner{Bin: 2, Leakage: 1.5}
+	pm := power.Model{
+		CeffBig: model.SoC.Big.Ceff,
+		Leakage: model.SoC.Leakage,
+		Uncore:  model.SoC.Uncore,
+	}
+	// The throttled operating point the UNCONSTRAINED workload settles at.
+	const f = 1574
+	v, err := model.SoC.Voltages.Voltage(corner, f, 78)
+	if err != nil {
+		return ThermalMapResult{}, err
+	}
+	core := power.CoreState{Online: true, Freq: f, Voltage: v, Utilization: 1}
+	bd := pm.Evaluate([]power.CoreState{core, core, core, core}, nil, corner, 78)
+	perCore := units.Watts((float64(bd.Dynamic) + float64(bd.Leakage)) / 4)
+	uncore := bd.Uncore
+
+	const gw, gh = 24, 24
+	horizon := 3 * time.Minute
+	if o.Quick {
+		horizon = time.Minute
+	}
+	render := func(onlineCores int) (*thermal.Grid, error) {
+		g, err := thermal.NewGrid(thermal.GridConfig{
+			W: gw, H: gh,
+			Body:     model.Body,
+			LateralG: 0.02,
+			Ambient:  o.ambient(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		blocks := thermal.QuadFloorplan(gw, gh)
+		for t := time.Duration(0); t < horizon; t += 100 * time.Millisecond {
+			powered := 0
+			for _, b := range blocks {
+				if b.Name == "uncore" {
+					if err := g.Inject(b.X0, b.Y0, b.X1, b.Y1, uncore); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				if powered < onlineCores {
+					if err := g.Inject(b.X0, b.Y0, b.X1, b.Y1, perCore); err != nil {
+						return nil, err
+					}
+					powered++
+				}
+			}
+			g.Step(100 * time.Millisecond)
+		}
+		return g, nil
+	}
+
+	full, err := render(4)
+	if err != nil {
+		return ThermalMapResult{}, err
+	}
+	shed, err := render(3)
+	if err != nil {
+		return ThermalMapResult{}, err
+	}
+	hx, hy, peak := full.Hotspot()
+	_, _, shedPeak := shed.Hotspot()
+	return ThermalMapResult{
+		FullLoadMap:  full.Render(),
+		FullLoadPeak: peak,
+		FullLoadMean: full.Mean(),
+		ShedMap:      shed.Render(),
+		ShedPeak:     shedPeak,
+		ShedMean:     shed.Mean(),
+		HotspotX:     hx,
+		HotspotY:     hy,
+	}, nil
+}

@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"testing"
+
+	"accubench/internal/soc"
+)
+
+func TestPaperFleetSize(t *testing.T) {
+	// Table II: 4 + 3 + 3 + 5 + 3 = 18 devices.
+	counts := map[string]int{
+		"Nexus 5": 4, "Nexus 6": 3, "Nexus 6P": 3, "LG G5": 5, "Google Pixel": 3,
+	}
+	total := 0
+	for model, want := range counts {
+		us, err := UnitsFor(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(us) != want {
+			t.Errorf("%s has %d units, want %d", model, len(us), want)
+		}
+		total += len(us)
+	}
+	if total != 18 {
+		t.Errorf("fleet size = %d, want 18", total)
+	}
+}
+
+func TestAllUnitsInstantiate(t *testing.T) {
+	for model, us := range Paper() {
+		for _, u := range us {
+			d, err := u.NewDevice(26, 1, nil)
+			if err != nil {
+				t.Errorf("%s/%s: %v", model, u.Name, err)
+				continue
+			}
+			if d.Model().Name != model {
+				t.Errorf("%s built a %s", u.Name, d.Model().Name)
+			}
+		}
+	}
+}
+
+func TestBin4ChipInstantiates(t *testing.T) {
+	u := Nexus5Bin4()
+	if _, err := u.NewDevice(26, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if u.Corner.Bin != 4 {
+		t.Errorf("bin = %v", u.Corner.Bin)
+	}
+}
+
+func TestUnitNamesFollowPaper(t *testing.T) {
+	names := map[string]bool{}
+	for _, us := range Paper() {
+		for _, u := range us {
+			if names[u.Name] {
+				t.Errorf("duplicate unit name %q", u.Name)
+			}
+			names[u.Name] = true
+		}
+	}
+	// The units the paper names explicitly.
+	for _, want := range []string{"device-363", "device-793", "device-488", "device-653"} {
+		if !names[want] {
+			t.Errorf("fleet missing the paper's %s", want)
+		}
+	}
+}
+
+func TestCornersOrderedByLeakage(t *testing.T) {
+	// Fleets are declared least→most leaky so experiment tables read like
+	// the paper's figures.
+	for model, us := range Paper() {
+		for i := 1; i < len(us); i++ {
+			if us[i].Corner.Leakage < us[i-1].Corner.Leakage {
+				t.Errorf("%s: unit %d leakage %.2f below unit %d's %.2f",
+					model, i, us[i].Corner.Leakage, i-1, us[i-1].Corner.Leakage)
+			}
+		}
+	}
+}
+
+func TestNexus5BinsAscend(t *testing.T) {
+	// On the SD-800 the bin label follows leakage (voltage binning).
+	us := Nexus5Units()
+	for i := 1; i < len(us); i++ {
+		if us[i].Corner.Bin <= us[i-1].Corner.Bin {
+			t.Errorf("bins not ascending: %v then %v", us[i-1].Corner.Bin, us[i].Corner.Bin)
+		}
+	}
+}
+
+func TestRBCPREraUnitsAllBinZero(t *testing.T) {
+	// "All our devices reported being on 'speed-bin 0'" (§IV-A2); SD-820/821
+	// expose no bins at all, modelled the same way.
+	for _, model := range []string{"Nexus 6P", "LG G5", "Google Pixel"} {
+		us, err := UnitsFor(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range us {
+			if u.Corner.Bin != 0 {
+				t.Errorf("%s reports bin %v, want 0", u.Name, u.Corner.Bin)
+			}
+		}
+	}
+}
+
+func TestModelOrderMatchesTableII(t *testing.T) {
+	want := []string{"Nexus 5", "Nexus 6", "Nexus 6P", "LG G5", "Google Pixel"}
+	got := ModelOrder()
+	if len(got) != len(want) {
+		t.Fatalf("order length = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("order[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	// Every ordered model resolves in the catalog.
+	for _, name := range got {
+		if _, err := soc.ModelByName(name); err != nil {
+			t.Errorf("model %q not in catalog: %v", name, err)
+		}
+	}
+}
+
+func TestUnitsForUnknown(t *testing.T) {
+	if _, err := UnitsFor("Galaxy S8"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestUnitNewDeviceUnknownModel(t *testing.T) {
+	u := Unit{Name: "x", ModelName: "nope"}
+	if _, err := u.NewDevice(26, 1, nil); err == nil {
+		t.Error("unknown model instantiated")
+	}
+}

@@ -1,0 +1,181 @@
+// Package governor implements the OS policies that turn thermal state into
+// performance: cpufreq-style frequency governors and the MSM thermal engine
+// (trip-point frequency capping plus the Nexus 5's core hotplug). These
+// policies are the paper's §IV-B mechanism — "consistently lower performance
+// … caused by the device running at lower frequencies due to different
+// thermal throttling behavior".
+package governor
+
+import (
+	"fmt"
+	"time"
+
+	"accubench/internal/soc"
+	"accubench/internal/units"
+)
+
+// Governor decides the frequency a cluster *wants* to run, before thermal
+// caps. The paper uses two: unconstrained (performance) and a userspace pin
+// (FIXED-FREQUENCY).
+type Governor interface {
+	// Target returns the desired frequency for the cluster.
+	Target(c soc.Cluster) units.MegaHertz
+	// Name identifies the governor, e.g. "performance".
+	Name() string
+}
+
+// Performance always requests the top OPP — the paper's UNCONSTRAINED mode
+// ("we allowed the CPU cores to run unconstrained — without frequency
+// throttling — and measured performance"; the throttling that then happens
+// is the thermal engine's, not the governor's).
+type Performance struct{}
+
+// Target implements Governor.
+func (Performance) Target(c soc.Cluster) units.MegaHertz { return c.MaxFreq() }
+
+// Name implements Governor.
+func (Performance) Name() string { return "performance" }
+
+// Userspace pins a fixed frequency — the paper's FIXED-FREQUENCY mode
+// ("we constrained all CPU cores to run at a fixed, low frequency that was
+// guaranteed to not thermally throttle").
+type Userspace struct {
+	// Freq is the pinned frequency; it is clamped to the cluster ladder.
+	Freq units.MegaHertz
+}
+
+// Target implements Governor.
+func (u Userspace) Target(c soc.Cluster) units.MegaHertz {
+	return ClampToLadder(c, u.Freq)
+}
+
+// Name implements Governor.
+func (u Userspace) Name() string { return fmt.Sprintf("userspace@%v", u.Freq) }
+
+// ClampToLadder returns the highest OPP not exceeding f, or the bottom OPP
+// if f is below the ladder.
+func ClampToLadder(c soc.Cluster, f units.MegaHertz) units.MegaHertz {
+	best := c.OPPs[0]
+	for _, opp := range c.OPPs {
+		if opp <= f {
+			best = opp
+		}
+	}
+	return best
+}
+
+// Engine is the thermal engine of one handset: it polls the die temperature
+// at a fixed interval and maintains a frequency cap (and, where configured,
+// a core-offline count) with hysteresis.
+type Engine struct {
+	policy soc.ThermalPolicy
+	big    soc.Cluster
+
+	poll     time.Duration
+	nextPoll time.Duration
+
+	capFreq     units.MegaHertz
+	offlineBig  int
+	throttleOps int // total step-down actions, for diagnostics
+}
+
+// DefaultPollInterval matches the ~250 ms cadence of msm_thermal.
+const DefaultPollInterval = 250 * time.Millisecond
+
+// NewEngine builds a thermal engine for the given policy over the big
+// cluster's ladder. poll ≤ 0 selects DefaultPollInterval.
+func NewEngine(policy soc.ThermalPolicy, big soc.Cluster, poll time.Duration) *Engine {
+	if poll <= 0 {
+		poll = DefaultPollInterval
+	}
+	return &Engine{
+		policy:  policy,
+		big:     big,
+		poll:    poll,
+		capFreq: big.MaxFreq(),
+	}
+}
+
+// Poll feeds the engine the die temperature at simulated time now. The
+// engine acts at most once per poll interval; calling more often is safe.
+func (e *Engine) Poll(now time.Duration, die units.Celsius) {
+	if now < e.nextPoll {
+		return
+	}
+	e.nextPoll = now + e.poll
+
+	p := e.policy
+	switch {
+	case die >= p.ThrottleAt:
+		next := e.big.StepDown(e.capFreq)
+		if p.MinCapFreq > 0 && next < p.MinCapFreq {
+			next = ClampToLadder(e.big, p.MinCapFreq)
+			if next < p.MinCapFreq {
+				next = e.big.StepUp(next)
+			}
+		}
+		if next != e.capFreq && next < e.capFreq {
+			e.capFreq = next
+			e.throttleOps++
+		}
+	case float64(die) <= float64(p.ThrottleAt)-p.Hysteresis:
+		e.capFreq = e.big.StepUp(e.capFreq)
+	}
+
+	if p.CoreOfflineAt > 0 {
+		maxOffline := e.big.Cores - p.MinOnlineCores
+		if maxOffline < 0 {
+			maxOffline = 0
+		}
+		switch {
+		case die >= p.CoreOfflineAt && e.offlineBig < maxOffline:
+			e.offlineBig++
+		case die <= p.CoreOnlineBelow && e.offlineBig > 0:
+			e.offlineBig--
+		}
+	}
+}
+
+// Cap returns the engine's current frequency cap for the big cluster.
+func (e *Engine) Cap() units.MegaHertz { return e.capFreq }
+
+// OfflineBigCores returns how many big cores the engine has hotplugged off.
+func (e *Engine) OfflineBigCores() int { return e.offlineBig }
+
+// ThrottleEvents returns the cumulative count of step-down actions.
+func (e *Engine) ThrottleEvents() int { return e.throttleOps }
+
+// Reset restores the unthrottled state (used between benchmark iterations
+// when a device reboots; ACCUBENCH itself never resets mid-run).
+func (e *Engine) Reset() {
+	e.capFreq = e.big.MaxFreq()
+	e.offlineBig = 0
+	e.throttleOps = 0
+	e.nextPoll = 0
+}
+
+// VoltageCap returns the frequency cap imposed by an input-voltage throttle
+// for the given supply voltage, or the cluster maximum when no throttle is
+// configured or the voltage is healthy. This is the LG G5's anomaly (paper
+// Fig. 10) factored as policy.
+func VoltageCap(t *soc.InputVoltageThrottle, supply units.Volts, big soc.Cluster) units.MegaHertz {
+	if t == nil || supply >= t.Threshold {
+		return big.MaxFreq()
+	}
+	return ClampToLadder(big, t.CapFreq)
+}
+
+// Effective resolves the frequency a cluster actually runs: the governor's
+// target bounded by the thermal cap and the voltage cap, snapped to the
+// cluster's own ladder (a big-cluster cap in MHz maps onto the LITTLE
+// ladder by value).
+func Effective(g Governor, c soc.Cluster, thermalCap, voltageCap units.MegaHertz) units.MegaHertz {
+	f := g.Target(c)
+	if thermalCap < f {
+		f = thermalCap
+	}
+	if voltageCap < f {
+		f = voltageCap
+	}
+	return ClampToLadder(c, f)
+}

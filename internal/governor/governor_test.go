@@ -1,0 +1,219 @@
+package governor
+
+import (
+	"testing"
+	"time"
+
+	"accubench/internal/soc"
+	"accubench/internal/units"
+)
+
+func bigCluster() soc.Cluster { return soc.SD800().Big }
+
+func TestPerformanceGovernor(t *testing.T) {
+	g := Performance{}
+	if got := g.Target(bigCluster()); got != 2265 {
+		t.Errorf("Target = %v, want 2265", got)
+	}
+	if g.Name() != "performance" {
+		t.Errorf("Name = %q", g.Name())
+	}
+}
+
+func TestUserspaceGovernor(t *testing.T) {
+	g := Userspace{Freq: 960}
+	if got := g.Target(bigCluster()); got != 960 {
+		t.Errorf("Target = %v", got)
+	}
+	// Off-ladder pins clamp downward.
+	if got := (Userspace{Freq: 1000}).Target(bigCluster()); got != 960 {
+		t.Errorf("off-ladder Target = %v, want 960", got)
+	}
+	// Below-ladder pins clamp to the floor.
+	if got := (Userspace{Freq: 100}).Target(bigCluster()); got != 300 {
+		t.Errorf("below-ladder Target = %v, want 300", got)
+	}
+	if (Userspace{Freq: 960}).Name() == "" {
+		t.Error("empty Name")
+	}
+}
+
+func TestClampToLadder(t *testing.T) {
+	c := bigCluster()
+	cases := []struct{ in, want units.MegaHertz }{
+		{2265, 2265}, {2264, 1574}, {1574, 1574}, {959, 729}, {300, 300}, {1, 300}, {9999, 2265},
+	}
+	for _, tc := range cases {
+		if got := ClampToLadder(c, tc.in); got != tc.want {
+			t.Errorf("ClampToLadder(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEngineStartsUncapped(t *testing.T) {
+	e := NewEngine(soc.Nexus5().Thermal, bigCluster(), 0)
+	if e.Cap() != 2265 {
+		t.Errorf("initial cap = %v", e.Cap())
+	}
+	if e.OfflineBigCores() != 0 {
+		t.Errorf("initial offline = %d", e.OfflineBigCores())
+	}
+}
+
+func TestEngineStepsDownWhenHot(t *testing.T) {
+	e := NewEngine(soc.Nexus5().Thermal, bigCluster(), 250*time.Millisecond)
+	e.Poll(0, 80) // above ThrottleAt=79
+	if e.Cap() != 1574 {
+		t.Errorf("cap after one hot poll = %v, want 1574", e.Cap())
+	}
+	e.Poll(250*time.Millisecond, 80)
+	if e.Cap() != 960 {
+		t.Errorf("cap after two hot polls = %v, want 960", e.Cap())
+	}
+	if e.ThrottleEvents() != 2 {
+		t.Errorf("ThrottleEvents = %d", e.ThrottleEvents())
+	}
+}
+
+func TestEngineHonoursPollInterval(t *testing.T) {
+	e := NewEngine(soc.Nexus5().Thermal, bigCluster(), 250*time.Millisecond)
+	e.Poll(0, 90)
+	e.Poll(time.Millisecond, 90)     // within interval: ignored
+	e.Poll(100*time.Millisecond, 90) // still ignored
+	if e.Cap() != 1574 {
+		t.Errorf("cap = %v, want one step only", e.Cap())
+	}
+	e.Poll(250*time.Millisecond, 90)
+	if e.Cap() != 960 {
+		t.Errorf("cap = %v after second interval", e.Cap())
+	}
+}
+
+func TestEngineHysteresis(t *testing.T) {
+	e := NewEngine(soc.Nexus5().Thermal, bigCluster(), 250*time.Millisecond)
+	e.Poll(0, 80)
+	if e.Cap() != 1574 {
+		t.Fatalf("setup failed: cap %v", e.Cap())
+	}
+	// Between (ThrottleAt - Hysteresis, ThrottleAt): hold.
+	e.Poll(time.Second, 75)
+	if e.Cap() != 1574 {
+		t.Errorf("cap moved inside hysteresis band: %v", e.Cap())
+	}
+	// Cool enough: step back up.
+	e.Poll(2*time.Second, 70)
+	if e.Cap() != 2265 {
+		t.Errorf("cap did not recover: %v", e.Cap())
+	}
+}
+
+func TestEngineFloorsAtMinCapFreq(t *testing.T) {
+	// The Nexus 5 policy bounds the frequency cap at 960 MHz; past that the
+	// engine relies on core hotplug (which is how the die reaches the 80 °C
+	// shutdown trip at all).
+	e := NewEngine(soc.Nexus5().Thermal, bigCluster(), 250*time.Millisecond)
+	for i := 0; i < 20; i++ {
+		e.Poll(time.Duration(i)*250*time.Millisecond, 95)
+	}
+	if e.Cap() != 960 {
+		t.Errorf("cap = %v, want MinCapFreq floor 960", e.Cap())
+	}
+	// ThrottleEvents stop counting once pinned to the floor.
+	if e.ThrottleEvents() != 2 {
+		t.Errorf("ThrottleEvents = %d, want 2 (2265→1574→960)", e.ThrottleEvents())
+	}
+}
+
+func TestEngineWithoutMinCapFloorsAtLadderBottom(t *testing.T) {
+	e := NewEngine(soc.Pixel().Thermal, soc.SD821().Big, 250*time.Millisecond)
+	for i := 0; i < 20; i++ {
+		e.Poll(time.Duration(i)*250*time.Millisecond, 95)
+	}
+	if e.Cap() != 307 {
+		t.Errorf("cap = %v, want ladder floor 307", e.Cap())
+	}
+}
+
+func TestNexus5CoreShutdownAt80(t *testing.T) {
+	e := NewEngine(soc.Nexus5().Thermal, bigCluster(), 250*time.Millisecond)
+	e.Poll(0, 81)
+	if e.OfflineBigCores() != 1 {
+		t.Errorf("offline = %d after 81°C, want 1 (paper Fig. 1)", e.OfflineBigCores())
+	}
+	// Stays hot: continues shedding down to MinOnlineCores=2.
+	e.Poll(250*time.Millisecond, 85)
+	e.Poll(500*time.Millisecond, 85)
+	e.Poll(750*time.Millisecond, 85)
+	if e.OfflineBigCores() != 2 {
+		t.Errorf("offline = %d, want 2 (MinOnlineCores=2 of 4)", e.OfflineBigCores())
+	}
+	// Cooling below CoreOnlineBelow=72 restores one core per poll.
+	e.Poll(time.Second, 70)
+	if e.OfflineBigCores() != 1 {
+		t.Errorf("offline = %d after cooldown, want 1", e.OfflineBigCores())
+	}
+	e.Poll(1250*time.Millisecond, 70)
+	if e.OfflineBigCores() != 0 {
+		t.Errorf("offline = %d, want 0", e.OfflineBigCores())
+	}
+}
+
+func TestNoCoreShutdownWithoutConfig(t *testing.T) {
+	e := NewEngine(soc.Pixel().Thermal, soc.SD821().Big, 250*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		e.Poll(time.Duration(i)*250*time.Millisecond, 95)
+	}
+	if e.OfflineBigCores() != 0 {
+		t.Errorf("Pixel offlined %d cores; its policy has no hotplug", e.OfflineBigCores())
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	e := NewEngine(soc.Nexus5().Thermal, bigCluster(), 250*time.Millisecond)
+	e.Poll(0, 85)
+	e.Reset()
+	if e.Cap() != 2265 || e.OfflineBigCores() != 0 || e.ThrottleEvents() != 0 {
+		t.Errorf("Reset incomplete: cap=%v offline=%d events=%d", e.Cap(), e.OfflineBigCores(), e.ThrottleEvents())
+	}
+}
+
+func TestVoltageCap(t *testing.T) {
+	g5 := soc.LGG5()
+	big := g5.SoC.Big
+	// Healthy supply (4.4 V): no cap.
+	if got := VoltageCap(g5.VoltageThrottle, 4.4, big); got != big.MaxFreq() {
+		t.Errorf("cap at 4.4V = %v", got)
+	}
+	// Nominal 3.85 V is below the 4.0 V threshold: capped.
+	if got := VoltageCap(g5.VoltageThrottle, 3.85, big); got != 1728 {
+		t.Errorf("cap at 3.85V = %v, want 1728", got)
+	}
+	// No throttle configured: no cap.
+	if got := VoltageCap(nil, 3.0, big); got != big.MaxFreq() {
+		t.Errorf("cap with nil throttle = %v", got)
+	}
+}
+
+func TestEffectiveResolution(t *testing.T) {
+	c := bigCluster()
+	// Governor wants max, thermal caps at 1574, voltage healthy.
+	if got := Effective(Performance{}, c, 1574, c.MaxFreq()); got != 1574 {
+		t.Errorf("Effective = %v, want 1574", got)
+	}
+	// Voltage cap tighter than thermal cap.
+	if got := Effective(Performance{}, c, 1574, 960); got != 960 {
+		t.Errorf("Effective = %v, want 960", got)
+	}
+	// Userspace pin lower than both caps.
+	if got := Effective(Userspace{Freq: 729}, c, 1574, 960); got != 729 {
+		t.Errorf("Effective = %v, want 729", got)
+	}
+	// A big-cluster cap value maps onto the LITTLE ladder by clamping.
+	little := *soc.SD810().Little
+	if got := Effective(Performance{}, little, 1248, little.MaxFreq()); got != 1248 {
+		t.Errorf("little Effective = %v, want 1248", got)
+	}
+	if got := Effective(Performance{}, little, 1300, little.MaxFreq()); got != 1248 {
+		t.Errorf("little Effective with off-ladder cap = %v, want 1248", got)
+	}
+}

@@ -1,0 +1,211 @@
+package monsoon
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"accubench/internal/units"
+)
+
+func TestConstantPowerIntegration(t *testing.T) {
+	m := New(3.85)
+	m.StartMeasurement(0)
+	// 2 W held for 10 s, sampled every second.
+	if err := m.Sample(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := m.Sample(time.Duration(i)*time.Second, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := m.StopMeasurement(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(res.Energy)-20) > 1e-9 {
+		t.Errorf("Energy = %v, want 20J", res.Energy)
+	}
+	if math.Abs(float64(res.MeanPower)-2) > 1e-9 {
+		t.Errorf("MeanPower = %v, want 2W", res.MeanPower)
+	}
+	if res.PeakPower != 2 {
+		t.Errorf("PeakPower = %v", res.PeakPower)
+	}
+	if res.Duration != 10*time.Second {
+		t.Errorf("Duration = %v", res.Duration)
+	}
+	if res.Samples != 11 {
+		t.Errorf("Samples = %d", res.Samples)
+	}
+	if res.MainVoltage != 3.85 {
+		t.Errorf("MainVoltage = %v", res.MainVoltage)
+	}
+}
+
+func TestTrapezoidalRamp(t *testing.T) {
+	// Power ramps linearly 0→4 W over 4 s: energy is the triangle area 8 J.
+	m := New(4.0)
+	m.StartMeasurement(0)
+	for i := 0; i <= 4; i++ {
+		if err := m.Sample(time.Duration(i)*time.Second, units.Watts(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := m.StopMeasurement(4 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(res.Energy)-8) > 1e-9 {
+		t.Errorf("Energy = %v, want 8J", res.Energy)
+	}
+	if res.PeakPower != 4 {
+		t.Errorf("PeakPower = %v", res.PeakPower)
+	}
+}
+
+func TestHoldToStopInstant(t *testing.T) {
+	// Last sample at t=1s of 3 W, stop at t=3s: the final 2 s hold 3 W.
+	m := New(4.0)
+	m.StartMeasurement(0)
+	m.Sample(0, 3)
+	m.Sample(time.Second, 3)
+	res, err := m.StopMeasurement(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(res.Energy)-9) > 1e-9 {
+		t.Errorf("Energy = %v, want 9J", res.Energy)
+	}
+}
+
+func TestSamplesOutsideMeasurementIgnored(t *testing.T) {
+	m := New(3.85)
+	if err := m.Sample(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	m.StartMeasurement(time.Second)
+	m.Sample(time.Second, 1)
+	m.Sample(2*time.Second, 1)
+	res, err := m.StopMeasurement(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(res.Energy)-1) > 1e-9 {
+		t.Errorf("Energy = %v, want 1J (pre-measurement sample must not count)", res.Energy)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	m := New(3.85)
+	if _, err := m.StopMeasurement(0); err == nil {
+		t.Error("stop without start accepted")
+	}
+	m.StartMeasurement(time.Second)
+	if err := m.Sample(0, 1); err == nil {
+		t.Error("time-travelling sample accepted")
+	}
+	if err := m.Sample(2*time.Second, -1); err == nil {
+		t.Error("negative power accepted")
+	}
+	if _, err := m.StopMeasurement(500 * time.Millisecond); err == nil {
+		t.Error("stop before last sample accepted")
+	}
+}
+
+func TestSetVoltage(t *testing.T) {
+	m := New(3.85)
+	m.SetVoltage(4.4)
+	if m.Voltage() != 4.4 {
+		t.Errorf("Voltage = %v", m.Voltage())
+	}
+	if m.Supply().Voltage(10) != 4.4 {
+		t.Errorf("supply voltage = %v", m.Supply().Voltage(10))
+	}
+}
+
+func TestSetVoltageDuringMeasurementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetVoltage during measurement did not panic")
+		}
+	}()
+	m := New(3.85)
+	m.StartMeasurement(0)
+	m.SetVoltage(4.4)
+}
+
+func TestMeasuringFlag(t *testing.T) {
+	m := New(3.85)
+	if m.Measuring() {
+		t.Error("fresh monitor claims to be measuring")
+	}
+	m.StartMeasurement(0)
+	if !m.Measuring() {
+		t.Error("not measuring after start")
+	}
+	if _, err := m.StopMeasurement(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if m.Measuring() {
+		t.Error("still measuring after stop")
+	}
+}
+
+func TestRestartDiscardsState(t *testing.T) {
+	m := New(3.85)
+	m.StartMeasurement(0)
+	m.Sample(0, 10)
+	m.Sample(time.Second, 10)
+	m.StartMeasurement(2 * time.Second) // restart without stop
+	m.Sample(2*time.Second, 1)
+	m.Sample(3*time.Second, 1)
+	res, err := m.StopMeasurement(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(res.Energy)-1) > 1e-9 {
+		t.Errorf("Energy = %v, want 1J after restart", res.Energy)
+	}
+	if res.PeakPower != 1 {
+		t.Errorf("PeakPower = %v, want 1 after restart", res.PeakPower)
+	}
+}
+
+func TestZeroDurationWindow(t *testing.T) {
+	m := New(3.85)
+	m.StartMeasurement(time.Second)
+	res, err := m.StopMeasurement(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy != 0 || res.MeanPower != 0 {
+		t.Errorf("zero window = %+v", res)
+	}
+}
+
+func TestMeasurementString(t *testing.T) {
+	r := Measurement{Energy: 512.3, Duration: 5 * time.Minute, MeanPower: 1.7077, PeakPower: 3.12}
+	if !strings.Contains(r.String(), "512.3J") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestSupplyDrainAccounting(t *testing.T) {
+	m := New(3.85)
+	m.StartMeasurement(0)
+	m.Sample(0, 2)
+	m.Sample(10*time.Second, 2)
+	m.StopMeasurement(10 * time.Second)
+	// The underlying supply must have delivered the same 20 J.
+	type delivered interface{ EnergyDelivered() units.Joules }
+	d, ok := m.Supply().(delivered)
+	if !ok {
+		t.Fatal("supply does not report delivered energy")
+	}
+	if math.Abs(float64(d.EnergyDelivered())-20) > 1e-9 {
+		t.Errorf("supply delivered %v, want 20J", d.EnergyDelivered())
+	}
+}

@@ -1,0 +1,103 @@
+// Package power models CPU power draw: per-core switching (dynamic) power
+// plus chip-wide temperature-dependent leakage, the two components whose
+// balance produces the paper's counterintuitive headline result — bin-0,
+// running the *highest* voltage, is the best chip in both performance and
+// energy because its silicon leaks so much less.
+package power
+
+import (
+	"fmt"
+
+	"accubench/internal/silicon"
+	"accubench/internal/units"
+)
+
+// CoreState is the operating point of one core for a power evaluation step.
+type CoreState struct {
+	// Online is false for hotplugged-off cores (the Nexus 5 thermal engine
+	// shuts a core at 80 °C — paper Fig. 1). Offline cores draw neither
+	// dynamic nor leakage power (power-collapsed).
+	Online bool
+	// Freq is the core's current clock.
+	Freq units.MegaHertz
+	// Voltage is the rail voltage feeding the core.
+	Voltage units.Volts
+	// Utilization in [0,1]: fraction of cycles doing work. The paper's
+	// π workload saturates all cores, so it runs at 1.
+	Utilization float64
+}
+
+// Model computes total CPU power for a chip.
+type Model struct {
+	// CeffBig is the effective switching capacitance of one big core. Power
+	// per core is Ceff·V²·f·u.
+	CeffBig units.Farads
+	// CeffLittle is the effective switching capacitance of one LITTLE core;
+	// zero for SoCs without a LITTLE cluster.
+	CeffLittle units.Farads
+	// Leakage is the chip's leakage model; the per-chip corner multiplies it.
+	Leakage silicon.LeakageModel
+	// Uncore is constant platform power on the CPU rail (interconnect,
+	// caches) while any core is online.
+	Uncore units.Watts
+	// LeakageShares out the chip leakage across clusters in proportion to
+	// core count; offline cores are power-collapsed and excluded.
+}
+
+// Dynamic returns the switching power of one core with the given Ceff.
+func Dynamic(ceff units.Farads, s CoreState) units.Watts {
+	if !s.Online || s.Utilization <= 0 {
+		return 0
+	}
+	u := units.Clamp(s.Utilization, 0, 1)
+	return units.Watts(float64(ceff) * float64(s.Voltage) * float64(s.Voltage) * s.Freq.Hertz() * u)
+}
+
+// Breakdown separates a power evaluation into its components, which the
+// experiment analysis uses to attribute energy differences to leakage.
+type Breakdown struct {
+	Dynamic units.Watts
+	Leakage units.Watts
+	Uncore  units.Watts
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() units.Watts { return b.Dynamic + b.Leakage + b.Uncore }
+
+// String renders e.g. "dyn=1200.0mW leak=400.0mW uncore=150.0mW".
+func (b Breakdown) String() string {
+	return fmt.Sprintf("dyn=%v leak=%v uncore=%v", b.Dynamic, b.Leakage, b.Uncore)
+}
+
+// Evaluate computes the chip's power breakdown given the per-core states of
+// the big cluster and (possibly empty) LITTLE cluster, the chip's process
+// corner, and the current die temperature.
+//
+// Leakage is evaluated per online core at that core's rail voltage: a core
+// that is power-collapsed leaks nothing, which is exactly why the Nexus 5
+// thermal engine's core-shutdown action cools the chip.
+func (m Model) Evaluate(big, little []CoreState, corner silicon.ProcessCorner, die units.Celsius) Breakdown {
+	var bd Breakdown
+	anyOnline := false
+	perCore := func(ceff units.Farads, cores []CoreState) {
+		for _, c := range cores {
+			if !c.Online {
+				continue
+			}
+			anyOnline = true
+			bd.Dynamic += Dynamic(ceff, c)
+			// Each core contributes an equal share of chip leakage, scaled
+			// by its rail voltage and the shared die temperature.
+			n := len(big) + len(little)
+			share := 1.0 / float64(n)
+			leak := m.Leakage.Power(corner.Leakage*share, c.Voltage, die)
+			bd.Leakage += leak
+		}
+	}
+	perCore(m.CeffBig, big)
+	perCore(m.CeffLittle, little)
+	if anyOnline {
+		bd.Uncore = m.Uncore
+	}
+	return bd
+}

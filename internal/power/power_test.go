@@ -1,0 +1,208 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"accubench/internal/silicon"
+	"accubench/internal/units"
+)
+
+func leakModel() silicon.LeakageModel {
+	return silicon.LeakageModel{I0: 0.3, Vref: 1.0, VoltExp: 2, Tref: 25, TSlope: 30}
+}
+
+func model() Model {
+	return Model{
+		CeffBig: 0.9e-9,
+		Leakage: leakModel(),
+		Uncore:  0.15,
+	}
+}
+
+func on(f units.MegaHertz, v units.Volts) CoreState {
+	return CoreState{Online: true, Freq: f, Voltage: v, Utilization: 1}
+}
+
+func TestDynamicScalesWithVSquaredF(t *testing.T) {
+	base := Dynamic(1e-9, on(1000, 1.0))
+	// Double the frequency: double the power.
+	if got := Dynamic(1e-9, on(2000, 1.0)); math.Abs(float64(got)/float64(base)-2) > 1e-9 {
+		t.Errorf("freq doubling ratio = %v, want 2", float64(got)/float64(base))
+	}
+	// 1.1× the voltage: 1.21× the power.
+	if got := Dynamic(1e-9, on(1000, 1.1)); math.Abs(float64(got)/float64(base)-1.21) > 1e-9 {
+		t.Errorf("voltage ratio = %v, want 1.21", float64(got)/float64(base))
+	}
+}
+
+func TestDynamicMagnitudeIsRealistic(t *testing.T) {
+	// A Krait-class core at 2.265 GHz and 1.1 V with Ceff ≈ 0.9 nF draws
+	// ~2.5 W — the right order for the SD-800's well-documented thermal pain.
+	p := Dynamic(0.9e-9, on(2265, 1.1))
+	if p < 1.0 || p > 4.0 {
+		t.Errorf("full-speed core power = %v, want watts-scale", p)
+	}
+}
+
+func TestDynamicOfflineAndIdle(t *testing.T) {
+	if Dynamic(1e-9, CoreState{Online: false, Freq: 1000, Voltage: 1, Utilization: 1}) != 0 {
+		t.Error("offline core drew dynamic power")
+	}
+	if Dynamic(1e-9, CoreState{Online: true, Freq: 1000, Voltage: 1, Utilization: 0}) != 0 {
+		t.Error("idle core drew dynamic power")
+	}
+}
+
+func TestDynamicUtilizationClamped(t *testing.T) {
+	full := Dynamic(1e-9, on(1000, 1.0))
+	over := Dynamic(1e-9, CoreState{Online: true, Freq: 1000, Voltage: 1, Utilization: 5})
+	if over != full {
+		t.Errorf("utilization>1 not clamped: %v vs %v", over, full)
+	}
+}
+
+func TestEvaluateComponents(t *testing.T) {
+	m := model()
+	corner := silicon.ProcessCorner{Bin: 0, Leakage: 1.0}
+	cores := []CoreState{on(2265, 1.1), on(2265, 1.1), on(2265, 1.1), on(2265, 1.1)}
+	bd := m.Evaluate(cores, nil, corner, 50)
+	if bd.Dynamic <= 0 || bd.Leakage <= 0 || bd.Uncore != 0.15 {
+		t.Fatalf("breakdown = %v", bd)
+	}
+	if got := bd.Total(); math.Abs(float64(got-(bd.Dynamic+bd.Leakage+bd.Uncore))) > 1e-12 {
+		t.Errorf("Total = %v, want sum of parts", got)
+	}
+	if bd.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestEvaluateAllOffline(t *testing.T) {
+	m := model()
+	corner := silicon.ProcessCorner{Leakage: 1}
+	cores := []CoreState{{Online: false}, {Online: false}}
+	bd := m.Evaluate(cores, nil, corner, 80)
+	if bd.Total() != 0 {
+		t.Errorf("all-offline chip drew %v", bd)
+	}
+}
+
+func TestLeakierCornerDrawsMore(t *testing.T) {
+	m := model()
+	cores := []CoreState{on(1574, 0.965)}
+	lo := m.Evaluate(cores, nil, silicon.ProcessCorner{Leakage: 0.8}, 60)
+	hi := m.Evaluate(cores, nil, silicon.ProcessCorner{Leakage: 2.0}, 60)
+	if hi.Leakage <= lo.Leakage {
+		t.Errorf("leaky corner %v not above quiet corner %v", hi.Leakage, lo.Leakage)
+	}
+	if hi.Dynamic != lo.Dynamic {
+		t.Errorf("corner changed dynamic power: %v vs %v", hi.Dynamic, lo.Dynamic)
+	}
+}
+
+func TestHotterDieLeaksMore(t *testing.T) {
+	m := model()
+	corner := silicon.ProcessCorner{Leakage: 1}
+	cores := []CoreState{on(1574, 0.965)}
+	cold := m.Evaluate(cores, nil, corner, 30)
+	hot := m.Evaluate(cores, nil, corner, 80)
+	if hot.Leakage <= cold.Leakage {
+		t.Error("leakage did not grow with die temperature")
+	}
+}
+
+func TestCoreShutdownReducesLeakage(t *testing.T) {
+	// The Nexus 5 thermal engine's core-shutdown action must actually save
+	// power in the model for the paper's Figure 1 dynamics to emerge.
+	m := model()
+	corner := silicon.ProcessCorner{Leakage: 1.5}
+	all := []CoreState{on(1574, 1.0), on(1574, 1.0), on(1574, 1.0), on(1574, 1.0)}
+	three := []CoreState{on(1574, 1.0), on(1574, 1.0), on(1574, 1.0), {Online: false}}
+	p4 := m.Evaluate(all, nil, corner, 80)
+	p3 := m.Evaluate(three, nil, corner, 80)
+	if p3.Total() >= p4.Total() {
+		t.Errorf("shutting a core did not reduce power: %v vs %v", p3.Total(), p4.Total())
+	}
+	// Both dynamic and leakage must drop by the same 1/4 share.
+	if math.Abs(float64(p3.Dynamic)/float64(p4.Dynamic)-0.75) > 1e-9 {
+		t.Errorf("dynamic share = %v, want 0.75", float64(p3.Dynamic)/float64(p4.Dynamic))
+	}
+	if math.Abs(float64(p3.Leakage)/float64(p4.Leakage)-0.75) > 1e-9 {
+		t.Errorf("leakage share = %v, want 0.75", float64(p3.Leakage)/float64(p4.Leakage))
+	}
+}
+
+func TestBigLittleClusters(t *testing.T) {
+	m := Model{
+		CeffBig:    1.0e-9,
+		CeffLittle: 0.3e-9,
+		Leakage:    leakModel(),
+		Uncore:     0.1,
+	}
+	corner := silicon.ProcessCorner{Leakage: 1}
+	big := []CoreState{on(1958, 1.05)}
+	little := []CoreState{on(1555, 0.9)}
+	bd := m.Evaluate(big, little, corner, 50)
+	bigOnly := m.Evaluate(big, nil, corner, 50)
+	if bd.Dynamic <= bigOnly.Dynamic {
+		t.Error("LITTLE cluster contributed no dynamic power")
+	}
+	// LITTLE core at lower V, f and Ceff must draw much less than the big core.
+	littleDyn := bd.Dynamic - bigOnly.Dynamic
+	if littleDyn >= bigOnly.Dynamic/2 {
+		t.Errorf("LITTLE core drew %v, big %v — LITTLE should be far cheaper", littleDyn, bigOnly.Dynamic)
+	}
+}
+
+func TestVoltageBinningTradeoffEmerges(t *testing.T) {
+	// The paper's §II story, end to end: bin-0 (slow silicon, high voltage,
+	// low leak) vs a leaky bin (low voltage, high leak). At the *throttled*
+	// operating point — a hot die sitting on a mid-ladder frequency, which
+	// is where UNCONSTRAINED devices spend the workload — the leaky chip
+	// must draw more total power despite its lower voltage, so it sinks
+	// further down the ladder. This is the inequality the entire
+	// reproduction rests on.
+	m := model()
+	tbl := silicon.Nexus5Table()
+	v0, err := tbl.Voltage(0, 1574)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v6, err := tbl.Voltage(6, 1574)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(f units.MegaHertz, v units.Volts) []CoreState {
+		return []CoreState{on(f, v), on(f, v), on(f, v), on(f, v)}
+	}
+	bin0 := m.Evaluate(mk(1574, v0), nil, silicon.ProcessCorner{Bin: 0, Leakage: 0.5}, 85)
+	bin6 := m.Evaluate(mk(1574, v6), nil, silicon.ProcessCorner{Bin: 6, Leakage: 2.5}, 85)
+	if bin6.Total() <= bin0.Total() {
+		t.Errorf("hot leaky bin-6 total %v not above bin-0 %v — leakage should dominate", bin6.Total(), bin0.Total())
+	}
+	// And the reverse at a cold die at max frequency with mild corners: the
+	// V² saving wins and the lower-voltage chip draws less.
+	v0max, _ := tbl.Voltage(0, 2265)
+	v6max, _ := tbl.Voltage(6, 2265)
+	bin0Cold := m.Evaluate(mk(2265, v0max), nil, silicon.ProcessCorner{Bin: 0, Leakage: 0.95}, 30)
+	bin6Cold := m.Evaluate(mk(2265, v6max), nil, silicon.ProcessCorner{Bin: 6, Leakage: 1.05}, 30)
+	if bin6Cold.Total() >= bin0Cold.Total() {
+		t.Errorf("cold mild bin-6 %v not below bin-0 %v — dynamic should dominate when cool", bin6Cold.Total(), bin0Cold.Total())
+	}
+}
+
+func TestEvaluateNonNegativeProperty(t *testing.T) {
+	m := model()
+	f := func(leak, temp, util float64) bool {
+		corner := silicon.ProcessCorner{Leakage: math.Abs(math.Mod(leak, 3)) + 0.1}
+		die := units.Celsius(math.Mod(math.Abs(temp), 120))
+		cores := []CoreState{{Online: true, Freq: 1574, Voltage: 0.965, Utilization: math.Mod(math.Abs(util), 1)}}
+		bd := m.Evaluate(cores, nil, corner, die)
+		return bd.Dynamic >= 0 && bd.Leakage >= 0 && bd.Total() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

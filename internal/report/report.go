@@ -1,0 +1,120 @@
+// Package report renders experiment results as aligned text tables and
+// simple ASCII series — the terminal equivalents of the paper's tables and
+// figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"accubench/internal/trace"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; short rows are padded, long rows panic (programmer
+// error in the experiment renderer).
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		panic(fmt.Sprintf("report: row has %d cells for %d columns", len(cells), len(t.header)))
+	}
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Sparkline renders samples as a one-line unicode sparkline, scaled to the
+// series' own min/max. Empty input yields an empty string.
+func Sparkline(samples []trace.Sample) string {
+	if len(samples) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := samples[0].Value, samples[0].Value
+	for _, s := range samples {
+		if s.Value < lo {
+			lo = s.Value
+		}
+		if s.Value > hi {
+			hi = s.Value
+		}
+	}
+	var b strings.Builder
+	for _, s := range samples {
+		idx := 0
+		if hi > lo {
+			idx = int((s.Value - lo) / (hi - lo) * float64(len(glyphs)-1))
+		}
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal bar of the given fractional length against a
+// fixed width, e.g. Bar(0.5, 20) = "##########".
+func Bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n)
+}
+
+// Pct formats a percentage with one decimal, e.g. "14.2%".
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }

@@ -1,0 +1,133 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"accubench/internal/trace"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("Chipset", "Perf")
+	tbl.AddRow("SD-800", "14%")
+	tbl.AddRow("SD-821-long-name", "5%")
+	var b strings.Builder
+	if err := tbl.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), b.String())
+	}
+	// The Perf column starts at the same offset in every line.
+	idx := strings.Index(lines[0], "Perf")
+	if idx < 0 {
+		t.Fatal("header missing Perf")
+	}
+	if got := strings.Index(lines[2], "14%"); got != idx {
+		t.Errorf("row value at %d, header at %d:\n%s", got, idx, b.String())
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Errorf("separator = %q", lines[1])
+	}
+}
+
+func TestTableShortRowsPadded(t *testing.T) {
+	tbl := NewTable("a", "b", "c")
+	tbl.AddRow("only")
+	var b strings.Builder
+	if err := tbl.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "only") {
+		t.Error("row lost")
+	}
+}
+
+func TestTableOverlongRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("overlong row did not panic")
+		}
+	}()
+	tbl := NewTable("a")
+	tbl.AddRow("1", "2")
+}
+
+func TestTableNoTrailingSpaces(t *testing.T) {
+	tbl := NewTable("col", "x")
+	tbl.AddRow("a", "b")
+	var b strings.Builder
+	tbl.Write(&b)
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasSuffix(line, " ") {
+			t.Errorf("trailing space in %q", line)
+		}
+	}
+}
+
+func mkSamples(vals ...float64) []trace.Sample {
+	out := make([]trace.Sample, len(vals))
+	for i, v := range vals {
+		out[i] = trace.Sample{At: time.Duration(i) * time.Second, Value: v}
+	}
+	return out
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline(mkSamples(0, 1, 2, 3, 4, 5, 6, 7))
+	runes := []rune(s)
+	if len(runes) != 8 {
+		t.Fatalf("length = %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("extremes = %c %c", runes[0], runes[7])
+	}
+	// Monotone input gives non-decreasing glyphs.
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("glyphs not monotone at %d: %s", i, s)
+		}
+	}
+}
+
+func TestSparklineFlatAndEmpty(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty = %q", got)
+	}
+	flat := Sparkline(mkSamples(5, 5, 5))
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series rendered %q", flat)
+		}
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 20); got != strings.Repeat("#", 10) {
+		t.Errorf("Bar(0.5,20) = %q", got)
+	}
+	if got := Bar(0, 20); got != "" {
+		t.Errorf("Bar(0) = %q", got)
+	}
+	if got := Bar(1, 4); got != "####" {
+		t.Errorf("Bar(1,4) = %q", got)
+	}
+	// Clamped outside [0,1].
+	if got := Bar(2, 4); got != "####" {
+		t.Errorf("Bar(2,4) = %q", got)
+	}
+	if got := Bar(-1, 4); got != "" {
+		t.Errorf("Bar(-1,4) = %q", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(14.25); got != "14.2%" && got != "14.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(0); got != "0.0%" {
+		t.Errorf("Pct(0) = %q", got)
+	}
+}

@@ -1,0 +1,69 @@
+package silicon
+
+import (
+	"fmt"
+	"sort"
+
+	"accubench/internal/sim"
+)
+
+// Lottery samples process corners the way a fab's output distribution would:
+// leakage factors are log-normal across chips, and voltage binning sorts
+// them into bins by leakage (leakier chips → higher bin numbers → lower
+// voltage), mirroring the manufacturer flow the paper describes in §II.
+type Lottery struct {
+	// Sigma is the log-normal sigma of the leakage distribution. A modern
+	// mobile process spans roughly 2–3× leakage between slow and fast
+	// corners, i.e. sigma ≈ 0.2–0.35.
+	Sigma float64
+	// Bins is how many voltage bins the product defines (7 for the SD-800).
+	Bins int
+	// BinNoise is the log-normal sigma of the fab's *binning measurement*.
+	// Chips are sorted into voltage bins by a quick speed test that
+	// correlates only loosely with true leakage; with BinNoise > 0 a leaky
+	// chip can land in a low bin (high voltage) and be doubly punished —
+	// the imperfect compensation behind the paper's observable variation.
+	// Zero models an ideal fab that bins by true leakage.
+	BinNoise float64
+}
+
+// Draw samples n chips from the distribution using the provided random
+// source and assigns bins by measurement quantile: chips are ranked by the
+// fab's (noisy, see BinNoise) leakage measurement and split into
+// equal-population bins, lowest measured leakage → bin 0. It returns the
+// corners in draw order.
+func (l Lottery) Draw(src *sim.Source, n int) ([]ProcessCorner, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("silicon: lottery draw of %d chips", n)
+	}
+	if l.Bins <= 0 {
+		return nil, fmt.Errorf("silicon: lottery with %d bins", l.Bins)
+	}
+	if l.Sigma < 0 {
+		return nil, fmt.Errorf("silicon: negative sigma %v", l.Sigma)
+	}
+	if l.BinNoise < 0 {
+		return nil, fmt.Errorf("silicon: negative bin noise %v", l.BinNoise)
+	}
+	leaks := make([]float64, n)
+	measured := make([]float64, n)
+	for i := range leaks {
+		leaks[i] = src.LogNormal(0, l.Sigma)
+		measured[i] = leaks[i] * src.LogNormal(0, l.BinNoise)
+	}
+	// Rank chips by the fab's (possibly noisy) measurement to assign bins.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return measured[order[a]] < measured[order[b]] })
+	corners := make([]ProcessCorner, n)
+	for rank, idx := range order {
+		bin := Bin(rank * l.Bins / n)
+		if int(bin) >= l.Bins {
+			bin = Bin(l.Bins - 1)
+		}
+		corners[idx] = ProcessCorner{Bin: bin, Leakage: leaks[idx]}
+	}
+	return corners, nil
+}

@@ -1,0 +1,208 @@
+// Package silicon models the process variation at the heart of the paper:
+// the "silicon lottery" that makes two chips of the same design differ in
+// transistor speed and leakage, and the voltage-binning scheme manufacturers
+// use to paper over it.
+//
+// The model follows the paper's §II narrative exactly:
+//
+//   - Slow transistors (larger gate lengths) leak less; fast transistors leak
+//     more. Voltage binning fixes the frequency ladder across all chips and
+//     compensates slow silicon with a *higher* supply voltage and fast,
+//     leaky silicon with a *lower* one (Table I).
+//   - Leakage current grows with temperature, creating the thermal feedback
+//     loop that ultimately throttles leaky chips harder.
+//
+// A chip is described by a ProcessCorner: a leakage scale factor and a bin
+// assignment. Performance and energy differences between devices are never
+// hard-coded anywhere in the repository — they emerge from these corners
+// flowing through the power and thermal models.
+package silicon
+
+import (
+	"fmt"
+	"math"
+
+	"accubench/internal/units"
+)
+
+// Bin identifies a voltage bin. Bin 0 holds the slowest (least leaky)
+// silicon and runs at the highest voltage; higher bins hold progressively
+// faster, leakier silicon at lower voltages (paper Table I).
+type Bin int
+
+// String renders e.g. "bin-3", the paper's notation.
+func (b Bin) String() string { return fmt.Sprintf("bin-%d", int(b)) }
+
+// VoltagePoint is one row cell of a voltage-frequency table: the supply
+// voltage a chip of a given bin needs to run stably at a frequency.
+type VoltagePoint struct {
+	Freq    units.MegaHertz
+	Voltage units.Volts
+}
+
+// VoltageTable maps each bin to the supply voltage required at every
+// operating frequency. It is the static table older SoCs (SD-800) expose in
+// kernel sources; newer parts replace it with closed-loop RBCPR trimming.
+type VoltageTable struct {
+	freqs []units.MegaHertz
+	// volts[bin][freqIndex]
+	volts [][]units.Volts
+}
+
+// NewVoltageTable builds a table from a frequency ladder and per-bin voltage
+// rows (millivolts, in ladder order). It returns an error if any row's
+// length disagrees with the ladder or if voltages are not non-increasing
+// down the bins at a fixed frequency (the defining property of voltage
+// binning: leakier silicon gets lower voltage).
+func NewVoltageTable(freqs []units.MegaHertz, millivoltRows [][]float64) (*VoltageTable, error) {
+	if len(freqs) == 0 {
+		return nil, fmt.Errorf("silicon: empty frequency ladder")
+	}
+	for i := 1; i < len(freqs); i++ {
+		if freqs[i] <= freqs[i-1] {
+			return nil, fmt.Errorf("silicon: frequency ladder not strictly increasing at index %d", i)
+		}
+	}
+	if len(millivoltRows) == 0 {
+		return nil, fmt.Errorf("silicon: no bins")
+	}
+	volts := make([][]units.Volts, len(millivoltRows))
+	for b, row := range millivoltRows {
+		if len(row) != len(freqs) {
+			return nil, fmt.Errorf("silicon: bin %d has %d voltages for %d frequencies", b, len(row), len(freqs))
+		}
+		volts[b] = make([]units.Volts, len(row))
+		for i, mv := range row {
+			volts[b][i] = units.FromMillivolts(mv)
+			if b > 0 && volts[b][i] > volts[b-1][i] {
+				return nil, fmt.Errorf("silicon: bin %d voltage %v at %v exceeds bin %d's %v — violates voltage binning",
+					b, volts[b][i], freqs[i], b-1, volts[b-1][i])
+			}
+		}
+	}
+	return &VoltageTable{freqs: freqs, volts: volts}, nil
+}
+
+// Bins returns the number of bins in the table.
+func (t *VoltageTable) Bins() int { return len(t.volts) }
+
+// Frequencies returns the frequency ladder (ascending). The slice must not
+// be mutated.
+func (t *VoltageTable) Frequencies() []units.MegaHertz { return t.freqs }
+
+// Voltage returns the supply voltage for a bin at an exact ladder frequency.
+// Frequencies between ladder points use the voltage of the next point up,
+// matching how cpufreq snaps requests to OPPs.
+func (t *VoltageTable) Voltage(b Bin, f units.MegaHertz) (units.Volts, error) {
+	if int(b) < 0 || int(b) >= len(t.volts) {
+		return 0, fmt.Errorf("silicon: bin %d outside table (%d bins)", b, len(t.volts))
+	}
+	for i, lf := range t.freqs {
+		if f <= lf {
+			return t.volts[b][i], nil
+		}
+	}
+	return 0, fmt.Errorf("silicon: frequency %v above ladder top %v", f, t.freqs[len(t.freqs)-1])
+}
+
+// Row returns the full (frequency, voltage) row for a bin.
+func (t *VoltageTable) Row(b Bin) ([]VoltagePoint, error) {
+	if int(b) < 0 || int(b) >= len(t.volts) {
+		return nil, fmt.Errorf("silicon: bin %d outside table", b)
+	}
+	out := make([]VoltagePoint, len(t.freqs))
+	for i, f := range t.freqs {
+		out[i] = VoltagePoint{Freq: f, Voltage: t.volts[b][i]}
+	}
+	return out, nil
+}
+
+// Nexus5Table returns the paper's Table I verbatim: the voltage-frequency
+// table for the Snapdragon 800 (Nexus 5) across bins 0–6 at the five ladder
+// points the paper lists, in millivolts.
+func Nexus5Table() *VoltageTable {
+	t, err := NewVoltageTable(
+		[]units.MegaHertz{300, 729, 960, 1574, 2265},
+		[][]float64{
+			{800, 835, 865, 965, 1100}, // bin-0: slowest silicon, highest voltage
+			{800, 820, 850, 945, 1075},
+			{775, 805, 835, 925, 1050},
+			{775, 790, 820, 910, 1025},
+			{775, 780, 810, 895, 1000},
+			{750, 770, 800, 880, 975},
+			{750, 760, 790, 870, 950}, // bin-6: leakiest silicon, lowest voltage
+		},
+	)
+	if err != nil {
+		// The embedded literal is a constant of the package; failure to parse
+		// it is unrecoverable programmer error.
+		panic(err)
+	}
+	return t
+}
+
+// LeakageModel captures subthreshold leakage as the paper needs it: a base
+// current scaled per chip by its process corner, growing exponentially with
+// die temperature and supralinearly with supply voltage.
+//
+//	I_leak(V, T) = I0 · corner · (V/Vref)^VoltExp · exp((T − Tref)/TSlope)
+//
+// TSlope sets how quickly leakage compounds with heat — the knob that
+// calibrates the paper's Figure 2 ambient-temperature sweep (+25–30% energy
+// from a hot ambient). Typical silicon roughly doubles leakage every
+// 20–30 °C; TSlope ≈ 30 °C/e-fold puts doubling at ~21 °C.
+type LeakageModel struct {
+	// I0 is the reference leakage current at Vref and Tref for a corner of
+	// 1.0 (typical silicon).
+	I0 units.Amps
+	// Vref is the reference supply voltage.
+	Vref units.Volts
+	// VoltExp is the voltage exponent (≥1; leakage grows faster than linear
+	// in V because of DIBL).
+	VoltExp float64
+	// Tref is the reference die temperature.
+	Tref units.Celsius
+	// TSlope is the e-folding temperature delta in °C.
+	TSlope float64
+}
+
+// Current returns the leakage current for a chip with the given corner at
+// the given supply voltage and die temperature.
+func (m LeakageModel) Current(corner float64, v units.Volts, t units.Celsius) units.Amps {
+	if v <= 0 || corner <= 0 {
+		return 0
+	}
+	vterm := math.Pow(float64(v)/float64(m.Vref), m.VoltExp)
+	tterm := math.Exp(t.Delta(m.Tref) / m.TSlope)
+	return units.Amps(float64(m.I0) * corner * vterm * tterm)
+}
+
+// Power returns the leakage power V·I_leak.
+func (m LeakageModel) Power(corner float64, v units.Volts, t units.Celsius) units.Watts {
+	return units.Power(v, m.Current(corner, v, t))
+}
+
+// ProcessCorner describes one manufactured chip: which voltage bin it was
+// sorted into and its leakage scale factor relative to typical silicon.
+// Corner > 1 means fast, leaky transistors (high bins); corner < 1 means
+// slow, low-leak transistors (bin 0).
+type ProcessCorner struct {
+	Bin     Bin
+	Leakage float64 // multiplier on LeakageModel.I0
+}
+
+// Validate reports whether the corner is physically sensible.
+func (c ProcessCorner) Validate() error {
+	if c.Leakage <= 0 {
+		return fmt.Errorf("silicon: non-positive leakage corner %v", c.Leakage)
+	}
+	if c.Bin < 0 {
+		return fmt.Errorf("silicon: negative bin %d", c.Bin)
+	}
+	return nil
+}
+
+// String renders e.g. "bin-2 leak×1.40".
+func (c ProcessCorner) String() string {
+	return fmt.Sprintf("%s leak×%.2f", c.Bin, c.Leakage)
+}

@@ -1,0 +1,342 @@
+package silicon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"accubench/internal/sim"
+	"accubench/internal/units"
+)
+
+func TestNexus5TableMatchesPaper(t *testing.T) {
+	tbl := Nexus5Table()
+	if tbl.Bins() != 7 {
+		t.Fatalf("bins = %d, want 7", tbl.Bins())
+	}
+	freqs := tbl.Frequencies()
+	wantFreqs := []units.MegaHertz{300, 729, 960, 1574, 2265}
+	for i, f := range wantFreqs {
+		if freqs[i] != f {
+			t.Errorf("freq[%d] = %v, want %v", i, freqs[i], f)
+		}
+	}
+	// Spot-check the corners of the paper's Table I.
+	cases := []struct {
+		bin  Bin
+		freq units.MegaHertz
+		mv   float64
+	}{
+		{0, 300, 800}, {0, 2265, 1100},
+		{3, 960, 820}, {4, 1574, 895},
+		{6, 300, 750}, {6, 2265, 950},
+	}
+	for _, c := range cases {
+		v, err := tbl.Voltage(c.bin, c.freq)
+		if err != nil {
+			t.Fatalf("Voltage(%v,%v): %v", c.bin, c.freq, err)
+		}
+		if math.Abs(v.Millivolts()-c.mv) > 1e-9 {
+			t.Errorf("Voltage(%v,%v) = %v mV, want %v", c.bin, c.freq, v.Millivolts(), c.mv)
+		}
+	}
+}
+
+func TestVoltageBinningMonotonicity(t *testing.T) {
+	// The defining property: at any frequency, voltage is non-increasing
+	// with bin number (bin 0 runs the highest voltage).
+	tbl := Nexus5Table()
+	for _, f := range tbl.Frequencies() {
+		prev := units.Volts(math.Inf(1))
+		for b := Bin(0); int(b) < tbl.Bins(); b++ {
+			v, err := tbl.Voltage(b, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v > prev {
+				t.Errorf("at %v: %v voltage %v exceeds previous bin's %v", f, b, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestVoltageSnapsUpToNextOPP(t *testing.T) {
+	tbl := Nexus5Table()
+	// 1000 MHz is not a ladder point; it must use the 1574 MHz voltage.
+	v, err := tbl.Voltage(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Millivolts() != 965 {
+		t.Errorf("snapped voltage = %v mV, want 965", v.Millivolts())
+	}
+}
+
+func TestVoltageErrors(t *testing.T) {
+	tbl := Nexus5Table()
+	if _, err := tbl.Voltage(7, 300); err == nil {
+		t.Error("bin out of range accepted")
+	}
+	if _, err := tbl.Voltage(-1, 300); err == nil {
+		t.Error("negative bin accepted")
+	}
+	if _, err := tbl.Voltage(0, 3000); err == nil {
+		t.Error("frequency above ladder accepted")
+	}
+}
+
+func TestRow(t *testing.T) {
+	tbl := Nexus5Table()
+	row, err := tbl.Row(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row) != 5 {
+		t.Fatalf("row length = %d", len(row))
+	}
+	if row[4].Freq != 2265 || row[4].Voltage.Millivolts() != 950 {
+		t.Errorf("row[4] = %+v", row[4])
+	}
+	if _, err := tbl.Row(99); err == nil {
+		t.Error("Row out of range accepted")
+	}
+}
+
+func TestNewVoltageTableValidation(t *testing.T) {
+	freqs := []units.MegaHertz{100, 200}
+	cases := []struct {
+		name string
+		f    []units.MegaHertz
+		rows [][]float64
+	}{
+		{"empty ladder", nil, [][]float64{{1}}},
+		{"non-increasing ladder", []units.MegaHertz{200, 100}, [][]float64{{800, 900}}},
+		{"no bins", freqs, nil},
+		{"ragged row", freqs, [][]float64{{800}}},
+		{"binning violation", freqs, [][]float64{{800, 900}, {810, 900}}},
+	}
+	for _, c := range cases {
+		if _, err := NewVoltageTable(c.f, c.rows); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func testLeakage() LeakageModel {
+	return LeakageModel{I0: 0.1, Vref: 1.0, VoltExp: 2, Tref: 25, TSlope: 30}
+}
+
+func TestLeakageGrowsWithTemperature(t *testing.T) {
+	m := testLeakage()
+	cold := m.Current(1, 1.0, 25)
+	hot := m.Current(1, 1.0, 85)
+	if hot <= cold {
+		t.Fatalf("leakage did not grow with temperature: %v vs %v", cold, hot)
+	}
+	// 60°C at TSlope=30 → ×e² ≈ 7.39.
+	ratio := float64(hot) / float64(cold)
+	if math.Abs(ratio-math.E*math.E) > 1e-9 {
+		t.Errorf("ratio = %v, want e²", ratio)
+	}
+}
+
+func TestLeakageGrowsWithVoltage(t *testing.T) {
+	m := testLeakage()
+	lo := m.Current(1, 0.9, 25)
+	hi := m.Current(1, 1.1, 25)
+	if hi <= lo {
+		t.Fatal("leakage did not grow with voltage")
+	}
+	// VoltExp=2 → (1.1/0.9)² ratio.
+	want := math.Pow(1.1/0.9, 2)
+	if got := float64(hi) / float64(lo); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ratio = %v, want %v", got, want)
+	}
+}
+
+func TestLeakageScalesLinearlyWithCorner(t *testing.T) {
+	m := testLeakage()
+	base := m.Current(1, 1.0, 50)
+	leaky := m.Current(2.5, 1.0, 50)
+	if math.Abs(float64(leaky)/float64(base)-2.5) > 1e-9 {
+		t.Errorf("corner scaling = %v, want 2.5", float64(leaky)/float64(base))
+	}
+}
+
+func TestLeakageDegenerateInputs(t *testing.T) {
+	m := testLeakage()
+	if m.Current(1, 0, 25) != 0 {
+		t.Error("zero voltage should give zero leakage")
+	}
+	if m.Current(0, 1, 25) != 0 {
+		t.Error("zero corner should give zero leakage")
+	}
+	if m.Current(1, -1, 25) != 0 {
+		t.Error("negative voltage should give zero leakage")
+	}
+}
+
+func TestLeakagePowerIsVTimesI(t *testing.T) {
+	m := testLeakage()
+	i := m.Current(1.3, 1.05, 60)
+	p := m.Power(1.3, 1.05, 60)
+	if math.Abs(float64(p)-1.05*float64(i)) > 1e-12 {
+		t.Errorf("Power = %v, want V·I = %v", p, 1.05*float64(i))
+	}
+}
+
+func TestLeakageMonotoneProperty(t *testing.T) {
+	m := testLeakage()
+	f := func(t1, t2 float64) bool {
+		t1 = math.Mod(math.Abs(t1), 100)
+		t2 = math.Mod(math.Abs(t2), 100)
+		lo, hi := math.Min(t1, t2), math.Max(t1, t2)
+		return m.Current(1, 1, units.Celsius(lo)) <= m.Current(1, 1, units.Celsius(hi))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcessCornerValidate(t *testing.T) {
+	if err := (ProcessCorner{Bin: 2, Leakage: 1.1}).Validate(); err != nil {
+		t.Errorf("valid corner rejected: %v", err)
+	}
+	if err := (ProcessCorner{Bin: 2, Leakage: 0}).Validate(); err == nil {
+		t.Error("zero leakage accepted")
+	}
+	if err := (ProcessCorner{Bin: -1, Leakage: 1}).Validate(); err == nil {
+		t.Error("negative bin accepted")
+	}
+}
+
+func TestCornerString(t *testing.T) {
+	got := ProcessCorner{Bin: 2, Leakage: 1.4}.String()
+	if got != "bin-2 leak×1.40" {
+		t.Errorf("String = %q", got)
+	}
+	if Bin(3).String() != "bin-3" {
+		t.Errorf("Bin.String = %q", Bin(3).String())
+	}
+}
+
+func TestLotteryDraw(t *testing.T) {
+	l := Lottery{Sigma: 0.25, Bins: 7}
+	src := sim.NewSource(42, "lottery")
+	corners, err := l.Draw(src, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corners) != 700 {
+		t.Fatalf("drew %d", len(corners))
+	}
+	// Equal-population binning: each bin gets 100 chips.
+	counts := make(map[Bin]int)
+	for _, c := range corners {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("invalid corner drawn: %v", err)
+		}
+		counts[c.Bin]++
+	}
+	for b := Bin(0); b < 7; b++ {
+		if counts[b] != 100 {
+			t.Errorf("%v population = %d, want 100", b, counts[b])
+		}
+	}
+}
+
+func TestLotteryBinsOrderedByLeakage(t *testing.T) {
+	l := Lottery{Sigma: 0.3, Bins: 4}
+	src := sim.NewSource(7, "lottery")
+	corners, err := l.Draw(src, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max leakage in bin b must not exceed min leakage in bin b+1.
+	maxIn := map[Bin]float64{}
+	minIn := map[Bin]float64{}
+	for _, c := range corners {
+		if v, ok := maxIn[c.Bin]; !ok || c.Leakage > v {
+			maxIn[c.Bin] = c.Leakage
+		}
+		if v, ok := minIn[c.Bin]; !ok || c.Leakage < v {
+			minIn[c.Bin] = c.Leakage
+		}
+	}
+	for b := Bin(0); b < 3; b++ {
+		if maxIn[b] > minIn[b+1] {
+			t.Errorf("bin %d max leak %v exceeds bin %d min %v", b, maxIn[b], b+1, minIn[b+1])
+		}
+	}
+}
+
+func TestLotteryDeterminism(t *testing.T) {
+	l := Lottery{Sigma: 0.25, Bins: 7}
+	a, _ := l.Draw(sim.NewSource(1, "x"), 10)
+	b, _ := l.Draw(sim.NewSource(1, "x"), 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("lottery not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLotteryErrors(t *testing.T) {
+	src := sim.NewSource(1, "x")
+	if _, err := (Lottery{Sigma: 0.2, Bins: 7}).Draw(src, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := (Lottery{Sigma: 0.2, Bins: 0}).Draw(src, 5); err == nil {
+		t.Error("0 bins accepted")
+	}
+	if _, err := (Lottery{Sigma: -1, Bins: 7}).Draw(src, 5); err == nil {
+		t.Error("negative sigma accepted")
+	}
+}
+
+func TestLotteryBinNoiseMisbins(t *testing.T) {
+	// With a noisy fab measurement, bin ordering by true leakage is no
+	// longer strict: some chips land in the "wrong" bin.
+	noisy := Lottery{Sigma: 0.3, Bins: 4, BinNoise: 0.5}
+	src := sim.NewSource(21, "lottery")
+	corners, err := noisy.Draw(src, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := 0
+	maxIn := map[Bin]float64{}
+	minIn := map[Bin]float64{}
+	for _, c := range corners {
+		if v, ok := maxIn[c.Bin]; !ok || c.Leakage > v {
+			maxIn[c.Bin] = c.Leakage
+		}
+		if v, ok := minIn[c.Bin]; !ok || c.Leakage < v {
+			minIn[c.Bin] = c.Leakage
+		}
+	}
+	for b := Bin(0); b < 3; b++ {
+		if maxIn[b] > minIn[b+1] {
+			violations++
+		}
+	}
+	if violations == 0 {
+		t.Error("BinNoise=0.5 produced perfectly ordered bins — noise had no effect")
+	}
+	// Population split stays equal regardless of noise.
+	counts := map[Bin]int{}
+	for _, c := range corners {
+		counts[c.Bin]++
+	}
+	for b := Bin(0); b < 4; b++ {
+		if counts[b] != 100 {
+			t.Errorf("%v population = %d, want 100", b, counts[b])
+		}
+	}
+}
+
+func TestLotteryNegativeBinNoiseRejected(t *testing.T) {
+	if _, err := (Lottery{Sigma: 0.2, Bins: 3, BinNoise: -1}).Draw(sim.NewSource(1, "x"), 5); err == nil {
+		t.Error("negative bin noise accepted")
+	}
+}

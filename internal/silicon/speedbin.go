@@ -1,0 +1,82 @@
+package silicon
+
+import (
+	"fmt"
+	"math"
+
+	"accubench/internal/units"
+)
+
+// SpeedBinner implements the *other* binning scheme the paper's §II
+// describes: "chips are manufactured, they are first tested to identify
+// their stable operating frequencies. If a chip does not meet the necessary
+// timing constraints or fails to operate at the expected frequency, the
+// operating frequency is lowered until it passes the tests. The chips are
+// then sorted into bins and labeled according to their speed … sold at
+// price points proportional to their speed bin."
+//
+// Desktop CPUs ship this way; phones use voltage binning instead, hiding
+// the lottery. The simulator supports both so the what-if comparison
+// (experiments.WhatIfSpeedBinning) can show what phone buyers would see if
+// the lottery were priced rather than papered over.
+type SpeedBinner struct {
+	// BaseFreq is the frequency typical silicon (leakage corner 1.0) closes
+	// timing at, at the product's stock voltage.
+	BaseFreq units.MegaHertz
+	// Alpha is the speed-vs-leakage exponent: fast transistors leak more,
+	// so a chip's achievable frequency grows like leak^Alpha. Silicon
+	// folklore puts the speed spread at roughly half the (log) leakage
+	// spread, i.e. Alpha ≈ 0.3–0.5.
+	Alpha float64
+	// Ladder is the ascending list of advertised speed grades; a chip is
+	// sold at the highest grade it clears.
+	Ladder []units.MegaHertz
+}
+
+// Validate checks the binner's invariants.
+func (b SpeedBinner) Validate() error {
+	if b.BaseFreq <= 0 {
+		return fmt.Errorf("silicon: speed binner base frequency %v", b.BaseFreq)
+	}
+	if b.Alpha < 0 {
+		return fmt.Errorf("silicon: negative speed exponent %v", b.Alpha)
+	}
+	if len(b.Ladder) == 0 {
+		return fmt.Errorf("silicon: speed binner has no grades")
+	}
+	for i := 1; i < len(b.Ladder); i++ {
+		if b.Ladder[i] <= b.Ladder[i-1] {
+			return fmt.Errorf("silicon: speed ladder not ascending at %d", i)
+		}
+	}
+	return nil
+}
+
+// MaxStable returns the frequency the chip closes timing at.
+func (b SpeedBinner) MaxStable(corner ProcessCorner) units.MegaHertz {
+	return units.MegaHertz(float64(b.BaseFreq) * math.Pow(corner.Leakage, b.Alpha))
+}
+
+// Assign returns the advertised grade the chip is sold at: the highest
+// ladder frequency it clears. A chip too slow for even the bottom grade is
+// scrap and returns an error — the fab's yield loss.
+func (b SpeedBinner) Assign(corner ProcessCorner) (units.MegaHertz, error) {
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if err := corner.Validate(); err != nil {
+		return 0, err
+	}
+	fmax := b.MaxStable(corner)
+	grade := units.MegaHertz(0)
+	for _, f := range b.Ladder {
+		if f <= fmax {
+			grade = f
+		}
+	}
+	if grade == 0 {
+		return 0, fmt.Errorf("silicon: chip %v (max stable %v) fails the bottom grade %v",
+			corner, fmax, b.Ladder[0])
+	}
+	return grade, nil
+}

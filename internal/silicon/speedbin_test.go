@@ -1,0 +1,103 @@
+package silicon
+
+import (
+	"math"
+	"testing"
+
+	"accubench/internal/sim"
+	"accubench/internal/units"
+)
+
+func testBinner() SpeedBinner {
+	return SpeedBinner{
+		BaseFreq: 2265,
+		Alpha:    0.4,
+		Ladder:   []units.MegaHertz{1574, 1958, 2265, 2650},
+	}
+}
+
+func TestSpeedBinnerValidate(t *testing.T) {
+	if err := testBinner().Validate(); err != nil {
+		t.Fatalf("good binner rejected: %v", err)
+	}
+	bad := []SpeedBinner{
+		{BaseFreq: 0, Alpha: 0.4, Ladder: []units.MegaHertz{1000}},
+		{BaseFreq: 2000, Alpha: -1, Ladder: []units.MegaHertz{1000}},
+		{BaseFreq: 2000, Alpha: 0.4, Ladder: nil},
+		{BaseFreq: 2000, Alpha: 0.4, Ladder: []units.MegaHertz{2000, 1000}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad binner %d accepted", i)
+		}
+	}
+}
+
+func TestMaxStableScalesWithLeakage(t *testing.T) {
+	b := testBinner()
+	// Typical silicon closes timing at BaseFreq exactly.
+	if got := b.MaxStable(ProcessCorner{Leakage: 1}); got != 2265 {
+		t.Errorf("typical fmax = %v", got)
+	}
+	// Fast (leaky) silicon clears more; slow silicon less.
+	fast := b.MaxStable(ProcessCorner{Leakage: 1.8})
+	slow := b.MaxStable(ProcessCorner{Leakage: 0.6})
+	if !(fast > 2265 && slow < 2265) {
+		t.Errorf("fmax ordering wrong: fast %v, slow %v", fast, slow)
+	}
+	// Alpha=0.4: 1.8^0.4 ≈ 1.265.
+	want := 2265 * math.Pow(1.8, 0.4)
+	if math.Abs(float64(fast)-want) > 0.5 {
+		t.Errorf("fast fmax = %v, want %.0f", fast, want)
+	}
+}
+
+func TestAssignGrades(t *testing.T) {
+	b := testBinner()
+	cases := []struct {
+		leak float64
+		want units.MegaHertz
+	}{
+		{1.0, 2265},  // exactly typical: top mainstream grade
+		{1.6, 2650},  // golden sample: the halo SKU
+		{0.75, 1958}, // slow: mid grade
+		{0.5, 1574},  // very slow: bottom grade
+	}
+	for _, c := range cases {
+		got, err := b.Assign(ProcessCorner{Leakage: c.leak})
+		if err != nil {
+			t.Fatalf("leak %v: %v", c.leak, err)
+		}
+		if got != c.want {
+			t.Errorf("Assign(leak %v) = %v, want %v", c.leak, got, c.want)
+		}
+	}
+}
+
+func TestAssignScrap(t *testing.T) {
+	b := testBinner()
+	// Leakage 0.3 → fmax = 2265·0.3^0.4 ≈ 1400 < 1574: yield loss.
+	if _, err := b.Assign(ProcessCorner{Leakage: 0.3}); err == nil {
+		t.Error("scrap chip assigned a grade")
+	}
+	if _, err := b.Assign(ProcessCorner{Leakage: -1}); err == nil {
+		t.Error("invalid corner accepted")
+	}
+}
+
+func TestAssignMonotoneInLeakage(t *testing.T) {
+	b := testBinner()
+	src := sim.NewSource(3, "speedbin")
+	prevLeak, prevGrade := 0.5, units.MegaHertz(0)
+	for i := 0; i < 200; i++ {
+		leak := prevLeak + src.Uniform(0, 0.02)
+		grade, err := b.Assign(ProcessCorner{Leakage: leak})
+		if err != nil {
+			t.Fatalf("leak %v: %v", leak, err)
+		}
+		if grade < prevGrade {
+			t.Fatalf("grade fell from %v to %v as leakage rose to %v", prevGrade, grade, leak)
+		}
+		prevLeak, prevGrade = leak, grade
+	}
+}

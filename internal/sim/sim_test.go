@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Errorf("new clock at %v, want 0", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(100 * time.Millisecond)
+	c.Advance(400 * time.Millisecond)
+	if c.Now() != 500*time.Millisecond {
+		t.Errorf("clock at %v, want 500ms", c.Now())
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-time.Second)
+}
+
+func TestStepperExactHorizon(t *testing.T) {
+	c := NewClock()
+	var steps int
+	var total time.Duration
+	consumed := c.Stepper(time.Second, 300*time.Millisecond, func(dt time.Duration) bool {
+		steps++
+		total += dt
+		return true
+	})
+	if consumed != time.Second {
+		t.Errorf("consumed %v, want 1s", consumed)
+	}
+	if c.Now() != time.Second {
+		t.Errorf("clock at %v, want exactly 1s (final step must truncate)", c.Now())
+	}
+	if steps != 4 { // 300+300+300+100
+		t.Errorf("steps = %d, want 4", steps)
+	}
+	if total != time.Second {
+		t.Errorf("sum of dt = %v, want 1s", total)
+	}
+}
+
+func TestStepperEarlyStop(t *testing.T) {
+	c := NewClock()
+	var steps int
+	c.Stepper(time.Second, 100*time.Millisecond, func(dt time.Duration) bool {
+		steps++
+		return steps < 3
+	})
+	if steps != 3 {
+		t.Errorf("steps = %d, want 3", steps)
+	}
+	if c.Now() != 300*time.Millisecond {
+		t.Errorf("clock at %v, want 300ms", c.Now())
+	}
+}
+
+func TestStepperZeroStepPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Stepper with 0 step did not panic")
+		}
+	}()
+	NewClock().Stepper(time.Second, 0, func(time.Duration) bool { return true })
+}
+
+func TestSourceDeterminism(t *testing.T) {
+	a := NewSource(42, "sensor")
+	b := NewSource(42, "sensor")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same (seed,name) diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSourceIndependentStreams(t *testing.T) {
+	a := NewSource(42, "sensor")
+	b := NewSource(42, "chamber")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different names produced %d/100 identical draws", same)
+	}
+}
+
+func TestSourceSeedMatters(t *testing.T) {
+	a := NewSource(1, "x")
+	b := NewSource(2, "x")
+	if a.Float64() == b.Float64() && a.Float64() == b.Float64() {
+		t.Error("different seeds produced identical draws")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := NewSource(7, "normal")
+	const n = 50000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := s.Normal(5, 2)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("sample mean %v, want ≈5", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Errorf("sample stddev %v, want ≈2", math.Sqrt(variance))
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := NewSource(9, "uniform")
+	for i := 0; i < 1000; i++ {
+		x := s.Uniform(-3, 4)
+		if x < -3 || x >= 4 {
+			t.Fatalf("Uniform draw %v outside [-3,4)", x)
+		}
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := NewSource(11, "lognormal")
+	for i := 0; i < 1000; i++ {
+		if x := s.LogNormal(0, 0.5); x <= 0 {
+			t.Fatalf("LogNormal draw %v not positive", x)
+		}
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	s := NewSource(13, "lognormal-median")
+	const n = 20001
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.LogNormal(0, 0.3)
+	}
+	below := 0
+	for _, x := range xs {
+		if x < 1 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("fraction below median exp(0)=1 is %v, want ≈0.5", frac)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	s := NewSource(3, "perm")
+	p := s.Perm(10)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("permutation %v missing elements", p)
+	}
+}

@@ -1,0 +1,290 @@
+package soc
+
+import (
+	"fmt"
+
+	"accubench/internal/silicon"
+	"accubench/internal/thermal"
+	"accubench/internal/units"
+)
+
+// synthTable builds a static per-bin voltage table from a typical-silicon
+// base row by subtracting stepMV per bin — used for parts (SD-805) that
+// expose bins at runtime but whose table never surfaced in kernel sources,
+// so the paper (and we) only know the scheme's shape.
+func synthTable(freqs []units.MegaHertz, baseMV []float64, bins int, stepMV float64) *silicon.VoltageTable {
+	rows := make([][]float64, bins)
+	for b := 0; b < bins; b++ {
+		row := make([]float64, len(baseMV))
+		for i, mv := range baseMV {
+			row[i] = mv - float64(b)*stepMV
+		}
+		rows[b] = row
+	}
+	t, err := silicon.NewVoltageTable(freqs, rows)
+	if err != nil {
+		panic(fmt.Sprintf("soc: synthesized table invalid: %v", err))
+	}
+	return t
+}
+
+// SD800 returns the Snapdragon 800 (28 nm, 2013): the quad-core Krait 400
+// of the Nexus 5, with the paper's Table I as its voltage scheme.
+func SD800() *SoC {
+	return &SoC{
+		Name:    "SD-800",
+		Process: "28nm",
+		Year:    2013,
+		Big: Cluster{
+			Name:  "Krait-400",
+			Cores: 4,
+			OPPs:  []units.MegaHertz{300, 729, 960, 1574, 2265},
+			Ceff:  0.85e-9,
+			// The paper sizes the π task to ~1 s/iteration on the Nexus 6's
+			// 2.65 GHz Krait 450; the Krait 400 is the same microarchitecture.
+			CyclesPerIteration: 2.55e9,
+		},
+		Leakage: silicon.LeakageModel{I0: 0.52, Vref: 1.0, VoltExp: 2, Tref: 25, TSlope: 34},
+		Uncore:  0.20,
+		Voltages: StaticTable{
+			Table: silicon.Nexus5Table(),
+		},
+		Bins: 7,
+	}
+}
+
+// SD805 returns the Snapdragon 805 (28 nm, 2014): the Nexus 6's quad Krait
+// 450 — a frequency bump on the same node, which is why the paper finds it
+// *less* efficient than the SD-800 (Fig. 13).
+func SD805() *SoC {
+	freqs := []units.MegaHertz{300, 729, 1190, 1958, 2649}
+	return &SoC{
+		Name:    "SD-805",
+		Process: "28nm",
+		Year:    2014,
+		Big: Cluster{
+			Name:               "Krait-450",
+			Cores:              4,
+			OPPs:               freqs,
+			Ceff:               0.95e-9,
+			CyclesPerIteration: 2.649e9, // 1 iteration/s at max freq — the paper's sizing anchor
+		},
+		// Pushed clocks on the same 28 nm node: leakier than the SD-800.
+		Leakage:  silicon.LeakageModel{I0: 0.42, Vref: 1.0, VoltExp: 2, Tref: 25, TSlope: 30},
+		Uncore:   0.25,
+		Voltages: StaticTable{Table: synthTable(freqs, []float64{800, 840, 905, 1000, 1100}, 7, 18)},
+		Bins:     7,
+	}
+}
+
+// SD810 returns the Snapdragon 810 (20 nm, 2015): the Nexus 6P's
+// 4×Cortex-A57 + 4×Cortex-A53 big.LITTLE part, infamous for thermal
+// throttling, with RBCPR closed-loop voltage instead of a static table.
+func SD810() *SoC {
+	return &SoC{
+		Name:    "SD-810",
+		Process: "20nm",
+		Year:    2015,
+		Big: Cluster{
+			Name:               "Cortex-A57",
+			Cores:              4,
+			OPPs:               []units.MegaHertz{384, 960, 1248, 1555, 1958},
+			Ceff:               1.05e-9,
+			CyclesPerIteration: 1.9e9, // A57 out-of-order core: better IPC than Krait
+		},
+		Little: &Cluster{
+			Name:               "Cortex-A53",
+			Cores:              4,
+			OPPs:               []units.MegaHertz{384, 960, 1248, 1555},
+			Ceff:               0.35e-9,
+			CyclesPerIteration: 3.1e9, // in-order core
+		},
+		// 20 nm planar was a notoriously leaky node.
+		Leakage: silicon.LeakageModel{I0: 0.62, Vref: 1.0, VoltExp: 2, Tref: 25, TSlope: 32},
+		Uncore:  0.30,
+		Voltages: RBCPR{
+			Curve:       vf(384, 800, 960, 850, 1248, 900, 1555, 950, 1958, 1050),
+			LeakageTrim: 0.02,
+			TempTrim:    0.0006,
+			TempRef:     40,
+			MaxTrim:     0.12,
+		},
+		Bins: 1, // all the paper's Nexus 6P devices reported "speed-bin 0"
+	}
+}
+
+// SD820 returns the Snapdragon 820 (14 nm FinFET, 2016): the LG G5's quad
+// Kryo — core count cut back from the 810's octa-core, "possibly due to the
+// significant levels of thermal throttling on the Nexus 6P".
+func SD820() *SoC {
+	return &SoC{
+		Name:    "SD-820",
+		Process: "14nm",
+		Year:    2016,
+		Big: Cluster{
+			Name:               "Kryo",
+			Cores:              4,
+			OPPs:               []units.MegaHertz{307, 845, 1324, 1728, 2150},
+			Ceff:               0.78e-9,
+			CyclesPerIteration: 1.55e9,
+		},
+		Leakage: silicon.LeakageModel{I0: 0.45, Vref: 1.0, VoltExp: 2, Tref: 25, TSlope: 36},
+		Uncore:  0.25,
+		Voltages: RBCPR{
+			Curve:       vf(307, 765, 845, 800, 1324, 865, 1728, 940, 2150, 1065),
+			LeakageTrim: 0.02,
+			TempTrim:    0.0005,
+			TempRef:     40,
+			MaxTrim:     0.10,
+		},
+		Bins: 1, // neither binning information nor voltage tables exposed
+	}
+}
+
+// SD821 returns the Snapdragon 821 (14 nm FinFET, late 2016): the Google
+// Pixel's speed-bumped SD-820 twin.
+func SD821() *SoC {
+	return &SoC{
+		Name:    "SD-821",
+		Process: "14nm",
+		Year:    2016,
+		Big: Cluster{
+			Name:               "Kryo",
+			Cores:              4,
+			OPPs:               []units.MegaHertz{307, 1056, 1593, 1996, 2150},
+			Ceff:               0.75e-9,
+			CyclesPerIteration: 1.5e9,
+		},
+		Leakage: silicon.LeakageModel{I0: 0.42, Vref: 1.0, VoltExp: 2, Tref: 25, TSlope: 36},
+		Uncore:  0.22,
+		Voltages: RBCPR{
+			Curve:       vf(307, 760, 1056, 810, 1593, 880, 1996, 975, 2150, 1025),
+			LeakageTrim: 0.02,
+			TempTrim:    0.0005,
+			TempRef:     40,
+			MaxTrim:     0.10,
+		},
+		Bins: 1,
+	}
+}
+
+// Nexus5 returns the Nexus 5 handset model (SD-800).
+func Nexus5() *DeviceModel {
+	return &DeviceModel{
+		Name: "Nexus 5",
+		SoC:  SD800(),
+		Body: thermal.PhoneBody{
+			DieCapacitance:  3,
+			CaseCapacitance: 80,
+			DieToCase:       0.14,
+			CaseToAmbient:   0.33,
+		},
+		Battery: BatterySpec{Capacity: 2300, Nominal: 3.80, Maximum: 4.35, InternalOhms: 0.12},
+		Thermal: ThermalPolicy{
+			ThrottleAt:      79,
+			Hysteresis:      6,
+			CoreOfflineAt:   80, // paper Fig. 1
+			CoreOnlineBelow: 72,
+			MinOnlineCores:  2,
+			MinCapFreq:      960, // hammerhead bounds the cap; hotplug takes over
+		},
+		FixedFreq:   960,
+		SensorNoise: 0.3,
+	}
+}
+
+// Nexus6 returns the Nexus 6 handset model (SD-805) — a physically larger
+// phone with more thermal mass and sink area.
+func Nexus6() *DeviceModel {
+	return &DeviceModel{
+		Name: "Nexus 6",
+		SoC:  SD805(),
+		Body: thermal.PhoneBody{
+			DieCapacitance:  3.5,
+			CaseCapacitance: 110,
+			DieToCase:       0.16,
+			CaseToAmbient:   0.42,
+		},
+		Battery:     BatterySpec{Capacity: 3220, Nominal: 3.80, Maximum: 4.35, InternalOhms: 0.10},
+		Thermal:     ThermalPolicy{ThrottleAt: 78, Hysteresis: 5},
+		FixedFreq:   1190,
+		SensorNoise: 0.3,
+	}
+}
+
+// Nexus6P returns the Nexus 6P handset model (SD-810) — the aluminium body
+// helps, but the 20 nm octa-core still throttles hard.
+func Nexus6P() *DeviceModel {
+	return &DeviceModel{
+		Name: "Nexus 6P",
+		SoC:  SD810(),
+		Body: thermal.PhoneBody{
+			DieCapacitance:  4,
+			CaseCapacitance: 120,
+			DieToCase:       0.18,
+			CaseToAmbient:   0.60,
+		},
+		Battery:     BatterySpec{Capacity: 3450, Nominal: 3.84, Maximum: 4.35, InternalOhms: 0.10},
+		Thermal:     ThermalPolicy{ThrottleAt: 76, Hysteresis: 4},
+		FixedFreq:   960,
+		SensorNoise: 0.3,
+	}
+}
+
+// LGG5 returns the LG G5 handset model (SD-820), including its anomalous
+// input-voltage throttle: with the Monsoon at the battery's nominal 3.85 V
+// the OS caps the CPU ~20% below its top frequency (paper Fig. 10).
+func LGG5() *DeviceModel {
+	return &DeviceModel{
+		Name: "LG G5",
+		SoC:  SD820(),
+		Body: thermal.PhoneBody{
+			DieCapacitance:  3,
+			CaseCapacitance: 90,
+			DieToCase:       0.30,
+			CaseToAmbient:   0.55,
+		},
+		Battery: BatterySpec{Capacity: 2800, Nominal: 3.85, Maximum: 4.40, InternalOhms: 0.09},
+		Thermal: ThermalPolicy{ThrottleAt: 73, Hysteresis: 4},
+		VoltageThrottle: &InputVoltageThrottle{
+			Threshold: 3.95,
+			CapFreq:   1728,
+		},
+		FixedFreq:   845,
+		SensorNoise: 0.3,
+	}
+}
+
+// Pixel returns the Google Pixel handset model (SD-821).
+func Pixel() *DeviceModel {
+	return &DeviceModel{
+		Name: "Google Pixel",
+		SoC:  SD821(),
+		Body: thermal.PhoneBody{
+			DieCapacitance:  3,
+			CaseCapacitance: 95,
+			DieToCase:       0.24,
+			CaseToAmbient:   0.45,
+		},
+		Battery:     BatterySpec{Capacity: 2770, Nominal: 3.85, Maximum: 4.40, InternalOhms: 0.09},
+		Thermal:     ThermalPolicy{ThrottleAt: 73, Hysteresis: 4},
+		FixedFreq:   1056,
+		SensorNoise: 0.3,
+	}
+}
+
+// Models returns every handset model in the study, in SoC-generation order —
+// the iteration order of Table II.
+func Models() []*DeviceModel {
+	return []*DeviceModel{Nexus5(), Nexus6(), Nexus6P(), LGG5(), Pixel()}
+}
+
+// ModelByName looks a handset model up by its product name.
+func ModelByName(name string) (*DeviceModel, error) {
+	for _, m := range Models() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("soc: unknown device model %q", name)
+}

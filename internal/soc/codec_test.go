@@ -1,0 +1,129 @@
+package soc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"accubench/internal/silicon"
+)
+
+func TestSaveLoadRoundTripAllModels(t *testing.T) {
+	for _, m := range Models() {
+		var buf bytes.Buffer
+		if err := SaveModel(&buf, m); err != nil {
+			t.Fatalf("%s: save: %v", m.Name, err)
+		}
+		back, err := LoadModel(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", m.Name, err)
+		}
+		if back.Name != m.Name || back.SoC.Name != m.SoC.Name {
+			t.Errorf("%s: identity changed to %s/%s", m.Name, back.Name, back.SoC.Name)
+		}
+		if back.SoC.Big.Cores != m.SoC.Big.Cores || len(back.SoC.Big.OPPs) != len(m.SoC.Big.OPPs) {
+			t.Errorf("%s: big cluster changed", m.Name)
+		}
+		if (back.SoC.Little == nil) != (m.SoC.Little == nil) {
+			t.Errorf("%s: LITTLE presence changed", m.Name)
+		}
+		if back.Thermal != m.Thermal {
+			t.Errorf("%s: thermal policy changed: %+v vs %+v", m.Name, back.Thermal, m.Thermal)
+		}
+		if back.Battery != m.Battery {
+			t.Errorf("%s: battery changed", m.Name)
+		}
+		if back.FixedFreq != m.FixedFreq || back.SensorNoise != m.SensorNoise {
+			t.Errorf("%s: run parameters changed", m.Name)
+		}
+		if (back.VoltageThrottle == nil) != (m.VoltageThrottle == nil) {
+			t.Errorf("%s: voltage throttle presence changed", m.Name)
+		}
+		// Voltage schemes resolve identically after the round trip.
+		corner := silicon.ProcessCorner{Bin: 0, Leakage: 1.2}
+		for _, f := range m.SoC.Big.OPPs {
+			want, err1 := m.SoC.Voltages.Voltage(corner, f, 55)
+			got, err2 := back.SoC.Voltages.Voltage(corner, f, 55)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s: voltage resolution: %v / %v", m.Name, err1, err2)
+			}
+			if want != got {
+				t.Errorf("%s @%v: voltage %v != %v after round trip", m.Name, f, got, want)
+			}
+		}
+	}
+}
+
+func TestLoadedModelValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, Nexus5()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("loaded model invalid: %v", err)
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "{nope",
+		"unknown field":  `{"name":"x","bogus":1}`,
+		"unknown scheme": `{"name":"x","soc":{"name":"s","big":{"name":"b","cores":4,"opps_mhz":[100],"ceff_nf":1,"cycles_per_iteration":1},"leakage":{"i0_a":1,"vref_v":1,"volt_exp":2,"tref_c":25,"tslope_c":30},"uncore_w":0.1,"voltages":{"type":"magic"},"bins":1},"body":{"die_capacitance_j_c":3,"case_capacitance_j_c":80,"die_to_case_w_c":0.14,"case_to_ambient_w_c":0.33},"battery":{"capacity_mah":2300,"nominal_v":3.8,"maximum_v":4.35,"internal_ohms":0.1},"thermal":{"throttle_at_c":79,"hysteresis_c":6},"fixed_freq_mhz":100,"sensor_noise_c":0.3}`,
+	}
+	for name, payload := range cases {
+		if _, err := LoadModel(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadRejectsSemanticallyInvalid(t *testing.T) {
+	// Serialize a good model, corrupt the fixed frequency off-ladder, and
+	// ensure LoadModel's validation catches it.
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, Nexus5()); err != nil {
+		t.Fatal(err)
+	}
+	payload := strings.Replace(buf.String(), `"fixed_freq_mhz": 960`, `"fixed_freq_mhz": 961`, 1)
+	if payload == buf.String() {
+		t.Fatal("test fixture: fixed_freq_mhz not found in payload")
+	}
+	if _, err := LoadModel(strings.NewReader(payload)); err == nil {
+		t.Error("off-ladder fixed frequency accepted")
+	}
+}
+
+func TestSaveRejectsInvalidModel(t *testing.T) {
+	m := Nexus5()
+	m.Thermal.ThrottleAt = 0
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m); err == nil {
+		t.Error("invalid model serialized")
+	}
+}
+
+func TestLoadedModelRunsEndToEnd(t *testing.T) {
+	// The point of the codec: a JSON-defined handset is a first-class
+	// citizen. Round-trip the LG G5 (exercising RBCPR + voltage throttle)
+	// and check the scheme still trims leaky chips.
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, LGG5()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, _ := m.SoC.Voltages.Voltage(silicon.ProcessCorner{Leakage: 0.7}, 2150, 50)
+	leaky, _ := m.SoC.Voltages.Voltage(silicon.ProcessCorner{Leakage: 1.6}, 2150, 50)
+	if leaky >= quiet {
+		t.Errorf("RBCPR trim lost in round trip: %v vs %v", leaky, quiet)
+	}
+	if m.VoltageThrottle == nil || m.VoltageThrottle.Threshold != LGG5().VoltageThrottle.Threshold {
+		t.Error("voltage throttle lost in round trip")
+	}
+}

@@ -1,0 +1,81 @@
+package soc
+
+import (
+	"fmt"
+
+	"accubench/internal/silicon"
+	"accubench/internal/units"
+)
+
+// RBCPR models the Rapid-Bridge Core Power Reduction block the paper
+// describes on the SD-810 and later: "a feedback loop to optimize the
+// voltage settings for each core. These runtime voltage settings are
+// determined based on the binning process and current temperature of the
+// chip." There is no static per-bin table to read out of the kernel —
+// which is exactly why the paper could not extract one for the Nexus 6P.
+//
+// The model starts from a typical-silicon voltage/frequency curve and trims
+// a margin per chip:
+//
+//   - Leakier (faster) silicon closes timing with less voltage, so the trim
+//     grows with the chip's leakage corner (the CPR analogue of voltage
+//     binning).
+//   - Hot silicon is *slower* at the near-threshold end but CPR recovers
+//     guard-band margin as temperature rises; the net effect on these parts
+//     is a small negative voltage slope with temperature.
+//
+// The trim is clamped so the rail never leaves the curve's safety window.
+type RBCPR struct {
+	// Curve is the typical-silicon voltage at each OPP (ascending by
+	// frequency, snapping up like cpufreq).
+	Curve []silicon.VoltagePoint
+	// LeakageTrim is the fractional voltage reduction per unit of leakage
+	// corner above 1.0 (e.g. 0.04 → a 1.5× leaky chip runs 2% lower V).
+	LeakageTrim float64
+	// TempTrim is the fractional voltage reduction per °C above TempRef.
+	TempTrim float64
+	// TempRef is the reference temperature for the temperature trim.
+	TempRef units.Celsius
+	// MaxTrim caps the total fractional trim in either direction.
+	MaxTrim float64
+}
+
+// Voltage implements VoltageScheme.
+func (r RBCPR) Voltage(corner silicon.ProcessCorner, f units.MegaHertz, t units.Celsius) (units.Volts, error) {
+	if len(r.Curve) == 0 {
+		return 0, fmt.Errorf("soc: RBCPR has no voltage curve")
+	}
+	var base units.Volts
+	found := false
+	for _, p := range r.Curve {
+		if f <= p.Freq {
+			base = p.Voltage
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("soc: frequency %v above RBCPR curve top %v", f, r.Curve[len(r.Curve)-1].Freq)
+	}
+	trim := r.LeakageTrim*(corner.Leakage-1) + r.TempTrim*t.Delta(r.TempRef)
+	trim = units.Clamp(trim, -r.MaxTrim, r.MaxTrim)
+	return units.Volts(float64(base) * (1 - trim)), nil
+}
+
+// ExposesBins reports false: CPR-era parts hide binning from userspace.
+func (r RBCPR) ExposesBins() bool { return false }
+
+// vf is a catalog helper building a VoltagePoint list from (MHz, mV) pairs.
+func vf(pairs ...float64) []silicon.VoltagePoint {
+	if len(pairs)%2 != 0 {
+		panic("soc: vf needs (freq, mV) pairs")
+	}
+	out := make([]silicon.VoltagePoint, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, silicon.VoltagePoint{
+			Freq:    units.MegaHertz(pairs[i]),
+			Voltage: units.FromMillivolts(pairs[i+1]),
+		})
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+// Package soc describes the systems-on-chip and handset models under study:
+// the five Qualcomm generations of the paper (SD-800, SD-805, SD-810,
+// SD-820, SD-821) and the phones that carried them (Nexus 5, Nexus 6,
+// Nexus 6P, LG G5, Google Pixel).
+//
+// A SoC bundles its CPU clusters (OPP ladders, effective capacitance,
+// workload throughput), its leakage model, and its voltage scheme — either
+// a static per-bin voltage table (SD-800 era, paper Table I) or the
+// closed-loop RBCPR trimming of later parts. A DeviceModel adds the
+// handset's thermal body, battery and throttling policy.
+package soc
+
+import (
+	"fmt"
+
+	"accubench/internal/silicon"
+	"accubench/internal/thermal"
+	"accubench/internal/units"
+)
+
+// Cluster is one CPU cluster (e.g. the big A57 quad of the SD-810).
+type Cluster struct {
+	// Name is e.g. "Krait-400" or "Cortex-A57".
+	Name string
+	// Cores is the number of cores in the cluster.
+	Cores int
+	// OPPs is the ascending frequency ladder the cluster can run at.
+	OPPs []units.MegaHertz
+	// Ceff is the effective switching capacitance of one core.
+	Ceff units.Farads
+	// CyclesPerIteration is how many clock cycles one π-workload iteration
+	// (4,285 digits — paper §III) costs on this microarchitecture. It
+	// encodes IPC differences between generations.
+	CyclesPerIteration float64
+}
+
+// MaxFreq returns the top of the ladder.
+func (c Cluster) MaxFreq() units.MegaHertz {
+	if len(c.OPPs) == 0 {
+		return 0
+	}
+	return c.OPPs[len(c.OPPs)-1]
+}
+
+// StepDown returns the next OPP below f, or f unchanged if already at the
+// bottom. Frequencies off the ladder snap to the next OPP below.
+func (c Cluster) StepDown(f units.MegaHertz) units.MegaHertz {
+	prev := c.OPPs[0]
+	for _, opp := range c.OPPs {
+		if opp >= f {
+			break
+		}
+		prev = opp
+	}
+	return prev
+}
+
+// StepUp returns the next OPP above f, or f unchanged if already at the top.
+func (c Cluster) StepUp(f units.MegaHertz) units.MegaHertz {
+	for _, opp := range c.OPPs {
+		if opp > f {
+			return opp
+		}
+	}
+	return f
+}
+
+// IterationsPerSecond returns the cluster's per-core workload throughput at
+// the given frequency.
+func (c Cluster) IterationsPerSecond(f units.MegaHertz) float64 {
+	if c.CyclesPerIteration <= 0 {
+		return 0
+	}
+	return f.Hertz() / c.CyclesPerIteration
+}
+
+// Validate checks the cluster's invariants.
+func (c Cluster) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("soc: cluster %q has %d cores", c.Name, c.Cores)
+	}
+	if len(c.OPPs) == 0 {
+		return fmt.Errorf("soc: cluster %q has no OPPs", c.Name)
+	}
+	for i := 1; i < len(c.OPPs); i++ {
+		if c.OPPs[i] <= c.OPPs[i-1] {
+			return fmt.Errorf("soc: cluster %q OPP ladder not ascending at %d", c.Name, i)
+		}
+	}
+	if c.Ceff <= 0 {
+		return fmt.Errorf("soc: cluster %q Ceff %v", c.Name, c.Ceff)
+	}
+	if c.CyclesPerIteration <= 0 {
+		return fmt.Errorf("soc: cluster %q CyclesPerIteration %v", c.Name, c.CyclesPerIteration)
+	}
+	return nil
+}
+
+// VoltageScheme resolves the supply voltage for a chip at an operating point.
+// Static tables ignore die temperature; RBCPR uses it.
+type VoltageScheme interface {
+	// Voltage returns the rail voltage for the given chip corner running a
+	// cluster at frequency f with die temperature t.
+	Voltage(corner silicon.ProcessCorner, f units.MegaHertz, t units.Celsius) (units.Volts, error)
+	// ExposesBins reports whether the scheme makes binning information
+	// visible at runtime (true for the SD-800 era, false afterwards — the
+	// paper notes newer chips hide it).
+	ExposesBins() bool
+}
+
+// StaticTable adapts a silicon.VoltageTable to the VoltageScheme interface.
+type StaticTable struct {
+	Table *silicon.VoltageTable
+}
+
+// Voltage implements VoltageScheme by table lookup on the chip's bin.
+func (s StaticTable) Voltage(corner silicon.ProcessCorner, f units.MegaHertz, _ units.Celsius) (units.Volts, error) {
+	return s.Table.Voltage(corner.Bin, f)
+}
+
+// ExposesBins reports true: the table is readable from kernel sources.
+func (s StaticTable) ExposesBins() bool { return true }
+
+// SoC is one chip generation.
+type SoC struct {
+	// Name is e.g. "SD-800".
+	Name string
+	// Process is the fabrication node, e.g. "28nm".
+	Process string
+	// Year the SoC shipped.
+	Year int
+	// Big is the (or the only) high-performance cluster.
+	Big Cluster
+	// Little is the efficiency cluster; nil for homogeneous quads.
+	Little *Cluster
+	// Leakage is the generation's leakage model (per-chip corners scale it).
+	Leakage silicon.LeakageModel
+	// Uncore is constant CPU-rail overhead while any core is online.
+	Uncore units.Watts
+	// Voltages resolves rail voltages.
+	Voltages VoltageScheme
+	// Bins is how many voltage bins the product defines.
+	Bins int
+}
+
+// Validate checks the SoC's invariants.
+func (s *SoC) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("soc: unnamed SoC")
+	}
+	if err := s.Big.Validate(); err != nil {
+		return err
+	}
+	if s.Little != nil {
+		if err := s.Little.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.Voltages == nil {
+		return fmt.Errorf("soc: %s has no voltage scheme", s.Name)
+	}
+	if s.Bins <= 0 {
+		return fmt.Errorf("soc: %s has %d bins", s.Name, s.Bins)
+	}
+	// Every OPP must resolve to a voltage for every bin.
+	for b := 0; b < s.Bins; b++ {
+		corner := silicon.ProcessCorner{Bin: silicon.Bin(b), Leakage: 1}
+		clusters := []Cluster{s.Big}
+		if s.Little != nil {
+			clusters = append(clusters, *s.Little)
+		}
+		for _, c := range clusters {
+			for _, f := range c.OPPs {
+				if _, err := s.Voltages.Voltage(corner, f, 40); err != nil {
+					return fmt.Errorf("soc: %s bin %d %v: %w", s.Name, b, f, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TotalCores returns the core count across clusters.
+func (s *SoC) TotalCores() int {
+	n := s.Big.Cores
+	if s.Little != nil {
+		n += s.Little.Cores
+	}
+	return n
+}
+
+// ThermalPolicy is a handset's thermal-engine configuration: the governor
+// consumes it every poll interval.
+type ThermalPolicy struct {
+	// ThrottleAt is the die temperature above which the engine steps the
+	// frequency down one OPP per poll.
+	ThrottleAt units.Celsius
+	// Hysteresis is how far below ThrottleAt the die must cool before the
+	// engine steps frequency back up.
+	Hysteresis float64
+	// CoreOfflineAt, if non-zero, is the die temperature at which the
+	// engine additionally offlines one big core (Nexus 5 behaviour, paper
+	// Fig. 1: "Once thermal limits of 80°C are reached, one CPU core is
+	// shut down").
+	CoreOfflineAt units.Celsius
+	// CoreOnlineBelow is the temperature below which offlined cores return.
+	CoreOnlineBelow units.Celsius
+	// MinOnlineCores bounds how many big cores the engine may offline.
+	MinOnlineCores int
+	// MinCapFreq, if non-zero, is the lowest frequency the engine's
+	// step-down throttling may impose. The Nexus 5's msm_thermal config
+	// bounds the frequency cap and relies on core hotplug past that point —
+	// which is how its die actually reaches the 80 °C shutdown trip.
+	MinCapFreq units.MegaHertz
+}
+
+// InputVoltageThrottle models the LG G5's anomalous non-thermal throttling
+// (paper Fig. 10): when the supply voltage sags below Threshold, the OS caps
+// the CPU to CapFreq.
+type InputVoltageThrottle struct {
+	// Threshold is the supply voltage below which the cap engages.
+	Threshold units.Volts
+	// CapFreq is the maximum frequency while throttled.
+	CapFreq units.MegaHertz
+}
+
+// BatterySpec describes the handset's stock battery.
+type BatterySpec struct {
+	Capacity units.MilliampHours
+	// Nominal is the voltage printed on the label — what the paper
+	// initially configured the Monsoon to.
+	Nominal units.Volts
+	// Maximum is the full-charge voltage printed on the label (4.4 V on the
+	// LG G5 — the setting that un-throttled it).
+	Maximum units.Volts
+	// InternalOhms is the pack's series resistance.
+	InternalOhms float64
+}
+
+// DeviceModel is a handset product: a SoC in a body with a policy.
+type DeviceModel struct {
+	// Name is e.g. "Nexus 5".
+	Name string
+	// SoC is the chip generation inside.
+	SoC *SoC
+	// Body is the handset's thermal configuration.
+	Body thermal.PhoneBody
+	// Battery is the stock pack.
+	Battery BatterySpec
+	// Thermal is the throttling policy.
+	Thermal ThermalPolicy
+	// VoltageThrottle is non-nil only for handsets that throttle on input
+	// voltage (LG G5).
+	VoltageThrottle *InputVoltageThrottle
+	// FixedFreq is the frequency the paper's FIXED-FREQUENCY workload pins:
+	// "a fixed, low frequency that was guaranteed to not thermally
+	// throttle".
+	FixedFreq units.MegaHertz
+	// SensorNoise is the 1σ noise of the on-die temperature sensor in °C.
+	SensorNoise float64
+}
+
+// Validate checks the model's invariants.
+func (m *DeviceModel) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("soc: unnamed device model")
+	}
+	if m.SoC == nil {
+		return fmt.Errorf("soc: %s has no SoC", m.Name)
+	}
+	if err := m.SoC.Validate(); err != nil {
+		return err
+	}
+	if m.Thermal.ThrottleAt <= 0 {
+		return fmt.Errorf("soc: %s has no throttle point", m.Name)
+	}
+	if m.Thermal.Hysteresis <= 0 {
+		return fmt.Errorf("soc: %s has non-positive hysteresis", m.Name)
+	}
+	found := false
+	for _, f := range m.SoC.Big.OPPs {
+		if f == m.FixedFreq {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("soc: %s FixedFreq %v is not an OPP", m.Name, m.FixedFreq)
+	}
+	return nil
+}

@@ -1,0 +1,370 @@
+package soc
+
+import (
+	"math"
+	"testing"
+
+	"accubench/internal/silicon"
+	"accubench/internal/units"
+)
+
+func TestAllCatalogModelsValidate(t *testing.T) {
+	models := Models()
+	if len(models) != 5 {
+		t.Fatalf("catalog has %d models, want 5 (the paper's 5 SoC generations)", len(models))
+	}
+	for _, m := range models {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestCatalogOrderMatchesTableII(t *testing.T) {
+	want := []struct{ model, soc string }{
+		{"Nexus 5", "SD-800"},
+		{"Nexus 6", "SD-805"},
+		{"Nexus 6P", "SD-810"},
+		{"LG G5", "SD-820"},
+		{"Google Pixel", "SD-821"},
+	}
+	for i, m := range Models() {
+		if m.Name != want[i].model || m.SoC.Name != want[i].soc {
+			t.Errorf("slot %d = %s/%s, want %s/%s", i, m.Name, m.SoC.Name, want[i].model, want[i].soc)
+		}
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	m, err := ModelByName("Nexus 6P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SoC.Name != "SD-810" {
+		t.Errorf("Nexus 6P SoC = %s", m.SoC.Name)
+	}
+	if _, err := ModelByName("iPhone"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestClusterStepping(t *testing.T) {
+	c := SD800().Big
+	if got := c.StepDown(2265); got != 1574 {
+		t.Errorf("StepDown(2265) = %v", got)
+	}
+	if got := c.StepDown(300); got != 300 {
+		t.Errorf("StepDown at floor = %v", got)
+	}
+	if got := c.StepUp(960); got != 1574 {
+		t.Errorf("StepUp(960) = %v", got)
+	}
+	if got := c.StepUp(2265); got != 2265 {
+		t.Errorf("StepUp at ceiling = %v", got)
+	}
+	// Off-ladder frequencies snap sensibly.
+	if got := c.StepDown(1000); got != 960 {
+		t.Errorf("StepDown(1000) = %v", got)
+	}
+	if got := c.StepUp(1000); got != 1574 {
+		t.Errorf("StepUp(1000) = %v", got)
+	}
+	if c.MaxFreq() != 2265 {
+		t.Errorf("MaxFreq = %v", c.MaxFreq())
+	}
+}
+
+func TestPaperWorkloadSizingAnchor(t *testing.T) {
+	// "This number was chosen as it was estimated to take roughly 1 second
+	// to compute at the highest frequency on the Nexus 6."
+	c := SD805().Big
+	ips := c.IterationsPerSecond(c.MaxFreq())
+	if math.Abs(ips-1.0) > 0.05 {
+		t.Errorf("Nexus 6 max-freq throughput = %v iter/s, want ≈1", ips)
+	}
+}
+
+func TestNewerCoresHaveBetterIPC(t *testing.T) {
+	// Cycles per iteration must fall monotonically across Krait → A57 → Kryo.
+	krait := SD800().Big.CyclesPerIteration
+	a57 := SD810().Big.CyclesPerIteration
+	kryo := SD820().Big.CyclesPerIteration
+	if !(krait > a57 && a57 > kryo) {
+		t.Errorf("IPC ordering wrong: Krait %v, A57 %v, Kryo %v cycles/iter", krait, a57, kryo)
+	}
+}
+
+func TestSD810IsBigLittle(t *testing.T) {
+	s := SD810()
+	if s.Little == nil {
+		t.Fatal("SD-810 has no LITTLE cluster")
+	}
+	if s.TotalCores() != 8 {
+		t.Errorf("SD-810 cores = %d, want 8", s.TotalCores())
+	}
+	if s.Big.Cores != 4 || s.Little.Cores != 4 {
+		t.Errorf("cluster split = %d+%d", s.Big.Cores, s.Little.Cores)
+	}
+	// LITTLE core must be cheaper and slower than big.
+	if s.Little.Ceff >= s.Big.Ceff {
+		t.Error("LITTLE Ceff not below big")
+	}
+	if s.Little.CyclesPerIteration <= s.Big.CyclesPerIteration {
+		t.Error("LITTLE IPC not below big")
+	}
+}
+
+func TestQuadGenerationsHaveNoLittle(t *testing.T) {
+	for _, s := range []*SoC{SD800(), SD805(), SD820(), SD821()} {
+		if s.Little != nil {
+			t.Errorf("%s should be a homogeneous quad", s.Name)
+		}
+		if s.TotalCores() != 4 {
+			t.Errorf("%s cores = %d", s.Name, s.TotalCores())
+		}
+	}
+}
+
+func TestBinExposureMatchesPaper(t *testing.T) {
+	// SD-800/805 exposed binning at runtime; SD-810 onward hid it.
+	if !SD800().Voltages.ExposesBins() {
+		t.Error("SD-800 should expose bins")
+	}
+	if !SD805().Voltages.ExposesBins() {
+		t.Error("SD-805 should expose bins")
+	}
+	for _, s := range []*SoC{SD810(), SD820(), SD821()} {
+		if s.Voltages.ExposesBins() {
+			t.Errorf("%s should hide bins (RBCPR era)", s.Name)
+		}
+	}
+}
+
+func TestSD800UsesPaperTableI(t *testing.T) {
+	s := SD800()
+	v, err := s.Voltages.Voltage(silicon.ProcessCorner{Bin: 0, Leakage: 0.6}, 2265, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Millivolts() != 1100 {
+		t.Errorf("bin-0 @2265 = %v mV, want 1100 (Table I)", v.Millivolts())
+	}
+	v, err = s.Voltages.Voltage(silicon.ProcessCorner{Bin: 6, Leakage: 2.0}, 2265, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Millivolts() != 950 {
+		t.Errorf("bin-6 @2265 = %v mV, want 950 (Table I)", v.Millivolts())
+	}
+}
+
+func TestRBCPRTrimsLeakyChips(t *testing.T) {
+	s := SD810()
+	quiet := silicon.ProcessCorner{Leakage: 0.8}
+	leaky := silicon.ProcessCorner{Leakage: 1.6}
+	vq, err := s.Voltages.Voltage(quiet, 1958, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vl, err := s.Voltages.Voltage(leaky, 1958, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vl >= vq {
+		t.Errorf("leaky chip voltage %v not below quiet chip %v", vl, vq)
+	}
+}
+
+func TestRBCPRTempTrim(t *testing.T) {
+	s := SD810()
+	corner := silicon.ProcessCorner{Leakage: 1}
+	cold, _ := s.Voltages.Voltage(corner, 1958, 30)
+	hot, _ := s.Voltages.Voltage(corner, 1958, 80)
+	if hot >= cold {
+		t.Errorf("hot voltage %v not trimmed below cold %v", hot, cold)
+	}
+}
+
+func TestRBCPRTrimClamped(t *testing.T) {
+	r := RBCPR{
+		Curve:       vf(1000, 1000),
+		LeakageTrim: 1.0, // absurd, must clamp
+		TempTrim:    0.1,
+		TempRef:     25,
+		MaxTrim:     0.10,
+	}
+	v, err := r.Voltage(silicon.ProcessCorner{Leakage: 100}, 1000, 125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Millivolts() < 899.9 {
+		t.Errorf("trim exceeded clamp: %v mV", v.Millivolts())
+	}
+}
+
+func TestRBCPRErrors(t *testing.T) {
+	r := RBCPR{Curve: vf(1000, 900)}
+	if _, err := r.Voltage(silicon.ProcessCorner{Leakage: 1}, 2000, 40); err == nil {
+		t.Error("frequency above curve accepted")
+	}
+	empty := RBCPR{}
+	if _, err := empty.Voltage(silicon.ProcessCorner{Leakage: 1}, 100, 40); err == nil {
+		t.Error("empty curve accepted")
+	}
+}
+
+func TestVFHelperPanicsOnOddArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("vf with odd args did not panic")
+		}
+	}()
+	vf(1000)
+}
+
+func TestSynthTableShape(t *testing.T) {
+	s := SD805()
+	st, ok := s.Voltages.(StaticTable)
+	if !ok {
+		t.Fatal("SD-805 scheme is not a static table")
+	}
+	if st.Table.Bins() != 7 {
+		t.Errorf("SD-805 bins = %d", st.Table.Bins())
+	}
+	// Bin monotonicity is enforced by construction; spot-check the spread.
+	v0, _ := st.Table.Voltage(0, 2649)
+	v6, _ := st.Table.Voltage(6, 2649)
+	spreadMV := v0.Millivolts() - v6.Millivolts()
+	if spreadMV < 60 || spreadMV > 200 {
+		t.Errorf("bin voltage spread = %v mV, want the ~100 mV of Table I", spreadMV)
+	}
+}
+
+func TestLGG5VoltageThrottleConfig(t *testing.T) {
+	g5 := LGG5()
+	vt := g5.VoltageThrottle
+	if vt == nil {
+		t.Fatal("LG G5 must have an input-voltage throttle")
+	}
+	if vt.Threshold <= g5.Battery.Nominal {
+		t.Errorf("threshold %v must sit above the nominal %v for the paper's anomaly to fire",
+			vt.Threshold, g5.Battery.Nominal)
+	}
+	if vt.Threshold >= g5.Battery.Maximum {
+		t.Errorf("threshold %v must sit below the 4.4 V max so the fix works", vt.Threshold)
+	}
+	// The cap costs ≈20% of top frequency (paper: "throttled by ≈20%").
+	drop := 1 - float64(vt.CapFreq)/float64(g5.SoC.Big.MaxFreq())
+	if drop < 0.12 || drop > 0.28 {
+		t.Errorf("voltage-throttle frequency drop = %.0f%%, want ≈20%%", drop*100)
+	}
+	// No other handset has one.
+	for _, m := range Models() {
+		if m.Name != "LG G5" && m.VoltageThrottle != nil {
+			t.Errorf("%s unexpectedly has a voltage throttle", m.Name)
+		}
+	}
+}
+
+func TestOnlyNexus5ShedsCores(t *testing.T) {
+	for _, m := range Models() {
+		hasShed := m.Thermal.CoreOfflineAt != 0
+		if (m.Name == "Nexus 5") != hasShed {
+			t.Errorf("%s core-shutdown config wrong (CoreOfflineAt=%v)", m.Name, m.Thermal.CoreOfflineAt)
+		}
+	}
+	n5 := Nexus5()
+	if n5.Thermal.CoreOfflineAt != 80 {
+		t.Errorf("Nexus 5 sheds at %v, paper says 80°C", n5.Thermal.CoreOfflineAt)
+	}
+}
+
+func TestFixedFreqDoesNotThrottle(t *testing.T) {
+	// The FIXED-FREQUENCY operating point must be "guaranteed to not
+	// thermally throttle": steady-state die temperature at that OPP stays
+	// below the throttle trip for a typical chip at the paper's 26°C ambient.
+	for _, m := range Models() {
+		corner := silicon.ProcessCorner{Bin: silicon.Bin(m.SoC.Bins / 2), Leakage: 1}
+		v, err := m.SoC.Voltages.Voltage(corner, m.FixedFreq, 60)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		// Upper-bound the power: dynamic at the fixed OPP plus generous leak.
+		dyn := float64(m.SoC.Big.Ceff) * float64(v) * float64(v) * m.FixedFreq.Hertz() * float64(m.SoC.Big.Cores)
+		if m.SoC.Little != nil {
+			dyn += float64(m.SoC.Little.Ceff) * float64(v) * float64(v) * m.FixedFreq.Hertz() * float64(m.SoC.Little.Cores)
+		}
+		leak := float64(m.SoC.Leakage.Power(1.5, v, 70))
+		p := units.Watts(dyn + leak + float64(m.SoC.Uncore))
+		die := m.Body.SteadyStateDie(26, p)
+		if die >= m.Thermal.ThrottleAt {
+			t.Errorf("%s: fixed-freq steady die %v reaches throttle %v (power %v)",
+				m.Name, die, m.Thermal.ThrottleAt, p)
+		}
+	}
+}
+
+func TestUnconstrainedMaxPowerThrottles(t *testing.T) {
+	// Conversely, every model at its top OPP must exceed its sustainable
+	// power — the paper's UNCONSTRAINED workload throttles on all devices.
+	for _, m := range Models() {
+		corner := silicon.ProcessCorner{Bin: 0, Leakage: 1}
+		f := m.SoC.Big.MaxFreq()
+		v, err := m.SoC.Voltages.Voltage(corner, f, 80)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		dyn := float64(m.SoC.Big.Ceff) * float64(v) * float64(v) * f.Hertz() * float64(m.SoC.Big.Cores)
+		leak := float64(m.SoC.Leakage.Power(1.0, v, 80))
+		p := units.Watts(dyn + leak + float64(m.SoC.Uncore))
+		die := m.Body.SteadyStateDie(26, p)
+		if die <= m.Thermal.ThrottleAt {
+			t.Errorf("%s: max-freq steady die %v never reaches throttle %v — UNCONSTRAINED would not throttle",
+				m.Name, die, m.Thermal.ThrottleAt)
+		}
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	good := Cluster{Name: "x", Cores: 4, OPPs: []units.MegaHertz{100, 200}, Ceff: 1e-9, CyclesPerIteration: 1e9}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good cluster rejected: %v", err)
+	}
+	bad := []Cluster{
+		{Name: "cores", Cores: 0, OPPs: good.OPPs, Ceff: 1e-9, CyclesPerIteration: 1e9},
+		{Name: "opps", Cores: 4, OPPs: nil, Ceff: 1e-9, CyclesPerIteration: 1e9},
+		{Name: "order", Cores: 4, OPPs: []units.MegaHertz{200, 100}, Ceff: 1e-9, CyclesPerIteration: 1e9},
+		{Name: "ceff", Cores: 4, OPPs: good.OPPs, Ceff: 0, CyclesPerIteration: 1e9},
+		{Name: "cycles", Cores: 4, OPPs: good.OPPs, Ceff: 1e-9, CyclesPerIteration: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("cluster %q accepted", c.Name)
+		}
+	}
+}
+
+func TestDeviceModelValidation(t *testing.T) {
+	m := Nexus5()
+	m.FixedFreq = 1000 // not an OPP
+	if err := m.Validate(); err == nil {
+		t.Error("off-ladder FixedFreq accepted")
+	}
+	m2 := Nexus5()
+	m2.Thermal.ThrottleAt = 0
+	if err := m2.Validate(); err == nil {
+		t.Error("missing throttle point accepted")
+	}
+	m3 := Nexus5()
+	m3.SoC = nil
+	if err := m3.Validate(); err == nil {
+		t.Error("missing SoC accepted")
+	}
+}
+
+func TestIterationsPerSecondZeroGuard(t *testing.T) {
+	c := Cluster{CyclesPerIteration: 0}
+	if got := c.IterationsPerSecond(1000); got != 0 {
+		t.Errorf("IterationsPerSecond with zero cycles = %v", got)
+	}
+}

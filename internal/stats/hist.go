@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram bins samples over a fixed range. The paper's Figures 11 and 12
+// present frequency and temperature *distributions* over time; Histogram is
+// the data structure those experiments populate.
+type Histogram struct {
+	lo, hi float64
+	counts []int
+	total  int
+	under  int // samples below lo
+	over   int // samples at or above hi
+}
+
+// NewHistogram creates a histogram with the given number of equal-width bins
+// covering [lo, hi). It panics on a non-positive bin count or an empty range.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic(fmt.Sprintf("stats: histogram with %d bins", bins))
+	}
+	if !(lo < hi) {
+		panic(fmt.Sprintf("stats: histogram range [%v,%v) is empty", lo, hi))
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, bins)}
+}
+
+// Add records one sample. Samples outside [lo, hi) are tallied in under/over
+// overflow bins rather than dropped, so totals always balance.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		width := (h.hi - h.lo) / float64(len(h.counts))
+		idx := int((x - h.lo) / width)
+		if idx == len(h.counts) { // guard against float rounding at the top edge
+			idx--
+		}
+		h.counts[idx]++
+	}
+}
+
+// Total returns the number of samples recorded, including overflow.
+func (h *Histogram) Total() int { return h.total }
+
+// Bins returns, per bin, the lower edge and the fraction of all samples that
+// landed in the bin.
+func (h *Histogram) Bins() []HistBin {
+	width := (h.hi - h.lo) / float64(len(h.counts))
+	out := make([]HistBin, len(h.counts))
+	for i, c := range h.counts {
+		frac := 0.0
+		if h.total > 0 {
+			frac = float64(c) / float64(h.total)
+		}
+		out[i] = HistBin{Lo: h.lo + float64(i)*width, Hi: h.lo + float64(i+1)*width, Count: c, Frac: frac}
+	}
+	return out
+}
+
+// OutOfRange returns the counts of samples below and above the histogram
+// range.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// HistBin is one histogram bucket.
+type HistBin struct {
+	Lo, Hi float64
+	Count  int
+	Frac   float64
+}
+
+// WeightedMean returns the mean of samples as estimated from bin midpoints.
+// Out-of-range samples are excluded.
+func (h *Histogram) WeightedMean() float64 {
+	in := h.total - h.under - h.over
+	if in == 0 {
+		return 0
+	}
+	width := (h.hi - h.lo) / float64(len(h.counts))
+	var sum float64
+	for i, c := range h.counts {
+		mid := h.lo + (float64(i)+0.5)*width
+		sum += mid * float64(c)
+	}
+	return sum / float64(in)
+}
+
+// LinearFit fits y = a + b·x by least squares and returns the intercept a and
+// slope b. It panics if xs and ys differ in length or have fewer than two
+// points, or if all xs are identical (vertical line).
+func LinearFit(xs, ys []float64) (a, b float64) {
+	if len(xs) != len(ys) {
+		panic("stats: LinearFit length mismatch")
+	}
+	if len(xs) < 2 {
+		panic("stats: LinearFit needs at least two points")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		panic("stats: LinearFit on vertical data")
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	return a, b
+}
+
+// BootstrapCI estimates a (1-alpha) confidence interval for the mean of xs by
+// resampling. draw is a deterministic uniform source in [0,1) so results are
+// reproducible; iters resamples are taken. It panics on an empty sample.
+func BootstrapCI(xs []float64, alpha float64, iters int, draw func() float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: BootstrapCI of empty sample")
+	}
+	if iters <= 0 {
+		iters = 1000
+	}
+	means := make([]float64, iters)
+	for i := 0; i < iters; i++ {
+		var sum float64
+		for j := 0; j < len(xs); j++ {
+			idx := int(draw() * float64(len(xs)))
+			if idx == len(xs) {
+				idx--
+			}
+			sum += xs[idx]
+		}
+		means[i] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	loIdx := int(math.Floor(alpha / 2 * float64(iters)))
+	hiIdx := int(math.Ceil((1 - alpha/2) * float64(iters)))
+	if hiIdx >= iters {
+		hiIdx = iters - 1
+	}
+	return means[loIdx], means[hiIdx]
+}
+
+// WelchT computes Welch's t statistic and approximate degrees of freedom for
+// two independent samples — the significance machinery behind the paper's
+// "we are confident that these are real variations with our errors being
+// 1.2%". It panics if either sample has fewer than two points.
+func WelchT(a, b []float64) (t, df float64) {
+	if len(a) < 2 || len(b) < 2 {
+		panic("stats: WelchT needs at least two points per sample")
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a)/float64(len(a)), Variance(b)/float64(len(b))
+	if va+vb == 0 {
+		if ma == mb {
+			return 0, float64(len(a) + len(b) - 2)
+		}
+		return math.Inf(sign(ma - mb)), float64(len(a) + len(b) - 2)
+	}
+	t = (ma - mb) / math.Sqrt(va+vb)
+	df = (va + vb) * (va + vb) /
+		(va*va/float64(len(a)-1) + vb*vb/float64(len(b)-1))
+	return t, df
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// SignificantlyDifferent reports whether two samples' means differ at
+// roughly the 5% level: |t| above the two-tailed critical value for the
+// Welch degrees of freedom (a small lookup with conservative interpolation
+// — adequate for the harness's sanity checks, not a stats library).
+func SignificantlyDifferent(a, b []float64) bool {
+	t, df := WelchT(a, b)
+	return math.Abs(t) > tCritical95(df)
+}
+
+// tCritical95 returns the two-tailed 5% critical value of Student's t.
+func tCritical95(df float64) float64 {
+	table := []struct {
+		df   float64
+		crit float64
+	}{
+		{1, 12.71}, {2, 4.30}, {3, 3.18}, {4, 2.78}, {5, 2.57},
+		{6, 2.45}, {7, 2.36}, {8, 2.31}, {9, 2.26}, {10, 2.23},
+		{15, 2.13}, {20, 2.09}, {30, 2.04}, {60, 2.00}, {120, 1.98},
+	}
+	if df <= table[0].df {
+		return table[0].crit
+	}
+	for i := 1; i < len(table); i++ {
+		if df <= table[i].df {
+			lo, hi := table[i-1], table[i]
+			frac := (df - lo.df) / (hi.df - lo.df)
+			return lo.crit + frac*(hi.crit-lo.crit)
+		}
+	}
+	return 1.96
+}

@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1, 2.5, 5, 9.99} {
+		h.Add(x)
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	bins := h.Bins()
+	if len(bins) != 5 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	// Bin 0 covers [0,2): two samples (0, 1).
+	if bins[0].Count != 2 {
+		t.Errorf("bin0 count = %d, want 2", bins[0].Count)
+	}
+	if math.Abs(bins[0].Frac-0.4) > 1e-12 {
+		t.Errorf("bin0 frac = %v, want 0.4", bins[0].Frac)
+	}
+	// Top edge 9.99 lands in last bin.
+	if bins[4].Count != 1 {
+		t.Errorf("bin4 count = %d, want 1", bins[4].Count)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	h.Add(-1)
+	h.Add(10) // hi edge is exclusive
+	h.Add(42)
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Errorf("under,over = %d,%d; want 1,2", under, over)
+	}
+	if h.Total() != 3 {
+		t.Errorf("Total = %d, want 3 (overflow still counted)", h.Total())
+	}
+}
+
+func TestHistogramCountsBalance(t *testing.T) {
+	h := NewHistogram(-5, 5, 7)
+	n := 0
+	for x := -10.0; x < 10; x += 0.37 {
+		h.Add(x)
+		n++
+	}
+	sum := 0
+	for _, b := range h.Bins() {
+		sum += b.Count
+	}
+	under, over := h.OutOfRange()
+	if sum+under+over != n || h.Total() != n {
+		t.Errorf("counts don't balance: binned=%d under=%d over=%d total=%d n=%d",
+			sum, under, over, h.Total(), n)
+	}
+}
+
+func TestHistogramWeightedMean(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	// All samples at 4.5 land in bin [4,5) whose midpoint is 4.5.
+	for i := 0; i < 100; i++ {
+		h.Add(4.5)
+	}
+	if got := h.WeightedMean(); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("WeightedMean = %v, want 4.5", got)
+	}
+	empty := NewHistogram(0, 1, 2)
+	if got := empty.WeightedMean(); got != 0 {
+		t.Errorf("WeightedMean of empty = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero bins":   func() { NewHistogram(0, 1, 0) },
+		"empty range": func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	// y = 3 + 2x exactly.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{3, 5, 7, 9}
+	a, b := LinearFit(xs, ys)
+	if math.Abs(a-3) > 1e-9 || math.Abs(b-2) > 1e-9 {
+		t.Errorf("fit = (%v, %v), want (3, 2)", a, b)
+	}
+}
+
+func TestLinearFitNoise(t *testing.T) {
+	// Slightly perturbed line still recovers approximate slope.
+	xs := []float64{10, 20, 30, 40, 50}
+	ys := []float64{101, 121, 138, 161, 179}
+	_, b := LinearFit(xs, ys)
+	if b < 1.8 || b > 2.2 {
+		t.Errorf("slope = %v, want ≈2", b)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"mismatch": func() { LinearFit([]float64{1}, []float64{1, 2}) },
+		"short":    func() { LinearFit([]float64{1}, []float64{1}) },
+		"vertical": func() { LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	xs := []float64{10, 11, 9, 10.5, 9.5, 10, 10.2, 9.8}
+	// Deterministic linear-congruential draw.
+	state := uint64(12345)
+	draw := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	lo, hi := BootstrapCI(xs, 0.05, 500, draw)
+	m := Mean(xs)
+	if !(lo <= m && m <= hi) {
+		t.Errorf("CI [%v,%v] does not contain the sample mean %v", lo, hi, m)
+	}
+	if hi-lo <= 0 {
+		t.Errorf("degenerate CI [%v,%v]", lo, hi)
+	}
+	if hi-lo > 2 {
+		t.Errorf("implausibly wide CI [%v,%v] for tight data", lo, hi)
+	}
+}
+
+func TestBootstrapCIEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BootstrapCI(nil) did not panic")
+		}
+	}()
+	BootstrapCI(nil, 0.05, 10, func() float64 { return 0.5 })
+}
+
+func TestWelchT(t *testing.T) {
+	// Clearly different samples.
+	a := []float64{100, 101, 99, 100.5, 99.5}
+	b := []float64{90, 91, 89, 90.5, 89.5}
+	tt, df := WelchT(a, b)
+	if tt < 10 {
+		t.Errorf("t = %v for well-separated samples, want large positive", tt)
+	}
+	if df < 2 || df > 8 {
+		t.Errorf("df = %v, want within (2,8) for n=5,5", df)
+	}
+	if !SignificantlyDifferent(a, b) {
+		t.Error("well-separated samples not significant")
+	}
+	// Order flips the sign.
+	tneg, _ := WelchT(b, a)
+	if tneg >= 0 {
+		t.Errorf("reversed t = %v, want negative", tneg)
+	}
+}
+
+func TestWelchTOverlappingSamples(t *testing.T) {
+	a := []float64{100, 102, 98, 101, 99}
+	b := []float64{100.5, 101.5, 98.5, 99.5, 100}
+	if SignificantlyDifferent(a, b) {
+		t.Error("overlapping samples flagged significant")
+	}
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	// Identical constant samples: t=0.
+	tt, _ := WelchT([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if tt != 0 {
+		t.Errorf("t = %v for identical constants", tt)
+	}
+	// Different constants: infinite separation.
+	tt, _ = WelchT([]float64{5, 5}, []float64{6, 6})
+	if !math.IsInf(tt, -1) {
+		t.Errorf("t = %v for distinct constants, want -Inf", tt)
+	}
+}
+
+func TestWelchTPanicsOnShortSamples(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WelchT with 1 point did not panic")
+		}
+	}()
+	WelchT([]float64{1}, []float64{1, 2})
+}
+
+func TestTCritical95Monotone(t *testing.T) {
+	prev := tCritical95(1)
+	for _, df := range []float64{2, 3, 5, 8, 12, 25, 50, 100, 500} {
+		cur := tCritical95(df)
+		if cur > prev {
+			t.Errorf("critical value rose at df=%v: %v after %v", df, cur, prev)
+		}
+		prev = cur
+	}
+	if got := tCritical95(1e6); got != 1.96 {
+		t.Errorf("asymptotic critical = %v, want 1.96", got)
+	}
+}

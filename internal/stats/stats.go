@@ -1,0 +1,193 @@
+// Package stats implements the descriptive statistics the paper uses to
+// report its results: means with error bars, Relative Standard Deviation
+// (RSD, the absolute coefficient of variation — the paper's error metric),
+// normalization of results within a device model, percentiles, histograms
+// and simple linear fits.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by summaries over empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice;
+// callers that must distinguish use Summary.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance. Fewer than two
+// samples have zero variance by convention.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// RSD returns the Relative Standard Deviation as a percentage — the error
+// metric the paper reports ("errors are represented in the form of Relative
+// Standard Deviation (RSD), or the absolute value of the coefficient of
+// variation"). A zero mean yields 0 to avoid a meaningless infinity.
+func RSD(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return math.Abs(StdDev(xs)/m) * 100
+}
+
+// Min returns the smallest element. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty sample")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty sample")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Spread returns the relative spread (max-min)/max as a percentage — the
+// "variation" number the paper reports per chipset (e.g. bin-0 is 14% faster
+// than bin-3, so the SD-800 performance variation is 14%).
+func Spread(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mx := Max(xs)
+	if mx == 0 {
+		return 0
+	}
+	return (mx - Min(xs)) / mx * 100
+}
+
+// Normalize scales xs so its maximum is 1, the form the paper's per-SoC bar
+// charts use. A zero maximum returns a copy unchanged.
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	mx := 0.0
+	for _, x := range xs {
+		if x > mx {
+			mx = x
+		}
+	}
+	if mx == 0 {
+		copy(out, xs)
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / mx
+	}
+	return out
+}
+
+// NormalizeToFirst scales xs so its first element is 1, used when the paper
+// normalizes against a reference device rather than the best one.
+func NormalizeToFirst(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 || xs[0] == 0 {
+		copy(out, xs)
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / xs[0]
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) using linear interpolation
+// between closest ranks. It panics on an empty sample or p outside [0,100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,100]", p))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Summary bundles the descriptive statistics the paper reports for a set of
+// experiment iterations.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	RSD    float64 // percent
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary. It returns ErrEmpty for an empty sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		RSD:    RSD(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+	}, nil
+}
+
+// String renders e.g. "n=5 mean=812.40 ±1.23% [795.00,830.00]".
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f ±%.2f%% [%.2f,%.2f]", s.N, s.Mean, s.RSD, s.Min, s.Max)
+}

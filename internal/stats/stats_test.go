@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestMean(t *testing.T) {
+	approx(t, "Mean", Mean([]float64{1, 2, 3, 4}), 2.5, 1e-12)
+	approx(t, "Mean empty", Mean(nil), 0, 0)
+	approx(t, "Mean single", Mean([]float64{7}), 7, 0)
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance (n-1) of this classic set is 32/7.
+	approx(t, "Variance", Variance(xs), 32.0/7.0, 1e-12)
+	approx(t, "StdDev", StdDev(xs), math.Sqrt(32.0/7.0), 1e-12)
+	approx(t, "Variance single", Variance([]float64{5}), 0, 0)
+}
+
+func TestRSD(t *testing.T) {
+	// Constant data: zero RSD.
+	approx(t, "RSD constant", RSD([]float64{5, 5, 5}), 0, 0)
+	// Known example.
+	xs := []float64{98, 100, 102}
+	approx(t, "RSD", RSD(xs), StdDev(xs)/100*100, 1e-12)
+	// Zero mean does not blow up.
+	approx(t, "RSD zero mean", RSD([]float64{-1, 1}), 0, 0)
+	// Negative mean uses absolute value.
+	if RSD([]float64{-98, -100, -102}) < 0 {
+		t.Error("RSD must be non-negative")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	approx(t, "Min", Min(xs), -1, 0)
+	approx(t, "Max", Max(xs), 7, 0)
+}
+
+func TestMinEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestMaxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Max(nil) did not panic")
+		}
+	}()
+	Max(nil)
+}
+
+func TestSpread(t *testing.T) {
+	// Paper-style: best device 100, worst 86 → 14% variation.
+	approx(t, "Spread", Spread([]float64{100, 86, 95}), 14, 1e-12)
+	approx(t, "Spread constant", Spread([]float64{5, 5}), 0, 0)
+	approx(t, "Spread empty", Spread(nil), 0, 0)
+	approx(t, "Spread zero max", Spread([]float64{0, 0}), 0, 0)
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{50, 100, 75})
+	want := []float64{0.5, 1, 0.75}
+	for i := range want {
+		approx(t, "Normalize", out[i], want[i], 1e-12)
+	}
+	// All-zero input passes through.
+	z := Normalize([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("Normalize zeros = %v", z)
+	}
+}
+
+func TestNormalizeDoesNotMutate(t *testing.T) {
+	in := []float64{1, 2}
+	Normalize(in)
+	if in[0] != 1 || in[1] != 2 {
+		t.Error("Normalize mutated its input")
+	}
+}
+
+func TestNormalizeToFirst(t *testing.T) {
+	out := NormalizeToFirst([]float64{4, 2, 8})
+	want := []float64{1, 0.5, 2}
+	for i := range want {
+		approx(t, "NormalizeToFirst", out[i], want[i], 1e-12)
+	}
+}
+
+func TestNormalizeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && x >= 0 {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		out := Normalize(xs)
+		for _, v := range out {
+			if v < 0 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	approx(t, "P0", Percentile(xs, 0), 1, 1e-12)
+	approx(t, "P50", Percentile(xs, 50), 3, 1e-12)
+	approx(t, "P100", Percentile(xs, 100), 5, 1e-12)
+	approx(t, "P25", Percentile(xs, 25), 2, 1e-12)
+	approx(t, "Median", Median(xs), 3, 1e-12)
+	approx(t, "single", Percentile([]float64{9}, 73), 9, 0)
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Error("Percentile sorted its input in place")
+	}
+}
+
+func TestPercentileBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Percentile(xs, 101) did not panic")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{10, 12, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 {
+		t.Errorf("N = %d", s.N)
+	}
+	approx(t, "Summary.Mean", s.Mean, 11, 1e-12)
+	approx(t, "Summary.Min", s.Min, 10, 0)
+	approx(t, "Summary.Max", s.Max, 12, 0)
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSpreadInvariantUnderScaling(t *testing.T) {
+	f := func(raw []float64, scale float64) bool {
+		scale = math.Abs(math.Mod(scale, 100)) + 0.5
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && x > 0 {
+				xs = append(xs, math.Mod(x, 1e6)+1)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = x * scale
+		}
+		return math.Abs(Spread(xs)-Spread(scaled)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

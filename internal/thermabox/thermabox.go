@@ -1,0 +1,213 @@
+// Package thermabox simulates the paper's controlled thermal environment:
+// an insulated chamber whose air temperature a RaspberryPi controller holds
+// at 26 ± 0.5 °C by power-cycling a heating element and a compressor, with
+// an ESP-8266 + thermistor probe as the feedback sensor (paper Fig. 3).
+//
+// The simulation reproduces the control problem, not just the setpoint: the
+// chamber exchanges heat with the room, absorbs the device-under-test's
+// dissipation (a phone at full tilt dumps several watts into the box), and
+// the bang-bang controller acts on a *noisy* probe — so the regulated
+// ambient genuinely wanders inside the band, which is one of the variance
+// sources ACCUBENCH's repeatability numbers absorb.
+package thermabox
+
+import (
+	"fmt"
+	"time"
+
+	"accubench/internal/sim"
+	"accubench/internal/trace"
+	"accubench/internal/units"
+)
+
+// Config describes the chamber hardware and control policy.
+type Config struct {
+	// Target is the setpoint (26 °C in all the paper's experiments).
+	Target units.Celsius
+	// Band is the tolerance the paper reports (±0.5 °C).
+	Band float64
+	// Room is the lab temperature outside the chamber.
+	Room units.Celsius
+	// AirCapacitance is the thermal capacitance of the chamber air + walls
+	// in J/°C.
+	AirCapacitance float64
+	// LossConductance is the chamber-to-room conductance in W/°C
+	// (insulation quality).
+	LossConductance float64
+	// HeaterPower is the heating element's output when on (the paper's
+	// halogen lamp: 250 W).
+	HeaterPower units.Watts
+	// CompressorPower is the heat-removal rate of the compressor when on.
+	CompressorPower units.Watts
+	// ProbeNoise is the 1σ thermistor noise in °C.
+	ProbeNoise float64
+	// PollInterval is how often the controller acts.
+	PollInterval time.Duration
+	// Seed drives the probe-noise stream.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's chamber: 26 ± 0.5 °C in a 22 °C room
+// with a 250 W lamp.
+func DefaultConfig() Config {
+	return Config{
+		Target:          26,
+		Band:            0.5,
+		Room:            22,
+		AirCapacitance:  6000,
+		LossConductance: 3.0,
+		HeaterPower:     250,
+		CompressorPower: 300,
+		ProbeNoise:      0.05,
+		PollInterval:    time.Second,
+		Seed:            1,
+	}
+}
+
+// Box is the simulated chamber with its controller.
+type Box struct {
+	cfg Config
+
+	air      units.Celsius
+	heaterOn bool
+	coolerOn bool
+
+	noise    *sim.Source
+	nextPoll time.Duration
+	elapsed  time.Duration
+
+	rec *trace.Recorder
+}
+
+// New builds a chamber whose air starts at room temperature (the controller
+// must pull it to target, as the physical box does after power-on).
+func New(cfg Config) (*Box, error) {
+	if cfg.Band <= 0 {
+		return nil, fmt.Errorf("thermabox: non-positive band %v", cfg.Band)
+	}
+	if cfg.AirCapacitance <= 0 || cfg.LossConductance <= 0 {
+		return nil, fmt.Errorf("thermabox: non-physical chamber (C=%v, G=%v)", cfg.AirCapacitance, cfg.LossConductance)
+	}
+	if cfg.HeaterPower <= 0 || cfg.CompressorPower <= 0 {
+		return nil, fmt.Errorf("thermabox: actuators must have positive power")
+	}
+	if cfg.PollInterval <= 0 {
+		return nil, fmt.Errorf("thermabox: non-positive poll interval %v", cfg.PollInterval)
+	}
+	return &Box{
+		cfg:   cfg,
+		air:   cfg.Room,
+		noise: sim.NewSource(cfg.Seed, "thermabox-probe"),
+		rec:   trace.NewRecorder(),
+	}, nil
+}
+
+// Air returns the true chamber air temperature.
+func (b *Box) Air() units.Celsius { return b.air }
+
+// Probe returns the thermistor reading: truth plus sensor noise.
+func (b *Box) Probe() units.Celsius {
+	return units.Celsius(float64(b.air) + b.noise.Normal(0, b.cfg.ProbeNoise))
+}
+
+// Target returns the setpoint.
+func (b *Box) Target() units.Celsius { return b.cfg.Target }
+
+// SetTarget moves the setpoint (the ambient-sweep experiment of Fig. 2 does
+// this between runs).
+func (b *Box) SetTarget(t units.Celsius) { b.cfg.Target = t }
+
+// WithinBand reports whether the probe currently reads inside target ± band.
+// The paper's app "first communicates with the THERMABOX and confirms that
+// it is within the target temperature range" before starting iterations.
+func (b *Box) WithinBand() bool {
+	d := b.Probe().Delta(b.cfg.Target)
+	return d >= -b.cfg.Band && d <= b.cfg.Band
+}
+
+// HeaterOn reports the heating element's state.
+func (b *Box) HeaterOn() bool { return b.heaterOn }
+
+// CompressorOn reports the compressor's state.
+func (b *Box) CompressorOn() bool { return b.coolerOn }
+
+// Trace returns the chamber recorder. Series: "air" (°C), "heater" (0/1),
+// "compressor" (0/1).
+func (b *Box) Trace() *trace.Recorder { return b.rec }
+
+// Step advances the chamber by dt with the device inside dissipating
+// deviceHeat into the air. The controller acts at its poll cadence; the
+// physics integrate every call.
+func (b *Box) Step(dt time.Duration, deviceHeat units.Watts) {
+	if dt <= 0 {
+		return
+	}
+	b.elapsed += dt
+
+	// Bang-bang control on the noisy probe with a dead band of half the
+	// tolerance, so actuation settles well inside ±Band.
+	if b.elapsed >= b.nextPoll {
+		b.nextPoll = b.elapsed + b.cfg.PollInterval
+		read := b.Probe()
+		dead := b.cfg.Band / 2
+		switch {
+		case read.Delta(b.cfg.Target) > dead:
+			b.coolerOn = true
+			b.heaterOn = false
+		case read.Delta(b.cfg.Target) < -dead:
+			b.heaterOn = true
+			b.coolerOn = false
+		default:
+			b.heaterOn = false
+			b.coolerOn = false
+		}
+	}
+
+	// Physics: heater + device heat in, compressor + losses out.
+	var p float64
+	if b.heaterOn {
+		p += float64(b.cfg.HeaterPower)
+	}
+	if b.coolerOn {
+		p -= float64(b.cfg.CompressorPower)
+	}
+	p += float64(deviceHeat)
+	p -= b.cfg.LossConductance * b.air.Delta(b.cfg.Room)
+	b.air += units.Celsius(p * dt.Seconds() / b.cfg.AirCapacitance)
+
+	b.rec.Series("air", "C").Append(b.elapsed, float64(b.air))
+	b.rec.Series("heater", "on").Append(b.elapsed, boolTo01(b.heaterOn))
+	b.rec.Series("compressor", "on").Append(b.elapsed, boolTo01(b.coolerOn))
+}
+
+func boolTo01(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Stabilize runs the chamber with no device load until the probe has stayed
+// inside the band for the given hold duration, or until maxWait elapses. It
+// returns the time spent and whether stabilization succeeded — the
+// power-on sequence the paper's harness performs before each device.
+func (b *Box) Stabilize(hold, maxWait, step time.Duration) (time.Duration, bool) {
+	if step <= 0 {
+		step = 500 * time.Millisecond
+	}
+	var inBand time.Duration
+	var spent time.Duration
+	for spent < maxWait {
+		b.Step(step, 0)
+		spent += step
+		if b.WithinBand() {
+			inBand += step
+			if inBand >= hold {
+				return spent, true
+			}
+		} else {
+			inBand = 0
+		}
+	}
+	return spent, false
+}

@@ -1,0 +1,224 @@
+package thermabox
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"accubench/internal/stats"
+	"accubench/internal/units"
+)
+
+func newBox(t *testing.T) *Box {
+	t.Helper()
+	b, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestConfigValidation(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Band = 0 },
+		func(c *Config) { c.AirCapacitance = 0 },
+		func(c *Config) { c.LossConductance = -1 },
+		func(c *Config) { c.HeaterPower = 0 },
+		func(c *Config) { c.CompressorPower = 0 },
+		func(c *Config) { c.PollInterval = 0 },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestStartsAtRoomTemperature(t *testing.T) {
+	b := newBox(t)
+	if b.Air() != 22 {
+		t.Errorf("initial air = %v, want room 22", b.Air())
+	}
+}
+
+func TestStabilizeReachesBand(t *testing.T) {
+	b := newBox(t)
+	spent, ok := b.Stabilize(30*time.Second, 30*time.Minute, time.Second)
+	if !ok {
+		t.Fatalf("chamber failed to stabilize in %v (air %v)", spent, b.Air())
+	}
+	if !b.WithinBand() {
+		t.Errorf("not in band after Stabilize: %v", b.Air())
+	}
+}
+
+func TestHoldsPaperTolerance(t *testing.T) {
+	// The paper's claim: "the temperature inside the THERMABOX always
+	// stayed within ±0.5°C of this target". After stabilization, run an
+	// hour with a device dissipating a realistic varying load and assert
+	// the true air temperature never leaves 26±0.5.
+	b := newBox(t)
+	if _, ok := b.Stabilize(30*time.Second, 30*time.Minute, time.Second); !ok {
+		t.Fatal("stabilization failed")
+	}
+	var minT, maxT = 100.0, -100.0
+	for i := 0; i < 3600; i++ {
+		// Phone-like load: 3 min of ~8 W bursts, then idle, repeating.
+		var load units.Watts
+		if (i/180)%2 == 0 {
+			load = 8
+		} else {
+			load = 0.3
+		}
+		b.Step(time.Second, load)
+		a := float64(b.Air())
+		minT = math.Min(minT, a)
+		maxT = math.Max(maxT, a)
+	}
+	if minT < 25.5 || maxT > 26.5 {
+		t.Errorf("air ranged [%.2f, %.2f], want within [25.5, 26.5]", minT, maxT)
+	}
+}
+
+func TestActuatorsAlternate(t *testing.T) {
+	b := newBox(t)
+	b.Stabilize(30*time.Second, 30*time.Minute, time.Second)
+	heater, cooler := 0, 0
+	for i := 0; i < 1800; i++ {
+		b.Step(time.Second, 5)
+		if b.HeaterOn() {
+			heater++
+		}
+		if b.CompressorOn() {
+			cooler++
+		}
+		if b.HeaterOn() && b.CompressorOn() {
+			t.Fatal("heater and compressor on simultaneously")
+		}
+	}
+	// Target 26 °C in a 22 °C room: the heater holds the box up against
+	// losses (the 5 W device alone cannot), so the heater must duty-cycle.
+	if heater == 0 {
+		t.Error("heater never engaged holding 26°C in a 22°C room")
+	}
+	_ = cooler // compressor only engages on overshoot here; see hot-room test
+}
+
+func TestCompressorEngagesInHotRoom(t *testing.T) {
+	// With the room above the setpoint, regulation flips: the compressor
+	// must do the work.
+	cfg := DefaultConfig()
+	cfg.Room = 32
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Stabilize(30*time.Second, 30*time.Minute, time.Second); !ok {
+		t.Fatalf("failed to pull a hot room down to 26: air %v", b.Air())
+	}
+	cooler := 0
+	for i := 0; i < 1800; i++ {
+		b.Step(time.Second, 5)
+		if b.CompressorOn() {
+			cooler++
+		}
+	}
+	if cooler == 0 {
+		t.Error("compressor never engaged in a 32°C room")
+	}
+}
+
+func TestSetTargetMovesEquilibrium(t *testing.T) {
+	b := newBox(t)
+	b.Stabilize(30*time.Second, 30*time.Minute, time.Second)
+	b.SetTarget(35)
+	if b.Target() != 35 {
+		t.Fatalf("Target = %v", b.Target())
+	}
+	// Give the lamp time to heat 13°C above room.
+	for i := 0; i < 3600; i++ {
+		b.Step(time.Second, 0)
+	}
+	if math.Abs(b.Air().Delta(35)) > 0.5 {
+		t.Errorf("air = %v after retarget to 35", b.Air())
+	}
+}
+
+func TestProbeNoisy(t *testing.T) {
+	b := newBox(t)
+	reads := make([]float64, 200)
+	for i := range reads {
+		reads[i] = float64(b.Probe())
+	}
+	if stats.StdDev(reads) == 0 {
+		t.Error("probe has no noise")
+	}
+	if stats.StdDev(reads) > 0.2 {
+		t.Errorf("probe noise %v implausibly large", stats.StdDev(reads))
+	}
+	if math.Abs(stats.Mean(reads)-22) > 0.05 {
+		t.Errorf("probe mean %v, want ≈22", stats.Mean(reads))
+	}
+}
+
+func TestWithinBand(t *testing.T) {
+	b := newBox(t)
+	// At room 22 with target 26, definitely out of band.
+	if b.WithinBand() {
+		t.Error("cold chamber claims to be in band")
+	}
+}
+
+func TestTraceRecorded(t *testing.T) {
+	b := newBox(t)
+	for i := 0; i < 10; i++ {
+		b.Step(time.Second, 0)
+	}
+	for _, name := range []string{"air", "heater", "compressor"} {
+		s, ok := b.Trace().Lookup(name)
+		if !ok || s.Len() != 10 {
+			t.Errorf("series %q missing or wrong length", name)
+		}
+	}
+}
+
+func TestZeroStepIgnored(t *testing.T) {
+	b := newBox(t)
+	before := b.Air()
+	b.Step(0, 100)
+	if b.Air() != before {
+		t.Error("zero step changed state")
+	}
+}
+
+func TestStabilizeTimeout(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Room = 60 // absurd: compressor can't reach 26±0.5 hold within a short budget
+	cfg.CompressorPower = 1
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Stabilize(time.Minute, 2*time.Minute, time.Second); ok {
+		t.Error("impossible chamber claimed to stabilize")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() units.Celsius {
+		b, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Stabilize(30*time.Second, 10*time.Minute, time.Second)
+		for i := 0; i < 600; i++ {
+			b.Step(time.Second, 4)
+		}
+		return b.Air()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+}

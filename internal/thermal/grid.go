@@ -1,0 +1,259 @@
+package thermal
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"accubench/internal/units"
+)
+
+// Grid is a 2-D finite-difference thermal model of the die floorplan — the
+// spatial companion to the lumped Network, in the spirit of the Therminator
+// simulator the paper cites (§V: "a full device thermal analyzer … capable
+// of generating accurate temperature maps"). Where the Network answers
+// "how hot is the die", the Grid answers "where" — which core is the
+// hotspot, how steep the gradients are, and how much shutting one core
+// (the Nexus 5's 80 °C action) flattens the map.
+//
+// Each cell exchanges heat laterally with its 4-neighbours and vertically
+// with a shared case node (itself coupled to ambient), matching the lumped
+// PhoneBody when the per-cell parameters aggregate to the same totals.
+type Grid struct {
+	w, h  int
+	cells []units.Celsius
+
+	// cellCap is the thermal capacitance of one cell (J/°C).
+	cellCap float64
+	// lateralG is the conductance between adjacent cells (W/°C).
+	lateralG float64
+	// verticalG is each cell's conductance to the case (W/°C).
+	verticalG float64
+
+	// Case plate (lumped) and its coupling to ambient.
+	caseTemp units.Celsius
+	caseCap  float64
+	caseG    float64
+	ambient  units.Celsius
+
+	inject []float64 // W per cell, consumed by Step
+}
+
+// GridConfig sizes a Grid to aggregate to a lumped PhoneBody: the cell
+// capacitances sum to DieCapacitance, the vertical conductances to
+// DieToCase, and the case parameters carry over directly.
+type GridConfig struct {
+	// W, H are the floorplan dimensions in cells.
+	W, H int
+	// Body is the lumped body to match in aggregate.
+	Body PhoneBody
+	// LateralG is the inter-cell conductance (W/°C); larger values spread
+	// hotspots faster. Silicon spreads heat well: lateral conductance per
+	// cell pair is typically a few times the per-cell vertical conductance.
+	LateralG float64
+	// Ambient is the starting/boundary temperature.
+	Ambient units.Celsius
+}
+
+// NewGrid builds the grid at thermal equilibrium with the ambient.
+func NewGrid(cfg GridConfig) (*Grid, error) {
+	if cfg.W <= 0 || cfg.H <= 0 {
+		return nil, fmt.Errorf("thermal: grid %dx%d", cfg.W, cfg.H)
+	}
+	if cfg.Body.DieCapacitance <= 0 || cfg.Body.CaseCapacitance <= 0 ||
+		cfg.Body.DieToCase <= 0 || cfg.Body.CaseToAmbient <= 0 {
+		return nil, fmt.Errorf("thermal: grid body not physical: %+v", cfg.Body)
+	}
+	if cfg.LateralG <= 0 {
+		return nil, fmt.Errorf("thermal: non-positive lateral conductance %v", cfg.LateralG)
+	}
+	n := cfg.W * cfg.H
+	g := &Grid{
+		w:         cfg.W,
+		h:         cfg.H,
+		cells:     make([]units.Celsius, n),
+		cellCap:   cfg.Body.DieCapacitance / float64(n),
+		lateralG:  cfg.LateralG,
+		verticalG: cfg.Body.DieToCase / float64(n),
+		caseTemp:  cfg.Ambient,
+		caseCap:   cfg.Body.CaseCapacitance,
+		caseG:     cfg.Body.CaseToAmbient,
+		ambient:   cfg.Ambient,
+		inject:    make([]float64, n),
+	}
+	for i := range g.cells {
+		g.cells[i] = cfg.Ambient
+	}
+	return g, nil
+}
+
+// Size returns the floorplan dimensions.
+func (g *Grid) Size() (w, h int) { return g.w, g.h }
+
+// SetAmbient moves the boundary temperature.
+func (g *Grid) SetAmbient(t units.Celsius) { g.ambient = t }
+
+// Cell returns the temperature at (x, y).
+func (g *Grid) Cell(x, y int) (units.Celsius, error) {
+	if x < 0 || x >= g.w || y < 0 || y >= g.h {
+		return 0, fmt.Errorf("thermal: cell (%d,%d) outside %dx%d", x, y, g.w, g.h)
+	}
+	return g.cells[y*g.w+x], nil
+}
+
+// Case returns the case-plate temperature.
+func (g *Grid) Case() units.Celsius { return g.caseTemp }
+
+// Inject adds power uniformly over the rectangle [x0,x1)×[y0,y1) for the
+// next Step — a floorplan block such as one core.
+func (g *Grid) Inject(x0, y0, x1, y1 int, p units.Watts) error {
+	if x0 < 0 || y0 < 0 || x1 > g.w || y1 > g.h || x0 >= x1 || y0 >= y1 {
+		return fmt.Errorf("thermal: block [%d,%d)x[%d,%d) outside %dx%d", x0, x1, y0, y1, g.w, g.h)
+	}
+	cells := (x1 - x0) * (y1 - y0)
+	per := float64(p) / float64(cells)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			g.inject[y*g.w+x] += per
+		}
+	}
+	return nil
+}
+
+// maxStable returns a stable explicit-Euler step for the current parameters.
+func (g *Grid) maxStable() time.Duration {
+	// Worst cell: 4 lateral links + vertical.
+	worstCell := (4*g.lateralG + g.verticalG) / g.cellCap
+	worstCase := (g.verticalG*float64(g.w*g.h) + g.caseG) / g.caseCap
+	worst := worstCell
+	if worstCase > worst {
+		worst = worstCase
+	}
+	if worst == 0 {
+		return time.Hour
+	}
+	return time.Duration(0.4 / worst * float64(time.Second))
+}
+
+// Step advances the grid by dt, consuming injected power. The step is
+// internally subdivided for stability.
+func (g *Grid) Step(dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	sub := g.maxStable()
+	for remaining := dt; remaining > 0; {
+		h := sub
+		if remaining < h {
+			h = remaining
+		}
+		g.step(h)
+		remaining -= h
+	}
+	for i := range g.inject {
+		g.inject[i] = 0
+	}
+}
+
+func (g *Grid) step(dt time.Duration) {
+	sec := dt.Seconds()
+	flows := make([]float64, len(g.cells))
+	var toCase float64
+	for y := 0; y < g.h; y++ {
+		for x := 0; x < g.w; x++ {
+			i := y*g.w + x
+			ti := float64(g.cells[i])
+			flows[i] += g.inject[i]
+			// Lateral exchange: accumulate each link once (right and down).
+			if x+1 < g.w {
+				j := i + 1
+				q := g.lateralG * (ti - float64(g.cells[j]))
+				flows[i] -= q
+				flows[j] += q
+			}
+			if y+1 < g.h {
+				j := i + g.w
+				q := g.lateralG * (ti - float64(g.cells[j]))
+				flows[i] -= q
+				flows[j] += q
+			}
+			// Vertical to case.
+			qv := g.verticalG * (ti - float64(g.caseTemp))
+			flows[i] -= qv
+			toCase += qv
+		}
+	}
+	for i := range g.cells {
+		g.cells[i] += units.Celsius(flows[i] * sec / g.cellCap)
+	}
+	caseFlow := toCase - g.caseG*g.caseTemp.Delta(g.ambient)
+	g.caseTemp += units.Celsius(caseFlow * sec / g.caseCap)
+}
+
+// Hotspot returns the hottest cell and its temperature.
+func (g *Grid) Hotspot() (x, y int, t units.Celsius) {
+	best := 0
+	for i, c := range g.cells {
+		if c > g.cells[best] {
+			best = i
+		}
+	}
+	return best % g.w, best / g.w, g.cells[best]
+}
+
+// Mean returns the area-average die temperature — the quantity the lumped
+// Network's die node models.
+func (g *Grid) Mean() units.Celsius {
+	var sum float64
+	for _, c := range g.cells {
+		sum += float64(c)
+	}
+	return units.Celsius(sum / float64(len(g.cells)))
+}
+
+// Render draws the map as ASCII art, one glyph per cell, scaled between the
+// grid's own min and max.
+func (g *Grid) Render() string {
+	glyphs := []byte(" .:-=+*#%@")
+	lo, hi := g.cells[0], g.cells[0]
+	for _, c := range g.cells {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	var b strings.Builder
+	for y := 0; y < g.h; y++ {
+		for x := 0; x < g.w; x++ {
+			idx := 0
+			if hi > lo {
+				idx = int(float64(g.cells[y*g.w+x]-lo) / float64(hi-lo) * float64(len(glyphs)-1))
+			}
+			b.WriteByte(glyphs[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Block is a named floorplan rectangle.
+type Block struct {
+	Name           string
+	X0, Y0, X1, Y1 int
+}
+
+// QuadFloorplan lays four cores in the corners of a W×H grid with an uncore
+// strip through the middle — the classic quad-core die arrangement used by
+// every SoC in the study.
+func QuadFloorplan(w, h int) []Block {
+	midY0, midY1 := h/2-h/10-1, h/2+h/10+1
+	return []Block{
+		{Name: "core0", X0: 0, Y0: 0, X1: w / 2, Y1: midY0},
+		{Name: "core1", X0: w / 2, Y0: 0, X1: w, Y1: midY0},
+		{Name: "uncore", X0: 0, Y0: midY0, X1: w, Y1: midY1},
+		{Name: "core2", X0: 0, Y0: midY1, X1: w / 2, Y1: h},
+		{Name: "core3", X0: w / 2, Y0: midY1, X1: w, Y1: h},
+	}
+}

@@ -1,0 +1,240 @@
+package thermal
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testGrid(t *testing.T, w, h int) *Grid {
+	t.Helper()
+	g, err := NewGrid(GridConfig{
+		W:        w,
+		H:        h,
+		Body:     body(),
+		LateralG: 0.02, // thermal length ≈ 4 cells: visible hotspots
+		Ambient:  26,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGridValidation(t *testing.T) {
+	good := GridConfig{W: 8, H: 8, Body: body(), LateralG: 0.5, Ambient: 26}
+	if _, err := NewGrid(good); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	muts := []func(*GridConfig){
+		func(c *GridConfig) { c.W = 0 },
+		func(c *GridConfig) { c.H = -1 },
+		func(c *GridConfig) { c.Body.DieCapacitance = 0 },
+		func(c *GridConfig) { c.Body.CaseToAmbient = 0 },
+		func(c *GridConfig) { c.LateralG = 0 },
+	}
+	for i, mut := range muts {
+		c := good
+		mut(&c)
+		if _, err := NewGrid(c); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGridStartsAtAmbient(t *testing.T) {
+	g := testGrid(t, 8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			c, err := g.Cell(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c != 26 {
+				t.Fatalf("cell (%d,%d) = %v", x, y, c)
+			}
+		}
+	}
+	if g.Case() != 26 {
+		t.Errorf("case = %v", g.Case())
+	}
+	if _, err := g.Cell(8, 0); err == nil {
+		t.Error("out-of-range cell accepted")
+	}
+}
+
+func TestGridHotspotAtPoweredCore(t *testing.T) {
+	g := testGrid(t, 16, 16)
+	blocks := QuadFloorplan(16, 16)
+	// Power only core0 (top-left quadrant).
+	var core0 Block
+	for _, b := range blocks {
+		if b.Name == "core0" {
+			core0 = b
+		}
+	}
+	for i := 0; i < 300; i++ {
+		if err := g.Inject(core0.X0, core0.Y0, core0.X1, core0.Y1, 2); err != nil {
+			t.Fatal(err)
+		}
+		g.Step(100 * time.Millisecond)
+	}
+	x, y, hot := g.Hotspot()
+	if x >= core0.X1 || y >= core0.Y1 {
+		t.Errorf("hotspot at (%d,%d), want inside core0 [0,%d)x[0,%d)", x, y, core0.X1, core0.Y1)
+	}
+	// The far corner must be cooler.
+	far, _ := g.Cell(15, 15)
+	if far >= hot {
+		t.Errorf("far corner %v not cooler than hotspot %v", far, hot)
+	}
+	if hot <= 26 {
+		t.Errorf("hotspot %v did not heat", hot)
+	}
+}
+
+func TestGridSymmetry(t *testing.T) {
+	// Uniform injection must produce a map symmetric under 180° rotation.
+	g := testGrid(t, 10, 10)
+	for i := 0; i < 200; i++ {
+		if err := g.Inject(0, 0, 10, 10, 3); err != nil {
+			t.Fatal(err)
+		}
+		g.Step(100 * time.Millisecond)
+	}
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			a, _ := g.Cell(x, y)
+			b, _ := g.Cell(9-x, 9-y)
+			if math.Abs(a.Delta(b)) > 1e-6 {
+				t.Fatalf("asymmetry at (%d,%d): %v vs %v", x, y, a, b)
+			}
+		}
+	}
+}
+
+func TestGridMatchesLumpedModelInAggregate(t *testing.T) {
+	// Uniformly heated, the grid's mean die temperature must converge to
+	// the lumped Network's die node under the same body and power — the
+	// cross-validation that the spatial model aggregates correctly.
+	b := body()
+	g, err := NewGrid(GridConfig{W: 8, H: 8, Body: b, LateralG: 0.5, Ambient: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, die, _, err := b.Build(26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 3.0
+	for i := 0; i < 3600*2; i++ {
+		if err := g.Inject(0, 0, 8, 8, p); err != nil {
+			t.Fatal(err)
+		}
+		g.Step(time.Second)
+		nw.Inject(die, p)
+		nw.Step(time.Second)
+	}
+	lumped, _ := nw.Temperature(die)
+	if d := math.Abs(g.Mean().Delta(lumped)); d > 0.5 {
+		t.Errorf("grid mean %v vs lumped die %v (Δ %.2f°C)", g.Mean(), lumped, d)
+	}
+	if d := math.Abs(g.Mean().Delta(b.SteadyStateDie(26, p))); d > 0.5 {
+		t.Errorf("grid mean %v vs analytic steady state %v", g.Mean(), b.SteadyStateDie(26, p))
+	}
+}
+
+func TestGridCoreShutdownFlattensMap(t *testing.T) {
+	// The Nexus 5's 80 °C core-shutdown action, spatially: powering three
+	// cores instead of four lowers the peak more than the mean.
+	run := func(cores int) (mean, peak float64) {
+		g := testGrid(t, 16, 16)
+		blocks := QuadFloorplan(16, 16)
+		for i := 0; i < 600; i++ {
+			n := 0
+			for _, b := range blocks {
+				if b.Name == "uncore" {
+					g.Inject(b.X0, b.Y0, b.X1, b.Y1, 0.2)
+					continue
+				}
+				if n < cores {
+					g.Inject(b.X0, b.Y0, b.X1, b.Y1, 1.2)
+					n++
+				}
+			}
+			g.Step(100 * time.Millisecond)
+		}
+		_, _, hot := g.Hotspot()
+		return float64(g.Mean()), float64(hot)
+	}
+	mean4, peak4 := run(4)
+	mean3, peak3 := run(3)
+	if peak3 >= peak4 {
+		t.Errorf("3-core peak %v not below 4-core peak %v", peak3, peak4)
+	}
+	// The survivors keep their local bumps while the dead quadrant cools,
+	// so the map becomes *less* uniform: the peak-to-mean gradient grows.
+	if g3, g4 := peak3-mean3, peak4-mean4; g3 <= g4 {
+		t.Errorf("shutdown should steepen the gradient: 3-core %.2f°C vs 4-core %.2f°C", g3, g4)
+	}
+}
+
+func TestGridInjectValidation(t *testing.T) {
+	g := testGrid(t, 8, 8)
+	bad := [][4]int{
+		{-1, 0, 4, 4}, {0, -1, 4, 4}, {0, 0, 9, 4}, {0, 0, 4, 9}, {4, 0, 4, 4}, {0, 4, 4, 4},
+	}
+	for _, r := range bad {
+		if err := g.Inject(r[0], r[1], r[2], r[3], 1); err == nil {
+			t.Errorf("block %v accepted", r)
+		}
+	}
+}
+
+func TestGridRender(t *testing.T) {
+	g := testGrid(t, 8, 4)
+	g.Inject(0, 0, 2, 2, 2)
+	g.Step(10 * time.Second)
+	out := g.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 || len(lines[0]) != 8 {
+		t.Fatalf("render shape: %q", out)
+	}
+	// Hot corner renders the densest glyph, cold area a lighter one.
+	if lines[0][0] != '@' {
+		t.Errorf("hot corner glyph %q, want @", lines[0][0])
+	}
+	if lines[3][7] == '@' {
+		t.Errorf("cold corner rendered as hottest")
+	}
+}
+
+func TestQuadFloorplanCoversDie(t *testing.T) {
+	w, h := 16, 16
+	covered := make([]bool, w*h)
+	for _, b := range QuadFloorplan(w, h) {
+		for y := b.Y0; y < b.Y1; y++ {
+			for x := b.X0; x < b.X1; x++ {
+				if covered[y*w+x] {
+					t.Fatalf("cell (%d,%d) covered twice (block %s)", x, y, b.Name)
+				}
+				covered[y*w+x] = true
+			}
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("cell (%d,%d) uncovered", i%w, i/w)
+		}
+	}
+}
+
+func TestGridZeroStepNoOp(t *testing.T) {
+	g := testGrid(t, 4, 4)
+	g.Inject(0, 0, 4, 4, 100)
+	g.Step(0)
+	if c, _ := g.Cell(0, 0); c != 26 {
+		t.Errorf("zero step changed temperature to %v", c)
+	}
+}

@@ -1,0 +1,243 @@
+// Package trace records time series produced by the simulator — temperature,
+// per-core frequency, power draw — and offers the reductions the paper's
+// analysis needs: means over windows, distributions, down-sampling for
+// display, and CSV export. Figures 4, 5, 11 and 12 of the paper are rendered
+// directly from these traces.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"accubench/internal/stats"
+)
+
+// Sample is one timestamped observation.
+type Sample struct {
+	At    time.Duration // simulated time
+	Value float64
+}
+
+// Series is an append-only time series. Samples must be appended in
+// non-decreasing time order; Append panics otherwise, because an out-of-order
+// trace means the simulation loop recorded outside its step.
+type Series struct {
+	name    string
+	unit    string
+	samples []Sample
+}
+
+// NewSeries creates an empty series with a display name and unit label.
+func NewSeries(name, unit string) *Series {
+	return &Series{name: name, unit: unit}
+}
+
+// Name returns the display name.
+func (s *Series) Name() string { return s.name }
+
+// Unit returns the unit label.
+func (s *Series) Unit() string { return s.unit }
+
+// Append records a sample. It panics if at precedes the last recorded time.
+func (s *Series) Append(at time.Duration, v float64) {
+	if n := len(s.samples); n > 0 && at < s.samples[n-1].At {
+		panic(fmt.Sprintf("trace: out-of-order sample at %v after %v in %q", at, s.samples[n-1].At, s.name))
+	}
+	s.samples = append(s.samples, Sample{At: at, Value: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Samples returns the underlying samples. The slice must not be mutated.
+func (s *Series) Samples() []Sample { return s.samples }
+
+// Values returns just the observed values, in time order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.samples))
+	for i, smp := range s.samples {
+		out[i] = smp.Value
+	}
+	return out
+}
+
+// Window returns the samples with from <= At < to.
+func (s *Series) Window(from, to time.Duration) []Sample {
+	lo := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].At >= from })
+	hi := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].At >= to })
+	return s.samples[lo:hi]
+}
+
+// MeanOver returns the time-weighted mean value across [from, to), treating
+// each sample as holding until the next. An empty window returns 0.
+func (s *Series) MeanOver(from, to time.Duration) float64 {
+	w := s.Window(from, to)
+	if len(w) == 0 {
+		return 0
+	}
+	var weighted float64
+	var total time.Duration
+	for i, smp := range w {
+		end := to
+		if i+1 < len(w) {
+			end = w[i+1].At
+		}
+		hold := end - smp.At
+		weighted += smp.Value * hold.Seconds()
+		total += hold
+	}
+	if total == 0 {
+		return w[0].Value
+	}
+	return weighted / total.Seconds()
+}
+
+// Last returns the most recent sample. ok is false for an empty series.
+func (s *Series) Last() (Sample, bool) {
+	if len(s.samples) == 0 {
+		return Sample{}, false
+	}
+	return s.samples[len(s.samples)-1], true
+}
+
+// Max returns the largest observed value; 0 for an empty series.
+func (s *Series) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return stats.Max(s.Values())
+}
+
+// Min returns the smallest observed value; 0 for an empty series.
+func (s *Series) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return stats.Min(s.Values())
+}
+
+// Histogram bins every sample value into the given range — how the paper
+// builds its "time spent at frequency/temperature" distributions.
+func (s *Series) Histogram(lo, hi float64, bins int) *stats.Histogram {
+	h := stats.NewHistogram(lo, hi, bins)
+	for _, smp := range s.samples {
+		h.Add(smp.Value)
+	}
+	return h
+}
+
+// Downsample returns at most n samples spaced evenly through the series,
+// always including the first and last — enough to plot a figure without
+// hauling the full 10 Hz trace around.
+func (s *Series) Downsample(n int) []Sample {
+	if n <= 0 || len(s.samples) == 0 {
+		return nil
+	}
+	if len(s.samples) <= n {
+		return append([]Sample(nil), s.samples...)
+	}
+	out := make([]Sample, 0, n)
+	step := float64(len(s.samples)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		out = append(out, s.samples[int(float64(i)*step+0.5)])
+	}
+	out[n-1] = s.samples[len(s.samples)-1]
+	return out
+}
+
+// Recorder gathers several named series under one experiment run.
+type Recorder struct {
+	order  []string
+	series map[string]*Series
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*Series)}
+}
+
+// Series returns the series with the given name, creating it (with the given
+// unit) on first use. Requesting an existing series with a different unit
+// panics — it means two subsystems are fighting over a name.
+func (r *Recorder) Series(name, unit string) *Series {
+	if s, ok := r.series[name]; ok {
+		if s.unit != unit {
+			panic(fmt.Sprintf("trace: series %q requested with unit %q but exists with %q", name, unit, s.unit))
+		}
+		return s
+	}
+	s := NewSeries(name, unit)
+	r.series[name] = s
+	r.order = append(r.order, name)
+	return s
+}
+
+// Names returns the series names in creation order.
+func (r *Recorder) Names() []string { return append([]string(nil), r.order...) }
+
+// Lookup returns a series if it exists.
+func (r *Recorder) Lookup(name string) (*Series, bool) {
+	s, ok := r.series[name]
+	return s, ok
+}
+
+// WriteCSV emits all series as aligned CSV: a time column (seconds) followed
+// by one column per series. Series are sampled at each distinct timestamp
+// present anywhere; a series without a sample at a timestamp holds its
+// previous value (empty until its first sample).
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	// Collect distinct timestamps.
+	set := make(map[time.Duration]struct{})
+	for _, s := range r.series {
+		for _, smp := range s.samples {
+			set[smp.At] = struct{}{}
+		}
+	}
+	times := make([]time.Duration, 0, len(set))
+	for t := range set {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	header := []string{"t_seconds"}
+	for _, name := range r.order {
+		header = append(header, fmt.Sprintf("%s_%s", sanitize(name), sanitize(r.series[name].unit)))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	idx := make(map[string]int, len(r.order))
+	for _, t := range times {
+		row := []string{fmt.Sprintf("%.3f", t.Seconds())}
+		for _, name := range r.order {
+			s := r.series[name]
+			i := idx[name]
+			for i < len(s.samples) && s.samples[i].At <= t {
+				i++
+			}
+			idx[name] = i
+			if i == 0 {
+				row = append(row, "")
+			} else {
+				row = append(row, fmt.Sprintf("%.4f", s.samples[i-1].Value))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ',', '\n', '\r':
+			return '_'
+		}
+		return r
+	}, s)
+}

@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesAppendAndValues(t *testing.T) {
+	s := NewSeries("temp", "C")
+	s.Append(0, 26)
+	s.Append(time.Second, 27)
+	s.Append(2*time.Second, 28)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	vals := s.Values()
+	if vals[0] != 26 || vals[2] != 28 {
+		t.Errorf("Values = %v", vals)
+	}
+	if s.Name() != "temp" || s.Unit() != "C" {
+		t.Errorf("metadata wrong: %q %q", s.Name(), s.Unit())
+	}
+}
+
+func TestSeriesEqualTimestampsAllowed(t *testing.T) {
+	s := NewSeries("x", "")
+	s.Append(time.Second, 1)
+	s.Append(time.Second, 2) // same instant is fine (two events in one step)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSeriesOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Append did not panic")
+		}
+	}()
+	s := NewSeries("x", "")
+	s.Append(2*time.Second, 1)
+	s.Append(time.Second, 2)
+}
+
+func TestWindow(t *testing.T) {
+	s := NewSeries("x", "")
+	for i := 0; i < 10; i++ {
+		s.Append(time.Duration(i)*time.Second, float64(i))
+	}
+	w := s.Window(3*time.Second, 6*time.Second)
+	if len(w) != 3 {
+		t.Fatalf("window length = %d, want 3", len(w))
+	}
+	if w[0].Value != 3 || w[2].Value != 5 {
+		t.Errorf("window = %v", w)
+	}
+	if got := s.Window(20*time.Second, 30*time.Second); len(got) != 0 {
+		t.Errorf("empty window returned %v", got)
+	}
+}
+
+func TestMeanOverTimeWeighted(t *testing.T) {
+	s := NewSeries("f", "MHz")
+	// 1000 MHz for 1s, then 500 MHz for 3s → time-weighted mean 625.
+	s.Append(0, 1000)
+	s.Append(time.Second, 500)
+	got := s.MeanOver(0, 4*time.Second)
+	if math.Abs(got-625) > 1e-9 {
+		t.Errorf("MeanOver = %v, want 625", got)
+	}
+}
+
+func TestMeanOverEmpty(t *testing.T) {
+	s := NewSeries("f", "MHz")
+	if got := s.MeanOver(0, time.Second); got != 0 {
+		t.Errorf("MeanOver empty = %v", got)
+	}
+}
+
+func TestLastMinMax(t *testing.T) {
+	s := NewSeries("x", "")
+	if _, ok := s.Last(); ok {
+		t.Error("Last on empty returned ok")
+	}
+	s.Append(0, 5)
+	s.Append(time.Second, 2)
+	s.Append(2*time.Second, 9)
+	last, ok := s.Last()
+	if !ok || last.Value != 9 {
+		t.Errorf("Last = %v, %v", last, ok)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestHistogramFromSeries(t *testing.T) {
+	s := NewSeries("freq", "MHz")
+	for i := 0; i < 50; i++ {
+		s.Append(time.Duration(i)*time.Second, 1000)
+	}
+	for i := 50; i < 100; i++ {
+		s.Append(time.Duration(i)*time.Second, 2000)
+	}
+	h := s.Histogram(0, 2500, 5)
+	bins := h.Bins()
+	if bins[2].Count != 50 { // [1000,1500)
+		t.Errorf("bin2 = %d, want 50", bins[2].Count)
+	}
+	if bins[4].Count != 50 { // [2000,2500)
+		t.Errorf("bin4 = %d, want 50", bins[4].Count)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := NewSeries("x", "")
+	for i := 0; i < 1000; i++ {
+		s.Append(time.Duration(i)*time.Millisecond, float64(i))
+	}
+	d := s.Downsample(10)
+	if len(d) != 10 {
+		t.Fatalf("downsampled to %d, want 10", len(d))
+	}
+	if d[0].Value != 0 {
+		t.Errorf("first = %v, want 0", d[0].Value)
+	}
+	if d[9].Value != 999 {
+		t.Errorf("last = %v, want 999", d[9].Value)
+	}
+	// Short series passes through.
+	short := NewSeries("y", "")
+	short.Append(0, 1)
+	if got := short.Downsample(10); len(got) != 1 {
+		t.Errorf("short downsample = %v", got)
+	}
+	if got := s.Downsample(0); got != nil {
+		t.Errorf("n=0 downsample = %v", got)
+	}
+}
+
+func TestRecorderSeriesIdentity(t *testing.T) {
+	r := NewRecorder()
+	a := r.Series("temp", "C")
+	b := r.Series("temp", "C")
+	if a != b {
+		t.Error("same name returned distinct series")
+	}
+	names := r.Names()
+	if len(names) != 1 || names[0] != "temp" {
+		t.Errorf("Names = %v", names)
+	}
+	if _, ok := r.Lookup("temp"); !ok {
+		t.Error("Lookup failed")
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Error("Lookup of missing series succeeded")
+	}
+}
+
+func TestRecorderUnitConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unit conflict did not panic")
+		}
+	}()
+	r := NewRecorder()
+	r.Series("temp", "C")
+	r.Series("temp", "K")
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	temp := r.Series("temp", "C")
+	freq := r.Series("freq", "MHz")
+	temp.Append(0, 26)
+	freq.Append(0, 2265)
+	temp.Append(time.Second, 27)
+	freq.Append(2*time.Second, 1500)
+
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 distinct timestamps
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "t_seconds,temp_C,freq_MHz" {
+		t.Errorf("header = %q", lines[0])
+	}
+	// At t=1s freq holds its previous value 2265.
+	if !strings.Contains(lines[2], "2265") {
+		t.Errorf("row at t=1s should hold freq 2265: %q", lines[2])
+	}
+	// At t=2s freq is 1500.
+	if !strings.Contains(lines[3], "1500") {
+		t.Errorf("row at t=2s should show 1500: %q", lines[3])
+	}
+}
+
+func TestWriteCSVEmptyLeadingCells(t *testing.T) {
+	r := NewRecorder()
+	a := r.Series("a", "")
+	bz := r.Series("b", "")
+	bz.Append(0, 1)
+	a.Append(time.Second, 5)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// Row at t=0: a has no sample yet → empty cell.
+	if !strings.HasPrefix(lines[1], "0.000,,") {
+		t.Errorf("row0 = %q, want empty leading a cell", lines[1])
+	}
+}

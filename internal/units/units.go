@@ -1,0 +1,135 @@
+// Package units defines strongly typed physical quantities used throughout
+// the simulator: temperature, voltage, frequency, power, energy, current and
+// charge. Using distinct types keeps unit errors (for example passing
+// millivolts where volts are expected, or mixing die temperature with ambient
+// temperature deltas) out of the electro-thermal model.
+//
+// All types are thin wrappers over float64 with conversion helpers and
+// fmt.Stringer implementations that render values the way the paper reports
+// them (°C, mV, MHz, mW, J).
+package units
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Celsius is a temperature in degrees Celsius. The simulator works entirely
+// in Celsius because every number in the paper (trip points, ambient targets,
+// probe readings) is reported in °C.
+type Celsius float64
+
+// Kelvin converts the temperature to Kelvin.
+func (c Celsius) Kelvin() float64 { return float64(c) + 273.15 }
+
+// String renders the temperature as the paper does, e.g. "26.0°C".
+func (c Celsius) String() string { return fmt.Sprintf("%.1f°C", float64(c)) }
+
+// Delta returns the difference c - other as a plain float64 in °C. Deltas are
+// deliberately not Celsius: adding two absolute temperatures is meaningless.
+func (c Celsius) Delta(other Celsius) float64 { return float64(c - other) }
+
+// Volts is an electric potential in volts.
+type Volts float64
+
+// Millivolts converts to millivolts, the unit used by kernel voltage tables
+// (paper Table I lists bin voltages in mV).
+func (v Volts) Millivolts() float64 { return float64(v) * 1000 }
+
+// FromMillivolts builds a Volts value from a millivolt count.
+func FromMillivolts(mv float64) Volts { return Volts(mv / 1000) }
+
+// String renders e.g. "1.100V".
+func (v Volts) String() string { return fmt.Sprintf("%.3fV", float64(v)) }
+
+// MegaHertz is a clock frequency in MHz, the unit used by cpufreq OPP tables.
+type MegaHertz float64
+
+// Hertz converts to Hz.
+func (f MegaHertz) Hertz() float64 { return float64(f) * 1e6 }
+
+// GigaHertz converts to GHz.
+func (f MegaHertz) GigaHertz() float64 { return float64(f) / 1000 }
+
+// String renders e.g. "2265MHz".
+func (f MegaHertz) String() string { return fmt.Sprintf("%.0fMHz", float64(f)) }
+
+// CyclesOver returns the number of clock cycles elapsed at this frequency
+// over the given duration.
+func (f MegaHertz) CyclesOver(d time.Duration) float64 {
+	return f.Hertz() * d.Seconds()
+}
+
+// Watts is power in watts.
+type Watts float64
+
+// Milliwatts converts to mW.
+func (p Watts) Milliwatts() float64 { return float64(p) * 1000 }
+
+// String renders e.g. "1234.5mW".
+func (p Watts) String() string { return fmt.Sprintf("%.1fmW", p.Milliwatts()) }
+
+// Over integrates constant power over a duration, yielding energy.
+func (p Watts) Over(d time.Duration) Joules { return Joules(float64(p) * d.Seconds()) }
+
+// Joules is energy in joules.
+type Joules float64
+
+// WattHours converts to Wh.
+func (e Joules) WattHours() float64 { return float64(e) / 3600 }
+
+// String renders e.g. "152.3J".
+func (e Joules) String() string { return fmt.Sprintf("%.1fJ", float64(e)) }
+
+// Amps is electric current in amperes.
+type Amps float64
+
+// Milliamps converts to mA, the unit the Monsoon monitor reports.
+func (i Amps) Milliamps() float64 { return float64(i) * 1000 }
+
+// String renders e.g. "847.0mA".
+func (i Amps) String() string { return fmt.Sprintf("%.1fmA", i.Milliamps()) }
+
+// MilliampHours is electric charge in mAh, the unit battery capacities are
+// quoted in.
+type MilliampHours float64
+
+// Coulombs converts to coulombs.
+func (q MilliampHours) Coulombs() float64 { return float64(q) * 3.6 }
+
+// String renders e.g. "2300mAh".
+func (q MilliampHours) String() string { return fmt.Sprintf("%.0fmAh", float64(q)) }
+
+// Power computes P = V·I.
+func Power(v Volts, i Amps) Watts { return Watts(float64(v) * float64(i)) }
+
+// Current computes I = P/V. It returns 0 for a non-positive voltage rather
+// than propagating an infinity into the sampling pipeline.
+func Current(p Watts, v Volts) Amps {
+	if v <= 0 {
+		return 0
+	}
+	return Amps(float64(p) / float64(v))
+}
+
+// Farads is capacitance; the effective switching capacitance of a core is
+// expressed in farads (typically on the order of nanofarads for a mobile
+// core's C_eff lumped constant).
+type Farads float64
+
+// String renders in nanofarads, the natural magnitude for C_eff.
+func (c Farads) String() string { return fmt.Sprintf("%.2fnF", float64(c)*1e9) }
+
+// Clamp bounds x to [lo, hi]. It is used for sensor saturation and control
+// outputs; lo must not exceed hi.
+func Clamp(x, lo, hi float64) float64 {
+	if lo > hi {
+		panic(fmt.Sprintf("units.Clamp: lo %v > hi %v", lo, hi))
+	}
+	return math.Min(math.Max(x, lo), hi)
+}
+
+// Lerp linearly interpolates between a and b by t in [0,1]; t outside the
+// range extrapolates, which callers that want clamping must guard.
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }

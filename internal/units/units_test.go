@@ -1,0 +1,190 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCelsiusKelvin(t *testing.T) {
+	if got := Celsius(0).Kelvin(); !almostEqual(got, 273.15, 1e-9) {
+		t.Errorf("0°C = %v K, want 273.15", got)
+	}
+	if got := Celsius(26).Kelvin(); !almostEqual(got, 299.15, 1e-9) {
+		t.Errorf("26°C = %v K, want 299.15", got)
+	}
+	if got := Celsius(-40).Kelvin(); !almostEqual(got, 233.15, 1e-9) {
+		t.Errorf("-40°C = %v K, want 233.15", got)
+	}
+}
+
+func TestCelsiusString(t *testing.T) {
+	if got := Celsius(26).String(); got != "26.0°C" {
+		t.Errorf("String = %q, want 26.0°C", got)
+	}
+}
+
+func TestCelsiusDelta(t *testing.T) {
+	if got := Celsius(80).Delta(Celsius(26)); got != 54 {
+		t.Errorf("Delta = %v, want 54", got)
+	}
+	if got := Celsius(20).Delta(Celsius(26)); got != -6 {
+		t.Errorf("Delta = %v, want -6", got)
+	}
+}
+
+func TestVoltsMillivolts(t *testing.T) {
+	if got := Volts(1.1).Millivolts(); !almostEqual(got, 1100, 1e-9) {
+		t.Errorf("1.1V = %v mV, want 1100", got)
+	}
+	if got := FromMillivolts(950); !almostEqual(float64(got), 0.95, 1e-12) {
+		t.Errorf("FromMillivolts(950) = %v, want 0.95", got)
+	}
+}
+
+func TestVoltsRoundTrip(t *testing.T) {
+	f := func(mv float64) bool {
+		if math.IsNaN(mv) || math.IsInf(mv, 0) {
+			return true
+		}
+		got := FromMillivolts(mv).Millivolts()
+		return almostEqual(got, mv, math.Abs(mv)*1e-12+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMegaHertz(t *testing.T) {
+	if got := MegaHertz(2265).Hertz(); got != 2.265e9 {
+		t.Errorf("Hertz = %v, want 2.265e9", got)
+	}
+	if got := MegaHertz(1500).GigaHertz(); got != 1.5 {
+		t.Errorf("GigaHertz = %v, want 1.5", got)
+	}
+	if got := MegaHertz(1000).CyclesOver(2 * time.Second); got != 2e9 {
+		t.Errorf("CyclesOver = %v, want 2e9", got)
+	}
+	if got := MegaHertz(300).String(); got != "300MHz" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPowerEnergy(t *testing.T) {
+	e := Watts(2).Over(90 * time.Second)
+	if !almostEqual(float64(e), 180, 1e-9) {
+		t.Errorf("2W over 90s = %v, want 180J", e)
+	}
+	if got := Joules(3600).WattHours(); got != 1 {
+		t.Errorf("3600J = %v Wh, want 1", got)
+	}
+	if got := Watts(1.2345).String(); got != "1234.5mW" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestOhmsLaw(t *testing.T) {
+	p := Power(Volts(4.0), Amps(0.5))
+	if !almostEqual(float64(p), 2.0, 1e-12) {
+		t.Errorf("Power = %v, want 2W", p)
+	}
+	i := Current(Watts(2.0), Volts(4.0))
+	if !almostEqual(float64(i), 0.5, 1e-12) {
+		t.Errorf("Current = %v, want 0.5A", i)
+	}
+	if got := Current(Watts(2.0), Volts(0)); got != 0 {
+		t.Errorf("Current at 0V = %v, want 0", got)
+	}
+	if got := Current(Watts(2.0), Volts(-1)); got != 0 {
+		t.Errorf("Current at -1V = %v, want 0", got)
+	}
+}
+
+func TestPowerCurrentInverse(t *testing.T) {
+	f := func(v, i float64) bool {
+		v = math.Abs(math.Mod(v, 10)) + 0.1 // positive, bounded voltage
+		i = math.Abs(math.Mod(i, 5))
+		p := Power(Volts(v), Amps(i))
+		back := Current(p, Volts(v))
+		return almostEqual(float64(back), i, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCharge(t *testing.T) {
+	if got := MilliampHours(1000).Coulombs(); got != 3600 {
+		t.Errorf("1000mAh = %v C, want 3600", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-5, 0, 10, 0},
+		{15, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestClampPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Clamp(0, 1, 0) did not panic")
+		}
+	}()
+	Clamp(0, 1, 0)
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(x, a, b float64) bool {
+		if math.IsNaN(x) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		got := Clamp(x, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(0, 10, 0.5); got != 5 {
+		t.Errorf("Lerp = %v, want 5", got)
+	}
+	if got := Lerp(2, 4, 0); got != 2 {
+		t.Errorf("Lerp t=0 = %v, want 2", got)
+	}
+	if got := Lerp(2, 4, 1); got != 4 {
+		t.Errorf("Lerp t=1 = %v, want 4", got)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if got := Amps(0.847).String(); got != "847.0mA" {
+		t.Errorf("Amps.String = %q", got)
+	}
+	if got := MilliampHours(2300).String(); got != "2300mAh" {
+		t.Errorf("MilliampHours.String = %q", got)
+	}
+	if got := Joules(152.34).String(); got != "152.3J" {
+		t.Errorf("Joules.String = %q", got)
+	}
+	if got := Volts(1.1).String(); got != "1.100V" {
+		t.Errorf("Volts.String = %q", got)
+	}
+	if got := Farads(1.5e-9).String(); got != "1.50nF" {
+		t.Errorf("Farads.String = %q", got)
+	}
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"accubench/internal/units"
+)
+
+// Counter accrues π-loop progress on one simulated core. Progress is
+// continuous (fractions of an iteration carry over between steps) but the
+// score the benchmark reports is whole iterations completed, matching the
+// paper's metric: "the number of iterations the device is able to complete
+// across all cores within T_workload".
+type Counter struct {
+	cyclesPerIteration float64
+	progress           float64 // fractional iterations
+}
+
+// NewCounter creates a counter for a core whose microarchitecture costs the
+// given cycles per iteration. It panics on a non-positive cost.
+func NewCounter(cyclesPerIteration float64) *Counter {
+	if cyclesPerIteration <= 0 {
+		panic(fmt.Sprintf("workload: cycles per iteration %v", cyclesPerIteration))
+	}
+	return &Counter{cyclesPerIteration: cyclesPerIteration}
+}
+
+// Advance accrues progress for dt of execution at frequency f. Offline or
+// halted cores simply don't call Advance.
+func (c *Counter) Advance(f units.MegaHertz, dt time.Duration) {
+	if f <= 0 || dt <= 0 {
+		return
+	}
+	c.progress += f.CyclesOver(dt) / c.cyclesPerIteration
+}
+
+// Completed returns whole iterations finished so far. A tiny epsilon guards
+// against accumulated floating-point error shaving a finished iteration
+// (summing 0.1 ten times yields 0.9999…).
+func (c *Counter) Completed() int { return int(c.progress + 1e-9) }
+
+// Progress returns fractional progress, for tests and diagnostics.
+func (c *Counter) Progress() float64 { return c.progress }
+
+// Reset zeroes the counter at a phase boundary (warmup iterations don't
+// count toward the workload score).
+func (c *Counter) Reset() { c.progress = 0 }
+
+// Group is the per-device set of counters, one per core, summed for the
+// device score.
+type Group struct {
+	counters []*Counter
+}
+
+// NewGroup builds n counters with the given per-core iteration cost.
+func NewGroup(n int, cyclesPerIteration float64) *Group {
+	g := &Group{counters: make([]*Counter, n)}
+	for i := range g.counters {
+		g.counters[i] = NewCounter(cyclesPerIteration)
+	}
+	return g
+}
+
+// Counter returns the i-th core's counter.
+func (g *Group) Counter(i int) *Counter { return g.counters[i] }
+
+// Len returns the number of counters.
+func (g *Group) Len() int { return len(g.counters) }
+
+// Completed sums whole iterations across cores. Note this is the sum of
+// per-core floors, matching how the paper's app tallies per-core loop
+// counts.
+func (g *Group) Completed() int {
+	total := 0
+	for _, c := range g.counters {
+		total += c.Completed()
+	}
+	return total
+}
+
+// Reset zeroes every counter.
+func (g *Group) Reset() {
+	for _, c := range g.counters {
+		c.Reset()
+	}
+}

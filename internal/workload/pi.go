@@ -1,0 +1,112 @@
+// Package workload implements the paper's CPU-intensive benchmark kernel:
+// "computing the digits of π in a loop on all available CPUs. Specifically,
+// we compute the first 4,285 digits of π."
+//
+// Two layers live here:
+//
+//   - A real spigot-algorithm π computation (Rabinowitz–Wagon), validated
+//     against the known digits, so the benchmark kernel is honest compute —
+//     it is what host-side testing.B benchmarks execute.
+//   - A Counter that accounts workload progress on *simulated* cores, where
+//     one iteration costs the cluster's CyclesPerIteration clock cycles and
+//     progress accrues from the frequency trace. This is how a five-minute
+//     ACCUBENCH workload phase runs in milliseconds of host time while
+//     keeping the performance metric (iterations completed) faithful.
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PaperDigits is the digit count the paper computes per iteration, chosen to
+// take ≈1 s at the Nexus 6's top frequency.
+const PaperDigits = 4285
+
+// PiDigits returns the first n decimal digits of π ("3141592653...", without
+// the decimal point) using the Rabinowitz–Wagon spigot algorithm. It is pure
+// integer arithmetic — the same flavour of tight loop the paper's JavaScript
+// kernel runs — and needs no math/big.
+func PiDigits(n int) string {
+	if n <= 0 {
+		return ""
+	}
+	// Standard spigot: working array of ⌊10n/3⌋+1 base-(2k+1)/k digits.
+	size := 10*n/3 + 1
+	a := make([]int, size)
+	for i := range a {
+		a[i] = 2
+	}
+	var out strings.Builder
+	out.Grow(n + 1)
+	nines := 0
+	predigit := 0
+	first := true
+	for produced := 0; produced < n; {
+		carry := 0
+		for i := size - 1; i > 0; i-- {
+			x := 10*a[i] + carry*(i+1)
+			a[i] = x % (2*i + 1)
+			carry = x / (2*i + 1)
+		}
+		x := 10*a[0] + carry*1
+		a[0] = x % 10
+		q := x / 10
+		switch {
+		case q == 9:
+			nines++
+		case q == 10:
+			// Carry ripples: emit predigit+1 and turn buffered 9s into 0s.
+			if !first {
+				out.WriteByte(byte('0' + predigit + 1))
+				produced++
+			}
+			for ; nines > 0 && produced < n; nines-- {
+				out.WriteByte('0')
+				produced++
+			}
+			nines = 0
+			predigit = 0
+			first = false
+		default:
+			if !first {
+				out.WriteByte(byte('0' + predigit))
+				produced++
+			}
+			first = false
+			predigit = q
+			for ; nines > 0 && produced < n; nines-- {
+				out.WriteByte('9')
+				produced++
+			}
+			nines = 0
+		}
+	}
+	s := out.String()
+	if len(s) > n {
+		s = s[:n]
+	}
+	return s
+}
+
+// Iteration performs one paper workload iteration — the first PaperDigits
+// digits of π — and returns a checksum of the digits so the compiler cannot
+// elide the work in benchmarks.
+func Iteration() uint32 {
+	s := PiDigits(PaperDigits)
+	var sum uint32
+	for i := 0; i < len(s); i++ {
+		sum = sum*31 + uint32(s[i])
+	}
+	return sum
+}
+
+// Validate recomputes a small prefix and checks it against the known value;
+// the benchmark refuses to report numbers from a broken kernel.
+func Validate() error {
+	const want = "3141592653589793238462643383279502884197"
+	if got := PiDigits(len(want)); got != want {
+		return fmt.Errorf("workload: π kernel produced %q, want %q", got, want)
+	}
+	return nil
+}

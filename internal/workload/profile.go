@@ -1,0 +1,66 @@
+package workload
+
+import "fmt"
+
+// Profile characterizes a workload's microarchitectural shape. The paper
+// deliberately chooses a CPU-bound kernel ("The CPU intensive task consists
+// of computing the digits of π") because compute-bound work maximizes
+// switching power and therefore thermal stress — the lens that makes
+// process variation visible. Other shapes exercise the core differently:
+// memory-bound work stalls the pipeline (fewer switching transitions, more
+// waiting) and stresses silicon less.
+//
+// A profile scales the device model's two per-workload quantities:
+// effective utilization (→ dynamic power) and cycles per iteration (→
+// throughput accounting).
+type Profile struct {
+	// Name identifies the profile, e.g. "pi-cpu-bound".
+	Name string
+	// PowerFactor scales effective switching activity in (0, 1]. A fully
+	// compute-bound loop is 1.0; a memory-bound loop keeps the core
+	// stalled much of the time.
+	PowerFactor float64
+	// CycleFactor scales cycles per iteration (≥ 1 relative to the π
+	// kernel's cost baseline): stalled cycles still elapse, so memory-bound
+	// iterations cost more cycles for the same nominal work.
+	CycleFactor float64
+}
+
+// Validate checks the profile's ranges.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: unnamed profile")
+	}
+	if p.PowerFactor <= 0 || p.PowerFactor > 1 {
+		return fmt.Errorf("workload: profile %q power factor %v outside (0,1]", p.Name, p.PowerFactor)
+	}
+	if p.CycleFactor < 1 {
+		return fmt.Errorf("workload: profile %q cycle factor %v below 1", p.Name, p.CycleFactor)
+	}
+	return nil
+}
+
+// PiCPUBound is the paper's workload: pure integer compute, saturating the
+// pipeline.
+func PiCPUBound() Profile {
+	return Profile{Name: "pi-cpu-bound", PowerFactor: 1.0, CycleFactor: 1.0}
+}
+
+// MemoryBound models a cache-missing streaming kernel: the core idles at
+// memory stalls (~45% effective switching) and each nominal iteration takes
+// ~2.2× the cycles.
+func MemoryBound() Profile {
+	return Profile{Name: "memory-bound", PowerFactor: 0.45, CycleFactor: 2.2}
+}
+
+// Mixed models a typical app phase: some compute, some stalls.
+func Mixed() Profile {
+	return Profile{Name: "mixed", PowerFactor: 0.7, CycleFactor: 1.5}
+}
+
+// LightUI models interactive use: short bursts, mostly idle waits. The core
+// spends so little energy that the die never approaches the thermal
+// envelope — the regime where process variation hides.
+func LightUI() Profile {
+	return Profile{Name: "light-ui", PowerFactor: 0.15, CycleFactor: 6.0}
+}

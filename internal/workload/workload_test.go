@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// First 100 digits of π (no decimal point), a classic reference constant.
+const pi100 = "3141592653589793238462643383279502884197169399375105820974944592307816406286208998628034825342117067"
+
+func TestPiDigitsKnownPrefix(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 50, 100} {
+		got := PiDigits(n)
+		if got != pi100[:n] {
+			t.Errorf("PiDigits(%d) = %q, want %q", n, got, pi100[:n])
+		}
+	}
+}
+
+func TestPiDigitsLengths(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		if got := PiDigits(n); got != "" {
+			t.Errorf("PiDigits(%d) = %q, want empty", n, got)
+		}
+	}
+	for _, n := range []int{1, 7, 33, 250, 1000} {
+		if got := PiDigits(n); len(got) != n {
+			t.Errorf("len(PiDigits(%d)) = %d", n, len(got))
+		}
+	}
+}
+
+func TestPiDigitsDeeperSlice(t *testing.T) {
+	// The first 1000 decimal places of π famously end in "...4201989";
+	// PiDigits(1000) is "3" plus 999 decimals, so it ends one digit short
+	// of that: "...420198".
+	s := PiDigits(1000)
+	if !strings.HasSuffix(s, "420198") {
+		t.Errorf("digits 995..1000 = %q, want suffix 420198", s[len(s)-6:])
+	}
+}
+
+func TestPiDigitsPrefixConsistency(t *testing.T) {
+	// A longer run must extend, not alter, a shorter run.
+	long := PiDigits(500)
+	short := PiDigits(137)
+	if long[:137] != short {
+		t.Error("PiDigits(500) prefix disagrees with PiDigits(137)")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterationChecksumStable(t *testing.T) {
+	a := Iteration()
+	b := Iteration()
+	if a != b {
+		t.Errorf("checksum not deterministic: %v vs %v", a, b)
+	}
+	if a == 0 {
+		t.Error("suspicious zero checksum")
+	}
+}
+
+func TestCounterAccrual(t *testing.T) {
+	// 1e9 cycles/iteration at 1000 MHz: exactly 1 iteration/second.
+	c := NewCounter(1e9)
+	c.Advance(1000, time.Second)
+	if got := c.Completed(); got != 1 {
+		t.Errorf("Completed = %d, want 1", got)
+	}
+	c.Advance(1000, 2500*time.Millisecond)
+	if got := c.Completed(); got != 3 { // 3.5 total → floor 3
+		t.Errorf("Completed = %d, want 3", got)
+	}
+	if c.Progress() != 3.5 {
+		t.Errorf("Progress = %v, want 3.5", c.Progress())
+	}
+}
+
+func TestCounterFractionsCarryOver(t *testing.T) {
+	c := NewCounter(1e9)
+	for i := 0; i < 10; i++ {
+		c.Advance(1000, 100*time.Millisecond) // 0.1 iteration per step
+	}
+	if got := c.Completed(); got != 1 {
+		t.Errorf("Completed = %d, want 1 (fractions must accumulate)", got)
+	}
+}
+
+func TestCounterFrequencyScaling(t *testing.T) {
+	slow := NewCounter(1e9)
+	fast := NewCounter(1e9)
+	slow.Advance(1000, 10*time.Second)
+	fast.Advance(2000, 10*time.Second)
+	if fast.Completed() != 2*slow.Completed() {
+		t.Errorf("2× frequency gave %d vs %d iterations", fast.Completed(), slow.Completed())
+	}
+}
+
+func TestCounterIgnoresDegenerateInput(t *testing.T) {
+	c := NewCounter(1e9)
+	c.Advance(0, time.Second)
+	c.Advance(-100, time.Second)
+	c.Advance(1000, 0)
+	c.Advance(1000, -time.Second)
+	if c.Progress() != 0 {
+		t.Errorf("degenerate advances accrued %v", c.Progress())
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	c := NewCounter(1e9)
+	c.Advance(1000, 5*time.Second)
+	c.Reset()
+	if c.Completed() != 0 || c.Progress() != 0 {
+		t.Error("Reset did not zero the counter")
+	}
+}
+
+func TestNewCounterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCounter(0) did not panic")
+		}
+	}()
+	NewCounter(0)
+}
+
+func TestGroupSumsAcrossCores(t *testing.T) {
+	g := NewGroup(4, 1e9)
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	for i := 0; i < 4; i++ {
+		g.Counter(i).Advance(1000, 10*time.Second)
+	}
+	if got := g.Completed(); got != 40 {
+		t.Errorf("group Completed = %d, want 40", got)
+	}
+	g.Reset()
+	if g.Completed() != 0 {
+		t.Error("group Reset did not zero")
+	}
+}
+
+func TestGroupPerCoreFloors(t *testing.T) {
+	// Two cores each at 0.9 iterations: the paper's per-core tally is 0,
+	// not floor(1.8) = 1.
+	g := NewGroup(2, 1e9)
+	g.Counter(0).Advance(900, time.Second)
+	g.Counter(1).Advance(900, time.Second)
+	if got := g.Completed(); got != 0 {
+		t.Errorf("Completed = %d, want 0 (per-core flooring)", got)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	for _, p := range []Profile{PiCPUBound(), MemoryBound(), Mixed(), LightUI()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s rejected: %v", p.Name, err)
+		}
+	}
+	bad := []Profile{
+		{Name: "", PowerFactor: 1, CycleFactor: 1},
+		{Name: "x", PowerFactor: 0, CycleFactor: 1},
+		{Name: "x", PowerFactor: 1.5, CycleFactor: 1},
+		{Name: "x", PowerFactor: 1, CycleFactor: 0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+}
+
+func TestProfileOrdering(t *testing.T) {
+	// Memory-bound work switches less and costs more cycles than compute.
+	cpu, mem, mix := PiCPUBound(), MemoryBound(), Mixed()
+	if !(mem.PowerFactor < mix.PowerFactor && mix.PowerFactor < cpu.PowerFactor) {
+		t.Error("power factors not ordered mem < mixed < cpu")
+	}
+	if !(mem.CycleFactor > mix.CycleFactor && mix.CycleFactor > cpu.CycleFactor) {
+		t.Error("cycle factors not ordered mem > mixed > cpu")
+	}
+}
