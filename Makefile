@@ -1,0 +1,37 @@
+# Tier-1 verify plus the stricter checks the crowd service demands.
+
+GO ?= go
+
+# Packages whose concurrency is load-bearing; always raced in ci.
+RACE_PKGS := ./internal/store/... ./internal/ingest/... ./internal/server/...
+
+.PHONY: build test vet race ci demo
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# ci is the full gate: vet, tier-1 build+test, then the race pass over the
+# concurrent subsystem.
+ci: vet build test race
+
+# demo starts crowdd, fires a 200-device load at it, prints the bins and
+# shuts the server down.
+demo: build
+	$(GO) build -o /tmp/crowdd ./cmd/crowdd
+	$(GO) build -o /tmp/crowdload ./cmd/crowdload
+	/tmp/crowdd -addr 127.0.0.1:8077 & \
+	CROWDD_PID=$$!; \
+	sleep 1; \
+	/tmp/crowdload -addr http://127.0.0.1:8077 -devices 200; \
+	STATUS=$$?; \
+	kill -INT $$CROWDD_PID; wait $$CROWDD_PID; \
+	exit $$STATUS

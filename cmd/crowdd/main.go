@@ -1,0 +1,94 @@
+// Command crowdd serves the crowd-benchmarking backend of the paper's §VI
+// plan: the service behind the Play-Store app. It accepts ACCUBENCH
+// submissions over HTTP, estimates each upload's ambient from its cooldown
+// trace, applies the strict filters, and continuously re-bins each model's
+// accepted population in the background.
+//
+//	crowdd -addr :8077
+//	crowdd -addr :8077 -shards 32 -workers 8 -queue 512 -accept-lo 18 -accept-hi 32
+//
+// Endpoints: POST /v1/submissions, GET /v1/bins, GET /v1/devices/{id},
+// GET /healthz, GET /metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"accubench/internal/crowd"
+	"accubench/internal/server"
+	"accubench/internal/units"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crowdd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	policy := crowd.DefaultPolicy()
+	var (
+		addr     = flag.String("addr", ":8077", "listen address")
+		shards   = flag.Int("shards", 16, "store shard count")
+		workers  = flag.Int("workers", 4, "ingest workers per pipeline stage")
+		queue    = flag.Int("queue", 256, "ingest queue depth per stage")
+		acceptLo = flag.Float64("accept-lo", float64(policy.AcceptLo), "lowest accepted estimated ambient, °C")
+		acceptHi = flag.Float64("accept-hi", float64(policy.AcceptHi), "highest accepted estimated ambient, °C")
+		idleBias = flag.Float64("idle-bias", policy.IdleBias, "idle-floor correction subtracted from estimates, °C")
+		debounce = flag.Duration("bin-debounce", 150*time.Millisecond, "binning loop quiet period")
+		maxK     = flag.Int("max-bins", 5, "largest bin count the clustering may discover")
+	)
+	flag.Parse()
+	policy.AcceptLo = units.Celsius(*acceptLo)
+	policy.AcceptHi = units.Celsius(*acceptHi)
+	policy.IdleBias = *idleBias
+
+	srv, err := server.New(server.Config{
+		Shards:      *shards,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		Policy:      policy,
+		MaxK:        *maxK,
+		BinDebounce: *debounce,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv.Start(context.Background()) // graceful drain on shutdown, not hard abort
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("crowdd: listening on %s (%d shards, %d workers/stage, queue %d, window [%v, %v])\n",
+		*addr, *shards, *workers, *queue, policy.AcceptLo, policy.AcceptHi)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("crowdd: shutting down — draining ingest")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	srv.Close()
+	c := srv.Counters()
+	fmt.Printf("crowdd: drained; received %d, stored %d (accepted %d, rejected %d), decode errors %d\n",
+		c.Received, c.Stored, c.Accepted, c.Rejected, c.DecodeErrors)
+	return nil
+}

@@ -1,0 +1,274 @@
+// Command crowdload load-tests a running crowdd: it simulates a fleet of N
+// in-the-wild devices (silicon-lottery draws of one handset model, each at
+// a random ambient), runs ACCUBENCH on every one, and fires the uploads at
+// the server concurrently, retrying on backpressure so nothing is dropped.
+// It then waits for the server to drain, verifies zero dropped
+// submissions, and prints throughput, acceptance-rate and bin stats.
+//
+//	crowdd -addr :8077 &
+//	crowdload -addr http://127.0.0.1:8077 -devices 200
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accubench/internal/crowd"
+	"accubench/internal/fleet"
+	"accubench/internal/ingest"
+	"accubench/internal/silicon"
+	"accubench/internal/sim"
+	"accubench/internal/soc"
+	"accubench/internal/units"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crowdload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8077", "crowdd base URL")
+		devices     = flag.Int("devices", 200, "number of simulated devices")
+		modelName   = flag.String("model", "Nexus 5", "device model to simulate")
+		concurrency = flag.Int("concurrency", 16, "simulating/uploading workers")
+		seed        = flag.Int64("seed", 1, "random seed")
+		ambientLo   = flag.Float64("ambient-lo", 12, "lowest wild ambient, °C")
+		ambientHi   = flag.Float64("ambient-hi", 38, "highest wild ambient, °C")
+		sigma       = flag.Float64("sigma", 0.55, "population leakage log-normal sigma")
+		binNoise    = flag.Float64("bin-noise", 0.35, "fab binning-measurement noise")
+		retries     = flag.Int("retries", 50, "max retries per upload on backpressure")
+	)
+	flag.Parse()
+	if *devices <= 0 {
+		return fmt.Errorf("need -devices > 0")
+	}
+	model, err := soc.ModelByName(*modelName)
+	if err != nil {
+		return err
+	}
+
+	// Draw the population: one silicon-lottery draw per device, one wild
+	// ambient each.
+	src := sim.NewSource(*seed, "crowdload")
+	lottery := silicon.Lottery{Sigma: *sigma, Bins: model.SoC.Bins, BinNoise: *binNoise}
+	corners, err := lottery.Draw(src, *devices)
+	if err != nil {
+		return err
+	}
+	wild := make([]crowd.WildDevice, *devices)
+	for i, corner := range corners {
+		wild[i] = crowd.WildDevice{
+			Unit:    fleet.Unit{Name: fmt.Sprintf("load-%04d", i), ModelName: model.Name, Corner: corner},
+			Ambient: units.Celsius(src.Uniform(*ambientLo, *ambientHi)),
+			Seed:    *seed*1000 + int64(i),
+			Quick:   true,
+		}
+	}
+
+	fmt.Printf("crowdload: %d %s devices → %s (%d workers)\n", *devices, model.Name, *addr, *concurrency)
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	// The default transport keeps only 2 idle conns per host; with more
+	// workers than that, every third POST would pay a fresh TCP handshake.
+	transport.MaxIdleConnsPerHost = *concurrency
+	client := &http.Client{Timeout: 30 * time.Second, Transport: transport}
+
+	var sent, retried, failed atomic.Uint64
+	var simNanos, postNanos atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	work := make(chan crowd.WildDevice)
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for dev := range work {
+				t0 := time.Now()
+				sub, err := dev.Benchmark()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "crowdload: %s: benchmark: %v\n", dev.Unit.Name, err)
+					failed.Add(1)
+					continue
+				}
+				raw, err := ingest.Marshal(sub.Device, dev.Unit.ModelName, sub.Score, sub.CooldownReadings)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "crowdload: %s: marshal: %v\n", dev.Unit.Name, err)
+					failed.Add(1)
+					continue
+				}
+				t1 := time.Now()
+				simNanos.Add(t1.Sub(t0).Nanoseconds())
+				if err := upload(client, *addr, raw, *retries, &retried); err != nil {
+					fmt.Fprintf(os.Stderr, "crowdload: %s: %v\n", dev.Unit.Name, err)
+					failed.Add(1)
+					continue
+				}
+				postNanos.Add(time.Since(t1).Nanoseconds())
+				sent.Add(1)
+			}
+		}()
+	}
+	for _, dev := range wild {
+		work <- dev
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if failed.Load() > 0 {
+		return fmt.Errorf("%d submissions failed", failed.Load())
+	}
+
+	// Wait for the server to drain: stored must reach sent.
+	var metrics map[string]uint64
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		metrics, err = fetchMetrics(client, *addr)
+		if err != nil {
+			return err
+		}
+		if metrics["crowdd_stored_total"]+metrics["crowdd_decode_errors_total"]+metrics["crowdd_aborted_total"] >= sent.Load() {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server did not drain: metrics %v after %d sent", metrics, sent.Load())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	stored := metrics["crowdd_stored_total"]
+	accepted := metrics["crowdd_accepted_total"]
+	dropped := sent.Load() - stored
+	fmt.Printf("\nuploaded %d submissions in %v (%.1f sub/s end to end, %d backpressure retries)\n",
+		sent.Load(), elapsed.Round(time.Millisecond), float64(sent.Load())/elapsed.Seconds(), retried.Load())
+	fmt.Printf("device-sim time %v total, post time %v total across %d workers\n",
+		time.Duration(simNanos.Load()).Round(time.Millisecond),
+		time.Duration(postNanos.Load()).Round(time.Millisecond), *concurrency)
+	fmt.Printf("server stored %d (accepted %d, rejected %d) — %.1f%% acceptance, %d dropped\n",
+		stored, accepted, metrics["crowdd_rejected_total"],
+		100*float64(accepted)/float64(stored), dropped)
+
+	if err := printBins(client, *addr, model.Name, int(accepted)); err != nil {
+		return err
+	}
+	if dropped > 0 {
+		return fmt.Errorf("%d submissions dropped", dropped)
+	}
+	fmt.Println("zero dropped submissions ✓")
+	return nil
+}
+
+// upload POSTs one payload, retrying on 503 backpressure with linear
+// backoff.
+func upload(client *http.Client, addr string, raw []byte, retries int, retried *atomic.Uint64) error {
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(addr+"/v1/submissions", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			return nil
+		case resp.StatusCode == http.StatusServiceUnavailable && attempt < retries:
+			retried.Add(1)
+			time.Sleep(time.Duration(attempt+1) * 20 * time.Millisecond)
+		default:
+			return fmt.Errorf("POST /v1/submissions = %d after %d attempts", resp.StatusCode, attempt+1)
+		}
+	}
+}
+
+// fetchMetrics parses the plain-text /metrics exposition.
+func fetchMetrics(client *http.Client, addr string) (map[string]uint64, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]uint64)
+	for _, line := range strings.Split(string(body), "\n") {
+		name, val, ok := strings.Cut(strings.TrimSpace(line), " ")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			continue
+		}
+		out[name] = n
+	}
+	return out, nil
+}
+
+// printBins waits for the debounced binning loop to settle over the full
+// accepted population, then prints the cached bins for the model.
+func printBins(client *http.Client, addr, model string, wantAccepted int) error {
+	type modelBins struct {
+		Model     string    `json:"model"`
+		Accepted  int       `json:"accepted"`
+		BinCount  int       `json:"bin_count"`
+		Centroids []float64 `json:"centroids"`
+		Sizes     []int     `json:"sizes"`
+		Slope     float64   `json:"ambient_slope_per_c"`
+	}
+	fetch := func() (*modelBins, error) {
+		resp, err := client.Get(addr + "/v1/bins")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		var bins struct {
+			Models []modelBins `json:"models"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&bins); err != nil {
+			return nil, err
+		}
+		for _, mb := range bins.Models {
+			if mb.Model == model {
+				return &mb, nil
+			}
+		}
+		return nil, nil
+	}
+	var mb *modelBins
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var err error
+		if mb, err = fetch(); err != nil {
+			return err
+		}
+		if mb != nil && mb.Accepted >= wantAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Println("bins not settled yet (server still debouncing)")
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("bins for %s: %d bins over %d accepted (slope %.1f score/°C)\n",
+		mb.Model, mb.BinCount, mb.Accepted, mb.Slope)
+	for i, c := range mb.Centroids {
+		fmt.Printf("  bin %d: centroid %.0f, %d devices\n", i, c, mb.Sizes[i])
+	}
+	return nil
+}

@@ -26,8 +26,7 @@ import (
 
 	"accubench/internal/accubench"
 	"accubench/internal/cluster"
-	"accubench/internal/device"
-	"accubench/internal/monsoon"
+	"accubench/internal/fleet"
 	"accubench/internal/silicon"
 	"accubench/internal/sim"
 	"accubench/internal/soc"
@@ -231,28 +230,35 @@ func Run(cfg StudyConfig) (Result, error) {
 	var out Result
 	for i, corner := range corners {
 		amb := units.Celsius(src.Uniform(float64(cfg.AmbientLo), float64(cfg.AmbientHi)))
-		sub, err := benchmarkOne(model, corner, amb, cfg, int64(i))
+		w := WildDevice{
+			Unit:    fleet.Unit{Name: fmt.Sprintf("wild-%03d", i), ModelName: model.Name, Corner: corner},
+			Ambient: amb,
+			Seed:    cfg.Seed*1000 + int64(i),
+			Quick:   cfg.Quick,
+		}
+		sub, err := w.Benchmark()
 		if err != nil {
 			return Result{}, fmt.Errorf("crowd: device %d: %w", i, err)
 		}
 		out.Submissions = append(out.Submissions, sub)
 	}
 
-	// Backend pass 1: estimate ambients and filter.
+	// Backend pass 1: estimate ambients and filter — the same per-submission
+	// Policy path a streaming backend applies to each upload.
+	policy := cfg.Policy()
 	var absErr []float64
 	var accIdx []int
 	var accScores, accAmbs []float64
 	for i := range out.Submissions {
 		s := &out.Submissions[i]
-		est, err := EstimateAmbient(s.CooldownReadings)
+		est, accepted, err := policy.Evaluate(s.CooldownReadings)
 		if err != nil {
 			s.Accepted = false
 			continue
 		}
-		est -= units.Celsius(cfg.IdleBias)
 		s.EstimatedAmbient = est
 		absErr = append(absErr, math.Abs(est.Delta(s.trueAmbient)))
-		if est >= cfg.AcceptLo && est <= cfg.AcceptHi {
+		if accepted {
 			s.Accepted = true
 			out.Accepted++
 			accIdx = append(accIdx, i)
@@ -300,46 +306,6 @@ func Run(cfg StudyConfig) (Result, error) {
 		out.BinCount = k
 	}
 	return out, nil
-}
-
-// benchmarkOne runs the app's protocol on one wild device (no THERMABOX —
-// that is the entire problem).
-func benchmarkOne(model *soc.DeviceModel, corner silicon.ProcessCorner, amb units.Celsius, cfg StudyConfig, idx int64) (Submission, error) {
-	mon := monsoon.New(model.Battery.Nominal)
-	dev, err := device.New(device.Config{
-		Name:    fmt.Sprintf("wild-%03d", idx),
-		Model:   model,
-		Corner:  corner,
-		Ambient: amb,
-		Seed:    cfg.Seed*1000 + idx,
-		Source:  mon.Supply(),
-	})
-	if err != nil {
-		return Submission{}, err
-	}
-	bcfg := accubench.DefaultConfig(accubench.Unconstrained)
-	bcfg.Iterations = 1
-	// In the wild the app cannot know the local ambient to set an absolute
-	// cooldown target; it sleeps a fixed interval long enough for the decay
-	// to enter the slow case→ambient regime (≈2 case time constants), which
-	// is what makes the trace extrapolable to the ambient.
-	bcfg.CooldownFixed = 10 * time.Minute
-	if cfg.Quick {
-		bcfg.Warmup = time.Minute
-		bcfg.Workload = 2 * time.Minute
-	}
-	res, err := (&accubench.Runner{Device: dev, Monitor: mon, Config: bcfg}).Run()
-	if err != nil {
-		return Submission{}, err
-	}
-	it := res.Iterations[0]
-	return Submission{
-		Device:           dev.Name(),
-		Score:            float64(it.Score),
-		CooldownReadings: it.CooldownReadings,
-		trueAmbient:      amb,
-		trueLeakage:      corner.Leakage,
-	}, nil
 }
 
 // kendallTau computes Kendall's rank correlation between xs and ys.

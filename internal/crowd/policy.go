@@ -1,0 +1,69 @@
+package crowd
+
+import (
+	"fmt"
+
+	"accubench/internal/accubench"
+	"accubench/internal/units"
+)
+
+// Policy is the backend's per-submission acceptance policy — the "strict
+// filters" of §VI factored out of the batch Study so a streaming backend
+// can apply them one upload at a time.
+type Policy struct {
+	// AcceptLo and AcceptHi bound the filter window on the *estimated*
+	// ambient; submissions outside are rejected.
+	AcceptLo, AcceptHi units.Celsius
+	// IdleBias is the correction for the idle-leakage floor: an idle die
+	// asymptotes at ambient plus its idle dissipation times the body's
+	// thermal resistance, so raw extrapolations run warm by a degree or
+	// two. Zero means no correction.
+	IdleBias float64
+}
+
+// DefaultPolicy returns the acceptance policy of the default study: a
+// [20 °C, 30 °C] window with the 1.5 °C idle-floor correction.
+func DefaultPolicy() Policy {
+	c := DefaultStudyConfig()
+	return Policy{AcceptLo: c.AcceptLo, AcceptHi: c.AcceptHi, IdleBias: c.IdleBias}
+}
+
+// Policy extracts the study's acceptance policy.
+func (c StudyConfig) Policy() Policy {
+	return Policy{AcceptLo: c.AcceptLo, AcceptHi: c.AcceptHi, IdleBias: c.IdleBias}
+}
+
+// Validate checks the policy.
+func (p Policy) Validate() error {
+	if p.AcceptHi <= p.AcceptLo {
+		return fmt.Errorf("crowd: acceptance window [%v, %v] empty", p.AcceptLo, p.AcceptHi)
+	}
+	return nil
+}
+
+// EstimateAmbient extrapolates the trace's ambient asymptote and applies
+// the policy's idle-floor correction.
+func (p Policy) EstimateAmbient(readings []accubench.CooldownSample) (units.Celsius, error) {
+	est, err := EstimateAmbient(readings)
+	if err != nil {
+		return 0, err
+	}
+	return est - units.Celsius(p.IdleBias), nil
+}
+
+// Accept reports whether an estimated ambient falls inside the window.
+func (p Policy) Accept(est units.Celsius) bool {
+	return est >= p.AcceptLo && est <= p.AcceptHi
+}
+
+// Evaluate runs the full per-submission path: estimate the ambient from
+// the cooldown trace, then filter. A non-nil error means the trace was
+// unusable (too short, too flat, implausible) — such submissions are
+// rejected without an estimate.
+func (p Policy) Evaluate(readings []accubench.CooldownSample) (est units.Celsius, accepted bool, err error) {
+	est, err = p.EstimateAmbient(readings)
+	if err != nil {
+		return 0, false, err
+	}
+	return est, p.Accept(est), nil
+}

@@ -1,0 +1,57 @@
+package crowd
+
+import (
+	"testing"
+
+	"accubench/internal/units"
+)
+
+func TestPolicyEvaluateMatchesBatchPath(t *testing.T) {
+	p := DefaultPolicy()
+	// A clean geometric decay toward 24 °C: estimate ≈ 24 − IdleBias, inside
+	// the [20, 30] window.
+	readings := synthDecay(70, 24, 0.93, 40)
+	est, accepted, err := p.Evaluate(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.Celsius(24 - p.IdleBias)
+	if d := est.Delta(want); d > 0.05 || d < -0.05 {
+		t.Errorf("Evaluate estimate = %v, want ≈ %v", est, want)
+	}
+	if !accepted {
+		t.Errorf("estimate %v inside [%v, %v] rejected", est, p.AcceptLo, p.AcceptHi)
+	}
+
+	// A hot climate lands outside the window: estimated, not accepted.
+	est, accepted, err = p.Evaluate(synthDecay(80, 38, 0.93, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted {
+		t.Errorf("hot-climate estimate %v accepted", est)
+	}
+
+	// An unusable trace errors without an estimate.
+	if _, _, err := p.Evaluate(nil); err == nil {
+		t.Error("empty trace evaluated without error")
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatalf("default policy rejected: %v", err)
+	}
+	bad := Policy{AcceptLo: 30, AcceptHi: 20}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+func TestStudyConfigPolicy(t *testing.T) {
+	cfg := DefaultStudyConfig()
+	p := cfg.Policy()
+	if p.AcceptLo != cfg.AcceptLo || p.AcceptHi != cfg.AcceptHi || p.IdleBias != cfg.IdleBias {
+		t.Errorf("Policy() = %+v does not mirror config %+v", p, cfg)
+	}
+}

@@ -1,0 +1,64 @@
+package crowd
+
+import (
+	"fmt"
+	"time"
+
+	"accubench/internal/accubench"
+	"accubench/internal/fleet"
+	"accubench/internal/monsoon"
+	"accubench/internal/soc"
+	"accubench/internal/units"
+)
+
+// WildDevice is one in-the-wild handset about to run the crowd app: a
+// fleet unit at an unknown ambient. Benchmark runs the app's protocol on
+// it — no THERMABOX; that is the entire problem the backend solves.
+type WildDevice struct {
+	// Unit identifies the handset and its silicon-lottery outcome.
+	Unit fleet.Unit
+	// Ambient is the local ambient temperature (ground truth the backend
+	// never sees).
+	Ambient units.Celsius
+	// Seed drives the device's sensor noise.
+	Seed int64
+	// Quick shortens the benchmark phases (tests, load generators).
+	Quick bool
+}
+
+// Benchmark runs ACCUBENCH on the wild device and returns its upload: the
+// score plus the cooldown trace the backend extrapolates the ambient from.
+func (w WildDevice) Benchmark() (Submission, error) {
+	model, err := soc.ModelByName(w.Unit.ModelName)
+	if err != nil {
+		return Submission{}, err
+	}
+	mon := monsoon.New(model.Battery.Nominal)
+	dev, err := w.Unit.NewDevice(w.Ambient, w.Seed, mon.Supply())
+	if err != nil {
+		return Submission{}, err
+	}
+	bcfg := accubench.DefaultConfig(accubench.Unconstrained)
+	bcfg.Iterations = 1
+	// In the wild the app cannot know the local ambient to set an absolute
+	// cooldown target; it sleeps a fixed interval long enough for the decay
+	// to enter the slow case→ambient regime (≈2 case time constants), which
+	// is what makes the trace extrapolable to the ambient.
+	bcfg.CooldownFixed = 10 * time.Minute
+	if w.Quick {
+		bcfg.Warmup = time.Minute
+		bcfg.Workload = 2 * time.Minute
+	}
+	res, err := (&accubench.Runner{Device: dev, Monitor: mon, Config: bcfg}).Run()
+	if err != nil {
+		return Submission{}, fmt.Errorf("crowd: %s: %w", w.Unit.Name, err)
+	}
+	it := res.Iterations[0]
+	return Submission{
+		Device:           dev.Name(),
+		Score:            float64(it.Score),
+		CooldownReadings: it.CooldownReadings,
+		trueAmbient:      w.Ambient,
+		trueLeakage:      w.Unit.Corner.Leakage,
+	}, nil
+}

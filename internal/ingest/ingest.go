@@ -1,0 +1,443 @@
+// Package ingest is the crowd backend's submission pipeline: a bounded,
+// staged worker pool that turns raw upload bytes into stored, filtered
+// records.
+//
+// The pipeline has three stages connected by bounded channels:
+//
+//	decode   — parse and validate the JSON wire format
+//	evaluate — estimate the ambient from the cooldown trace (Aitken
+//	           extrapolation via crowd.Policy) and apply the strict filters
+//	store    — append the verdict to the sharded store and notify the
+//	           binning loop
+//
+// Each stage runs its own worker pool; an upload occupies exactly one
+// worker per stage, so slow evaluation of one submission never blocks
+// decoding of the next. The channels are bounded, which gives the HTTP
+// layer natural backpressure: Submit blocks (up to its context deadline)
+// when the pipeline is saturated instead of queueing without limit.
+//
+// Shutdown is graceful by default: Close stops intake, lets every enqueued
+// submission drain through all three stages, then returns. Cancelling the
+// Start context instead aborts promptly, dropping queued items (counted,
+// never silent).
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"time"
+
+	"accubench/internal/accubench"
+	"accubench/internal/crowd"
+	"accubench/internal/store"
+	"accubench/internal/units"
+)
+
+// ErrClosed is returned by Submit after Close (or Start-context
+// cancellation) has stopped intake.
+var ErrClosed = errors.New("ingest: pipeline closed")
+
+// Config parameterizes a Pipeline.
+type Config struct {
+	// Workers is the per-stage worker count (DefaultWorkers if <= 0).
+	Workers int
+	// QueueDepth is the capacity of each inter-stage channel
+	// (DefaultQueueDepth if <= 0). Total in-flight bound is
+	// 3*QueueDepth + 3*Workers.
+	QueueDepth int
+	// Policy is the per-submission acceptance policy.
+	Policy crowd.Policy
+	// Store receives the verdicts. Required.
+	Store *store.Store
+	// OnStored, when non-nil, is called after each record lands, with the
+	// record's model — the binning loop's dirty trigger. It must be safe
+	// for concurrent use and fast (it runs on store workers).
+	OnStored func(model string)
+}
+
+// DefaultWorkers is the per-stage worker count for Config.Workers <= 0.
+const DefaultWorkers = 4
+
+// DefaultQueueDepth is the channel capacity for Config.QueueDepth <= 0.
+const DefaultQueueDepth = 256
+
+// Counters is a snapshot of the pipeline's per-stage counters. The flow
+// invariant after a graceful Close is
+//
+//	Received = DecodeErrors + Aborted + Stored
+//	Stored   = Accepted + Rejected
+type Counters struct {
+	// Received counts uploads admitted by Submit.
+	Received uint64 `json:"received"`
+	// Decoded counts uploads that parsed and validated.
+	Decoded uint64 `json:"decoded"`
+	// DecodeErrors counts malformed uploads (dropped at decode).
+	DecodeErrors uint64 `json:"decode_errors"`
+	// Evaluated counts submissions whose cooldown trace yielded an
+	// ambient estimate.
+	Evaluated uint64 `json:"evaluated"`
+	// EstimateFailures counts submissions whose trace was unusable; they
+	// are stored as rejected, not dropped.
+	EstimateFailures uint64 `json:"estimate_failures"`
+	// Accepted counts submissions that survived the strict filters.
+	Accepted uint64 `json:"accepted"`
+	// Rejected counts submissions filtered out (estimate outside the
+	// window, or unusable trace).
+	Rejected uint64 `json:"rejected"`
+	// Stored counts records written to the store.
+	Stored uint64 `json:"stored"`
+	// Aborted counts in-flight submissions dropped by a hard (context)
+	// shutdown.
+	Aborted uint64 `json:"aborted"`
+}
+
+type counters struct {
+	received, decoded, decodeErrors     atomic.Uint64
+	evaluated, estimateFailures         atomic.Uint64
+	accepted, rejected, stored, aborted atomic.Uint64
+}
+
+func (c *counters) snapshot() Counters {
+	return Counters{
+		Received:         c.received.Load(),
+		Decoded:          c.decoded.Load(),
+		DecodeErrors:     c.decodeErrors.Load(),
+		Evaluated:        c.evaluated.Load(),
+		EstimateFailures: c.estimateFailures.Load(),
+		Accepted:         c.accepted.Load(),
+		Rejected:         c.rejected.Load(),
+		Stored:           c.stored.Load(),
+		Aborted:          c.aborted.Load(),
+	}
+}
+
+// Pipeline is the staged ingestion worker pool. Create with New, launch
+// with Start, feed with Submit, and stop with Close.
+type Pipeline struct {
+	cfg Config
+
+	raw       chan []byte
+	decoded   chan Submission
+	evaluated chan store.Record
+
+	ctr counters
+
+	// Intake gate: Submit registers in submitters under mu; Close flips
+	// closed, waits for registered submitters to finish, then closes raw.
+	mu         sync.Mutex
+	closed     bool
+	submitters sync.WaitGroup
+
+	stop      chan struct{} // closed on hard abort (Start ctx cancelled)
+	stopOnce  sync.Once
+	drained   chan struct{} // closed when the store stage finishes
+	closeOnce sync.Once
+	started   atomic.Bool
+}
+
+// New creates a pipeline. Start must be called before Submit.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("ingest: config needs a store")
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	return &Pipeline{
+		cfg:       cfg,
+		raw:       make(chan []byte, cfg.QueueDepth),
+		decoded:   make(chan Submission, cfg.QueueDepth),
+		evaluated: make(chan store.Record, cfg.QueueDepth),
+		stop:      make(chan struct{}),
+		drained:   make(chan struct{}),
+	}, nil
+}
+
+// Start launches the stage workers. Cancelling ctx hard-aborts the
+// pipeline: intake closes, queued items are dropped (counted in Aborted)
+// and workers exit. For a graceful drain use Close instead.
+func (p *Pipeline) Start(ctx context.Context) {
+	if !p.started.CompareAndSwap(false, true) {
+		return
+	}
+	var decodeWG, evalWG, storeWG sync.WaitGroup
+	for i := 0; i < p.cfg.Workers; i++ {
+		decodeWG.Add(1)
+		go func() { defer decodeWG.Done(); p.decodeWorker() }()
+		evalWG.Add(1)
+		go func() { defer evalWG.Done(); p.evaluateWorker() }()
+		storeWG.Add(1)
+		go func() { defer storeWG.Done(); p.storeWorker() }()
+	}
+	// Stage cascade: when a stage's intake closes and its workers finish,
+	// close the next stage's intake.
+	go func() { decodeWG.Wait(); close(p.decoded) }()
+	go func() { evalWG.Wait(); close(p.evaluated) }()
+	go func() { storeWG.Wait(); close(p.drained) }()
+	// Hard abort on context cancellation.
+	go func() {
+		select {
+		case <-ctx.Done():
+			p.abort()
+		case <-p.drained:
+		}
+	}()
+}
+
+// abort stops intake and signals workers to drop queued items.
+func (p *Pipeline) abort() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.closeIntake(false)
+}
+
+// closeIntake stops Submit and closes the raw channel once no Submit is
+// mid-send. When wait is true it blocks until in-flight Submits return.
+func (p *Pipeline) closeIntake(wait bool) {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	if wait {
+		p.submitters.Wait()
+		p.closeOnce.Do(func() { close(p.raw) })
+		return
+	}
+	// Hard path: submitters unblock via p.stop; close raw after they
+	// return, off the caller's goroutine.
+	go func() {
+		p.submitters.Wait()
+		p.closeOnce.Do(func() { close(p.raw) })
+	}()
+}
+
+// Submit feeds one raw upload into the pipeline. It blocks while the
+// intake queue is full — backpressure — until ctx expires or the pipeline
+// shuts down. The bytes are owned by the pipeline afterwards.
+func (p *Pipeline) Submit(ctx context.Context, raw []byte) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.submitters.Add(1)
+	p.mu.Unlock()
+	defer p.submitters.Done()
+
+	select {
+	case p.raw <- raw:
+		p.ctr.received.Add(1)
+		return nil
+	case <-p.stop:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close gracefully shuts the pipeline down: intake stops (Submit returns
+// ErrClosed), every enqueued submission drains through all stages, then
+// workers exit. Safe to call more than once.
+func (p *Pipeline) Close() {
+	p.closeIntake(true)
+	if p.started.Load() {
+		<-p.drained
+	}
+}
+
+// Counters returns a snapshot of the per-stage counters.
+func (p *Pipeline) Counters() Counters { return p.ctr.snapshot() }
+
+// aborting reports whether a hard shutdown is in progress.
+func (p *Pipeline) aborting() bool {
+	select {
+	case <-p.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *Pipeline) decodeWorker() {
+	for raw := range p.raw {
+		if p.aborting() {
+			p.ctr.aborted.Add(1)
+			continue
+		}
+		sub, err := Decode(raw)
+		if err != nil {
+			p.ctr.decodeErrors.Add(1)
+			continue
+		}
+		p.ctr.decoded.Add(1)
+		select {
+		case p.decoded <- sub:
+		case <-p.stop:
+			p.ctr.aborted.Add(1)
+		}
+	}
+}
+
+func (p *Pipeline) evaluateWorker() {
+	for sub := range p.decoded {
+		if p.aborting() {
+			p.ctr.aborted.Add(1)
+			continue
+		}
+		rec := p.evaluate(sub)
+		select {
+		case p.evaluated <- rec:
+		case <-p.stop:
+			p.ctr.aborted.Add(1)
+		}
+	}
+}
+
+// evaluate runs the backend's per-submission pass: ambient estimation
+// followed by the strict filters.
+func (p *Pipeline) evaluate(sub Submission) store.Record {
+	rec := store.Record{
+		Device: sub.Device,
+		Model:  sub.Model,
+		Score:  sub.Score,
+	}
+	est, accepted, err := p.cfg.Policy.Evaluate(sub.Readings())
+	if err != nil {
+		p.ctr.estimateFailures.Add(1)
+		rec.RejectReason = err.Error()
+		return rec
+	}
+	p.ctr.evaluated.Add(1)
+	rec.EstimatedAmbient = est
+	if !accepted {
+		rec.RejectReason = fmt.Sprintf("estimated ambient %v outside [%v, %v]",
+			est, p.cfg.Policy.AcceptLo, p.cfg.Policy.AcceptHi)
+		return rec
+	}
+	rec.Accepted = true
+	return rec
+}
+
+func (p *Pipeline) storeWorker() {
+	for rec := range p.evaluated {
+		if p.aborting() {
+			p.ctr.aborted.Add(1)
+			continue
+		}
+		if _, err := p.cfg.Store.Put(rec); err != nil {
+			// Validated at decode; a store rejection here is a bug, but
+			// never lose count of the submission.
+			p.ctr.aborted.Add(1)
+			continue
+		}
+		if rec.Accepted {
+			p.ctr.accepted.Add(1)
+		} else {
+			p.ctr.rejected.Add(1)
+		}
+		p.ctr.stored.Add(1)
+		if p.cfg.OnStored != nil {
+			p.cfg.OnStored(rec.Model)
+		}
+	}
+}
+
+// Submission is the crowd app's upload payload — the wire format of
+// POST /v1/submissions.
+type Submission struct {
+	// Device is the unit's anonymous identifier.
+	Device string `json:"device"`
+	// Model is the handset model, e.g. "Nexus 5".
+	Model string `json:"model"`
+	// Score is the ACCUBENCH performance score.
+	Score float64 `json:"score"`
+	// Cooldown is the cooldown sensor trace, in poll order.
+	Cooldown []CooldownPoint `json:"cooldown"`
+}
+
+// CooldownPoint is one cooldown sensor poll on the wire.
+type CooldownPoint struct {
+	// AtSeconds is the time since the cooldown began, in seconds.
+	AtSeconds float64 `json:"at_s"`
+	// TempC is the sensor reading in °C.
+	TempC float64 `json:"temp_c"`
+}
+
+// Readings converts the wire trace to the estimator's sample type.
+func (s Submission) Readings() []accubench.CooldownSample {
+	out := make([]accubench.CooldownSample, len(s.Cooldown))
+	for i, p := range s.Cooldown {
+		out[i] = accubench.CooldownSample{
+			At:      time.Duration(p.AtSeconds * float64(time.Second)),
+			Reading: units.Celsius(p.TempC),
+		}
+	}
+	return out
+}
+
+// Validate checks the wire payload.
+func (s Submission) Validate() error {
+	if s.Device == "" {
+		return fmt.Errorf("ingest: submission without device")
+	}
+	if s.Model == "" {
+		return fmt.Errorf("ingest: submission without model")
+	}
+	if math.IsNaN(s.Score) || math.IsInf(s.Score, 0) || s.Score <= 0 {
+		return fmt.Errorf("ingest: implausible score %v", s.Score)
+	}
+	if len(s.Cooldown) == 0 {
+		return fmt.Errorf("ingest: submission without cooldown trace")
+	}
+	for i, p := range s.Cooldown {
+		if math.IsNaN(p.TempC) || math.IsInf(p.TempC, 0) || p.TempC < -50 || p.TempC > 150 {
+			return fmt.Errorf("ingest: implausible cooldown reading %v at poll %d", p.TempC, i)
+		}
+		if i > 0 && p.AtSeconds <= s.Cooldown[i-1].AtSeconds {
+			return fmt.Errorf("ingest: cooldown polls not increasing at %d", i)
+		}
+	}
+	return nil
+}
+
+// Decode parses and validates one raw upload.
+func Decode(raw []byte) (Submission, error) {
+	var sub Submission
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		return Submission{}, fmt.Errorf("ingest: %w", err)
+	}
+	if err := sub.Validate(); err != nil {
+		return Submission{}, err
+	}
+	return sub, nil
+}
+
+// Marshal renders a benchmark result as the wire payload the app uploads.
+func Marshal(device, model string, score float64, readings []accubench.CooldownSample) ([]byte, error) {
+	sub := Submission{
+		Device:   device,
+		Model:    model,
+		Score:    score,
+		Cooldown: make([]CooldownPoint, len(readings)),
+	}
+	for i, r := range readings {
+		sub.Cooldown[i] = CooldownPoint{
+			AtSeconds: r.At.Seconds(),
+			TempC:     float64(r.Reading),
+		}
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(sub)
+}

@@ -1,0 +1,282 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accubench/internal/cluster"
+	"accubench/internal/stats"
+	"accubench/internal/store"
+)
+
+// ModelBins is the cached binning of one model's accepted population — the
+// §VI endgame: normalized-score clusters standing in for the vendor's
+// undisclosed speed bins.
+type ModelBins struct {
+	// Model is the handset model.
+	Model string `json:"model"`
+	// Submissions counts every stored record for the model.
+	Submissions int `json:"submissions"`
+	// Accepted counts the filtered population the bins are computed over
+	// (latest record per device).
+	Accepted int `json:"accepted"`
+	// AmbientSlope is the fitted score-per-°C slope used to normalize
+	// scores to the 26 °C reference; zero when the population is too small
+	// or too ambient-uniform to fit.
+	AmbientSlope float64 `json:"ambient_slope_per_c"`
+	// BinCount is the discovered bin count (0 until the population
+	// reaches the clustering minimum).
+	BinCount int `json:"bin_count"`
+	// Centroids are the bins' normalized-score centers, ascending (bin 0
+	// is the worst silicon).
+	Centroids []float64 `json:"centroids,omitempty"`
+	// Sizes are the per-bin device counts, aligned with Centroids.
+	Sizes []int `json:"sizes,omitempty"`
+	// Revision increments every recompute of this model.
+	Revision uint64 `json:"revision"`
+}
+
+// minClusterPop is the smallest accepted population worth clustering,
+// matching the batch study in internal/crowd.
+const minClusterPop = 4
+
+// Binner is the background binning loop: ingest marks models dirty, the
+// loop debounces the marks and recomputes bins off the request path, and
+// GET /v1/bins serves the cached result without ever touching the
+// clustering code.
+type Binner struct {
+	store *store.Store
+	// maxK bounds the discovered bin count.
+	maxK int
+	// debounce is how long a model must stay quiet after a mark before its
+	// bins recompute; maxWait bounds staleness under continuous load.
+	debounce, maxWait time.Duration
+
+	dirty chan string
+
+	mu   sync.RWMutex
+	bins map[string]ModelBins
+
+	recomputes atomic.Uint64
+	revision   atomic.Uint64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopped   chan struct{}
+	done      chan struct{}
+}
+
+// BinnerConfig parameterizes a Binner.
+type BinnerConfig struct {
+	// Store is the submission store to bin. Required.
+	Store *store.Store
+	// MaxK bounds the discovered bin count (default 5 — the paper's
+	// Nexus 5 study saw bins 0–4).
+	MaxK int
+	// Debounce is the quiet period before a recompute (default 150 ms).
+	Debounce time.Duration
+	// MaxWait bounds staleness under continuous submission load
+	// (default 10 × Debounce).
+	MaxWait time.Duration
+}
+
+// NewBinner creates a binner; Start launches its loop.
+func NewBinner(cfg BinnerConfig) *Binner {
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 5
+	}
+	if cfg.Debounce <= 0 {
+		cfg.Debounce = 150 * time.Millisecond
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 10 * cfg.Debounce
+	}
+	return &Binner{
+		store:    cfg.Store,
+		maxK:     cfg.MaxK,
+		debounce: cfg.Debounce,
+		maxWait:  cfg.MaxWait,
+		// Buffered so ingest's store workers never block on a busy loop;
+		// marks are coalesced anyway.
+		dirty:   make(chan string, 1024),
+		bins:    make(map[string]ModelBins),
+		stopped: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start launches the binning loop.
+func (b *Binner) Start() {
+	b.startOnce.Do(func() { go b.loop() })
+}
+
+// Stop terminates the loop after one final recompute of anything pending.
+func (b *Binner) Stop() {
+	b.stopOnce.Do(func() { close(b.stopped) })
+	<-b.done
+}
+
+// MarkDirty notes that a model received a submission. Never blocks: under
+// a full queue the mark is dropped, which is safe — a later mark or the
+// maxWait sweep still triggers the recompute for marks already queued, and
+// a full queue means the loop is about to run anyway.
+func (b *Binner) MarkDirty(model string) {
+	select {
+	case b.dirty <- model:
+	default:
+	}
+}
+
+// Bins returns the cached bins for every model, sorted by model name. It
+// never recomputes — reads are pure cache hits.
+func (b *Binner) Bins() []ModelBins {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]ModelBins, 0, len(b.bins))
+	for _, mb := range b.bins {
+		out = append(out, mb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out
+}
+
+// ModelBins returns the cached bins for one model.
+func (b *Binner) ModelBins(model string) (ModelBins, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	mb, ok := b.bins[model]
+	return mb, ok
+}
+
+// Recomputes returns how many per-model recomputes have run — the proof
+// that serving GET /v1/bins does not trigger clustering.
+func (b *Binner) Recomputes() uint64 { return b.recomputes.Load() }
+
+// loop debounces dirty marks and recomputes bins for quiet models.
+func (b *Binner) loop() {
+	defer close(b.done)
+	pending := make(map[string]bool)
+	var quiet *time.Timer
+	var quietC <-chan time.Time
+	var deadlineC <-chan time.Time
+
+	flush := func() {
+		for model := range pending {
+			delete(pending, model)
+			b.recompute(model)
+		}
+		if quiet != nil {
+			quiet.Stop()
+		}
+		quietC, deadlineC = nil, nil
+	}
+
+	for {
+		select {
+		case model := <-b.dirty:
+			pending[model] = true
+			// Restart the quiet timer; arm the staleness deadline only
+			// once per burst.
+			if quiet == nil {
+				quiet = time.NewTimer(b.debounce)
+			} else {
+				if !quiet.Stop() {
+					select {
+					case <-quiet.C:
+					default:
+					}
+				}
+				quiet.Reset(b.debounce)
+			}
+			quietC = quiet.C
+			if deadlineC == nil {
+				deadlineC = time.After(b.maxWait)
+			}
+		case <-quietC:
+			flush()
+		case <-deadlineC:
+			flush()
+		case <-b.stopped:
+			// Drain any queued marks, recompute once, exit.
+			for {
+				select {
+				case model := <-b.dirty:
+					pending[model] = true
+					continue
+				default:
+				}
+				break
+			}
+			flush()
+			return
+		}
+	}
+}
+
+// recompute rebuilds one model's bins from the store: normalize the
+// accepted population's scores to the 26 °C reference ambient, then
+// cluster them (exact 1-D k-means, silhouette-selected k).
+func (b *Binner) recompute(model string) {
+	all := b.store.Model(model)
+	latest := b.store.Latest(model)
+	mb := ModelBins{Model: model, Submissions: len(all)}
+
+	var scores, ambs []float64
+	for _, r := range latest {
+		if !r.Accepted {
+			continue
+		}
+		scores = append(scores, r.Score)
+		ambs = append(ambs, float64(r.EstimatedAmbient))
+	}
+	mb.Accepted = len(scores)
+
+	normalized := append([]float64(nil), scores...)
+	if len(scores) >= 3 && spread(ambs) > 0.5 {
+		// The slope fit needs ambient variation to be identifiable; an
+		// ambient-uniform population needs no normalization anyway.
+		_, slope := stats.LinearFit(ambs, scores)
+		mb.AmbientSlope = slope
+		for i := range normalized {
+			normalized[i] = scores[i] - slope*(ambs[i]-26)
+		}
+	}
+
+	if len(normalized) >= minClusterPop {
+		if k, err := cluster.ChooseK(normalized, b.maxK); err == nil {
+			if asg, err := cluster.KMeans1D(normalized, k); err == nil {
+				mb.BinCount = k
+				mb.Centroids = asg.Centroids
+				mb.Sizes = make([]int, k)
+				for _, lbl := range asg.Labels {
+					mb.Sizes[lbl]++
+				}
+			}
+		}
+	}
+
+	mb.Revision = b.revision.Add(1)
+	b.recomputes.Add(1)
+	b.mu.Lock()
+	b.bins[model] = mb
+	b.mu.Unlock()
+}
+
+// spread returns max-min of xs.
+func spread(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi - lo
+}

@@ -1,0 +1,219 @@
+// Package server is the crowd-benchmarking backend the paper sketches in
+// §VI: the service behind the Play-Store app, accepting ACCUBENCH scores
+// plus cooldown traces, estimating each submission's ambient server-side,
+// applying the strict filters, and binning the surviving population per
+// model.
+//
+// The HTTP JSON API:
+//
+//	POST /v1/submissions     — upload one benchmark run (202 on enqueue)
+//	GET  /v1/bins            — cached per-model bins (never recomputes)
+//	GET  /v1/devices/{id}    — one device's latest verdict
+//	GET  /healthz            — liveness
+//	GET  /metrics            — plain-text counters
+//
+// Uploads flow through the ingest pipeline (bounded, staged worker pool),
+// land in the sharded store, and mark their model dirty for the debounced
+// binning loop. The request path never runs the estimator or the
+// clustering inline: submissions return as soon as the pipeline accepts
+// the bytes, and bin reads are pure cache hits.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"accubench/internal/crowd"
+	"accubench/internal/ingest"
+	"accubench/internal/store"
+)
+
+// Config parameterizes the backend.
+type Config struct {
+	// Shards is the store's stripe width (store.DefaultShards if <= 0).
+	Shards int
+	// Workers is the ingest pipeline's per-stage worker count.
+	Workers int
+	// QueueDepth is the ingest pipeline's per-stage queue capacity.
+	QueueDepth int
+	// Policy is the per-submission acceptance policy (crowd.DefaultPolicy
+	// if zero).
+	Policy crowd.Policy
+	// MaxK bounds the discovered bin count per model.
+	MaxK int
+	// BinDebounce is the binning loop's quiet period.
+	BinDebounce time.Duration
+	// SubmitTimeout bounds how long a saturated POST /v1/submissions may
+	// block before returning 503 (default 2 s).
+	SubmitTimeout time.Duration
+	// MaxBodyBytes caps upload size (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+// Server owns the store, the ingest pipeline and the binning loop, and
+// serves the HTTP API over them.
+type Server struct {
+	cfg    Config
+	store  *store.Store
+	pipe   *ingest.Pipeline
+	binner *Binner
+	mux    *http.ServeMux
+}
+
+// New assembles the backend. Call Start before serving, Close to shut
+// down gracefully.
+func New(cfg Config) (*Server, error) {
+	if cfg.Policy == (crowd.Policy{}) {
+		cfg.Policy = crowd.DefaultPolicy()
+	}
+	if cfg.SubmitTimeout <= 0 {
+		cfg.SubmitTimeout = 2 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	st := store.New(cfg.Shards)
+	binner := NewBinner(BinnerConfig{
+		Store:    st,
+		MaxK:     cfg.MaxK,
+		Debounce: cfg.BinDebounce,
+	})
+	pipe, err := ingest.New(ingest.Config{
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		Policy:     cfg.Policy,
+		Store:      st,
+		OnStored:   binner.MarkDirty,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, store: st, pipe: pipe, binner: binner, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/submissions", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/bins", s.handleBins)
+	s.mux.HandleFunc("GET /v1/devices/{id}", s.handleDevice)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Start launches the ingest workers and the binning loop. Cancelling ctx
+// hard-aborts the pipeline; prefer Close for a graceful drain.
+func (s *Server) Start(ctx context.Context) {
+	s.pipe.Start(ctx)
+	s.binner.Start()
+}
+
+// Close drains the pipeline, runs a final recompute of pending bins and
+// stops the binning loop.
+func (s *Server) Close() {
+	s.pipe.Close()
+	s.binner.Stop()
+}
+
+// Handler returns the API handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the submission store (load generators, tests).
+func (s *Server) Store() *store.Store { return s.store }
+
+// Counters exposes the ingest pipeline's counters.
+func (s *Server) Counters() ingest.Counters { return s.pipe.Counters() }
+
+// Binner exposes the binning loop.
+func (s *Server) Binner() *Binner { return s.binner }
+
+// submitResponse is the POST /v1/submissions reply body.
+type submitResponse struct {
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, submitResponse{Status: "rejected", Error: "body too large"})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SubmitTimeout)
+	defer cancel()
+	switch err := s.pipe.Submit(ctx, body); {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, submitResponse{Status: "queued"})
+	case errors.Is(err, ingest.ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, submitResponse{Status: "shutting down", Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		// Saturated: the client should retry with backoff.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, submitResponse{Status: "overloaded", Error: "ingest queue full"})
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, submitResponse{Status: "error", Error: err.Error()})
+	}
+}
+
+// binsResponse is the GET /v1/bins reply body.
+type binsResponse struct {
+	Models []ModelBins `json:"models"`
+}
+
+func (s *Server) handleBins(w http.ResponseWriter, r *http.Request) {
+	bins := s.binner.Bins()
+	if model := r.URL.Query().Get("model"); model != "" {
+		mb, ok := s.binner.ModelBins(model)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no bins for model %q", model), http.StatusNotFound)
+			return
+		}
+		bins = []ModelBins{mb}
+	}
+	writeJSON(w, http.StatusOK, binsResponse{Models: bins})
+}
+
+func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.store.Device(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no submission from device %q", id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := s.pipe.Counters()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b []byte
+	appendMetric := func(name string, v uint64) {
+		b = fmt.Appendf(b, "crowdd_%s %d\n", name, v)
+	}
+	appendMetric("received_total", c.Received)
+	appendMetric("decoded_total", c.Decoded)
+	appendMetric("decode_errors_total", c.DecodeErrors)
+	appendMetric("evaluated_total", c.Evaluated)
+	appendMetric("estimate_failures_total", c.EstimateFailures)
+	appendMetric("accepted_total", c.Accepted)
+	appendMetric("rejected_total", c.Rejected)
+	appendMetric("stored_total", c.Stored)
+	appendMetric("aborted_total", c.Aborted)
+	appendMetric("bin_recomputes_total", s.binner.Recomputes())
+	appendMetric("store_records", uint64(s.store.Len()))
+	appendMetric("store_accepted_records", uint64(s.store.AcceptedLen()))
+	appendMetric("store_models", uint64(len(s.store.Models())))
+	w.Write(b)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

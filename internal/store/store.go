@@ -1,0 +1,184 @@
+// Package store is the crowd backend's submission store: a sharded,
+// mutex-striped in-memory index of every upload, keyed by device model.
+//
+// The crowd service's hot path is highly concurrent — ingest workers
+// appending submissions while binning loops and HTTP readers scan whole
+// models — so a single lock would serialize everything. The store stripes
+// its state across a fixed set of shards, each guarded by its own RWMutex:
+// a model's submission list lives in the shard its name hashes to, and a
+// secondary stripe indexes individual devices for point lookups. Writers
+// touching different models (or different devices) proceed in parallel;
+// readers take shared locks and return defensive copies, so callers never
+// observe a slice mid-append.
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"accubench/internal/units"
+)
+
+// Record is one stored submission after the backend's per-submission pass:
+// the upload plus the verdict the ingest pipeline reached.
+type Record struct {
+	// Device is the unit's anonymous identifier.
+	Device string `json:"device"`
+	// Model is the handset model the unit reported.
+	Model string `json:"model"`
+	// Score is the ACCUBENCH performance score.
+	Score float64 `json:"score"`
+	// EstimatedAmbient is the backend's ambient estimate from the cooldown
+	// trace; zero when estimation failed.
+	EstimatedAmbient units.Celsius `json:"estimated_ambient_c"`
+	// Accepted reports whether the submission survived the strict filters.
+	Accepted bool `json:"accepted"`
+	// RejectReason says why a rejected submission was rejected.
+	RejectReason string `json:"reject_reason,omitempty"`
+	// Seq is the store's global arrival sequence number, assigned by Put.
+	Seq uint64 `json:"seq"`
+}
+
+// Store is the sharded submission store. The zero value is not usable; use
+// New.
+type Store struct {
+	modelShards  []modelShard
+	deviceShards []deviceShard
+	seq          atomic.Uint64
+	total        atomic.Int64
+	accepted     atomic.Int64
+}
+
+type modelShard struct {
+	mu     sync.RWMutex
+	models map[string][]Record
+}
+
+type deviceShard struct {
+	mu      sync.RWMutex
+	devices map[string]Record
+}
+
+// DefaultShards is the shard count New falls back to for n <= 0.
+const DefaultShards = 16
+
+// New creates a store striped across n shards (DefaultShards if n <= 0).
+func New(n int) *Store {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	s := &Store{
+		modelShards:  make([]modelShard, n),
+		deviceShards: make([]deviceShard, n),
+	}
+	for i := range s.modelShards {
+		s.modelShards[i].models = make(map[string][]Record)
+		s.deviceShards[i].devices = make(map[string]Record)
+	}
+	return s
+}
+
+// Shards returns the stripe width.
+func (s *Store) Shards() int { return len(s.modelShards) }
+
+func (s *Store) shardIndex(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(s.modelShards)))
+}
+
+// Put stores a submission record, assigns its arrival sequence number and
+// returns it. A device resubmitting replaces its previous point-lookup
+// entry but still appends to the model history (the bins are computed over
+// the latest record per device).
+func (s *Store) Put(r Record) (uint64, error) {
+	if r.Model == "" {
+		return 0, fmt.Errorf("store: record without model")
+	}
+	if r.Device == "" {
+		return 0, fmt.Errorf("store: record without device")
+	}
+	// Seq is assigned under the model shard's lock so that a model's
+	// history is sorted by sequence number as well as by arrival.
+	ms := &s.modelShards[s.shardIndex(r.Model)]
+	ms.mu.Lock()
+	r.Seq = s.seq.Add(1)
+	ms.models[r.Model] = append(ms.models[r.Model], r)
+	ms.mu.Unlock()
+
+	ds := &s.deviceShards[s.shardIndex(r.Device)]
+	ds.mu.Lock()
+	ds.devices[r.Device] = r
+	ds.mu.Unlock()
+
+	s.total.Add(1)
+	if r.Accepted {
+		s.accepted.Add(1)
+	}
+	return r.Seq, nil
+}
+
+// Model returns a copy of every record stored for the model, in arrival
+// order. The copy is the caller's to keep.
+func (s *Store) Model(model string) []Record {
+	ms := &s.modelShards[s.shardIndex(model)]
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	recs := ms.models[model]
+	if len(recs) == 0 {
+		return nil
+	}
+	out := make([]Record, len(recs))
+	copy(out, recs)
+	return out
+}
+
+// Latest returns the latest record per device for the model, in first-seen
+// device order — the population the binning loop clusters.
+func (s *Store) Latest(model string) []Record {
+	recs := s.Model(model)
+	idx := make(map[string]int, len(recs))
+	var out []Record
+	for _, r := range recs {
+		if i, ok := idx[r.Device]; ok {
+			out[i] = r
+			continue
+		}
+		idx[r.Device] = len(out)
+		out = append(out, r)
+	}
+	return out
+}
+
+// Models returns every model name with at least one record, sorted.
+func (s *Store) Models() []string {
+	var out []string
+	for i := range s.modelShards {
+		ms := &s.modelShards[i]
+		ms.mu.RLock()
+		for m := range ms.models {
+			out = append(out, m)
+		}
+		ms.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Device returns the latest record uploaded by the device.
+func (s *Store) Device(id string) (Record, bool) {
+	ds := &s.deviceShards[s.shardIndex(id)]
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	r, ok := ds.devices[id]
+	return r, ok
+}
+
+// Len returns the total record count across all models.
+func (s *Store) Len() int { return int(s.total.Load()) }
+
+// AcceptedLen returns how many stored records survived the filters.
+func (s *Store) AcceptedLen() int { return int(s.accepted.Load()) }
