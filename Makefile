@@ -2,10 +2,13 @@
 
 GO ?= go
 
-# Packages whose concurrency is load-bearing; always raced in ci.
-RACE_PKGS := ./internal/store/... ./internal/ingest/... ./internal/server/...
+# Per-target fuzz smoke duration; raise locally for a deeper hunt.
+FUZZTIME ?= 5s
 
-.PHONY: build test vet race ci demo
+# Minimum acceptable total statement coverage, in percent.
+COVER_FLOOR ?= 75
+
+.PHONY: build test vet race fuzz-smoke cover ci demo
 
 build:
 	$(GO) build ./...
@@ -16,12 +19,31 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The whole tree races in ci: the service packages have load-bearing
+# concurrency, and the simulator must stay race-free for StudyParallel.
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race ./...
 
-# ci is the full gate: vet, tier-1 build+test, then the race pass over the
-# concurrent subsystem.
-ci: vet build test race
+# fuzz-smoke runs each fuzz target briefly — enough to catch regressions
+# on the corpus plus a short random walk. -run '^$' skips the unit tests
+# around them.
+fuzz-smoke:
+	$(GO) test ./internal/soc -run '^$$' -fuzz '^FuzzModelCodec$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ingest -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
+
+# cover prints the per-package function coverage report and enforces the
+# total floor.
+cover:
+	$(GO) test -coverprofile=/tmp/accubench-cover.out ./...
+	$(GO) tool cover -func=/tmp/accubench-cover.out
+	@total=$$($(GO) tool cover -func=/tmp/accubench-cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { \
+		if (t + 0 < floor + 0) { printf "total coverage %.1f%% is below the %s%% floor\n", t, floor; exit 1 } \
+		printf "total coverage %.1f%% (floor %s%%)\n", t, floor }'
+
+# ci is the full gate: vet, tier-1 build+test, the race pass over the
+# whole tree, then the fuzz smoke.
+ci: vet build test race fuzz-smoke
 
 # demo starts crowdd, fires a 200-device load at it, prints the bins and
 # shuts the server down.

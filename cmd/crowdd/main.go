@@ -16,6 +16,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -28,51 +30,74 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "crowdd:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the whole daemon behind a testable seam: flags come from args
+// rather than the global FlagSet, the listener binds before it reports
+// ready (so tests can pass 127.0.0.1:0 and learn the port via ready), and
+// shutdown is driven by ctx rather than process signals.
+func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr string)) error {
 	policy := crowd.DefaultPolicy()
+	fs := flag.NewFlagSet("crowdd", flag.ContinueOnError)
 	var (
-		addr     = flag.String("addr", ":8077", "listen address")
-		shards   = flag.Int("shards", 16, "store shard count")
-		workers  = flag.Int("workers", 4, "ingest workers per pipeline stage")
-		queue    = flag.Int("queue", 256, "ingest queue depth per stage")
-		acceptLo = flag.Float64("accept-lo", float64(policy.AcceptLo), "lowest accepted estimated ambient, °C")
-		acceptHi = flag.Float64("accept-hi", float64(policy.AcceptHi), "highest accepted estimated ambient, °C")
-		idleBias = flag.Float64("idle-bias", policy.IdleBias, "idle-floor correction subtracted from estimates, °C")
-		debounce = flag.Duration("bin-debounce", 150*time.Millisecond, "binning loop quiet period")
-		maxK     = flag.Int("max-bins", 5, "largest bin count the clustering may discover")
+		addr          = fs.String("addr", ":8077", "listen address")
+		shards        = fs.Int("shards", 16, "store shard count")
+		workers       = fs.Int("workers", 4, "ingest workers per pipeline stage")
+		queue         = fs.Int("queue", 256, "ingest queue depth per stage")
+		acceptLo      = fs.Float64("accept-lo", float64(policy.AcceptLo), "lowest accepted estimated ambient, °C")
+		acceptHi      = fs.Float64("accept-hi", float64(policy.AcceptHi), "highest accepted estimated ambient, °C")
+		idleBias      = fs.Float64("idle-bias", policy.IdleBias, "idle-floor correction subtracted from estimates, °C")
+		debounce      = fs.Duration("bin-debounce", 150*time.Millisecond, "binning loop quiet period")
+		maxK          = fs.Int("max-bins", 5, "largest bin count the clustering may discover")
+		submitTimeout = fs.Duration("submit-timeout", 2*time.Second, "how long a saturated POST may block before 503")
+		maxBody       = fs.Int64("max-body", 1<<20, "largest accepted upload body, bytes")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 	policy.AcceptLo = units.Celsius(*acceptLo)
 	policy.AcceptHi = units.Celsius(*acceptHi)
 	policy.IdleBias = *idleBias
+	if err := policy.Validate(); err != nil {
+		return err
+	}
 
 	srv, err := server.New(server.Config{
-		Shards:      *shards,
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		Policy:      policy,
-		MaxK:        *maxK,
-		BinDebounce: *debounce,
+		Shards:        *shards,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		Policy:        policy,
+		MaxK:          *maxK,
+		BinDebounce:   *debounce,
+		SubmitTimeout: *submitTimeout,
+		MaxBodyBytes:  *maxBody,
 	})
 	if err != nil {
 		return err
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	srv.Start(context.Background()) // graceful drain on shutdown, not hard abort
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("crowdd: listening on %s (%d shards, %d workers/stage, queue %d, window [%v, %v])\n",
-		*addr, *shards, *workers, *queue, policy.AcceptLo, policy.AcceptHi)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stdout, "crowdd: listening on %s (%d shards, %d workers/stage, queue %d, window [%v, %v])\n",
+		ln.Addr(), *shards, *workers, *queue, policy.AcceptLo, policy.AcceptHi)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
 
 	select {
 	case err := <-errc:
@@ -80,7 +105,7 @@ func run() error {
 	case <-ctx.Done():
 	}
 
-	fmt.Println("crowdd: shutting down — draining ingest")
+	fmt.Fprintln(stdout, "crowdd: shutting down — draining ingest")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
@@ -88,7 +113,7 @@ func run() error {
 	}
 	srv.Close()
 	c := srv.Counters()
-	fmt.Printf("crowdd: drained; received %d, stored %d (accepted %d, rejected %d), decode errors %d\n",
+	fmt.Fprintf(stdout, "crowdd: drained; received %d, stored %d (accepted %d, rejected %d), decode errors %d\n",
 		c.Received, c.Stored, c.Accepted, c.Rejected, c.DecodeErrors)
 	return nil
 }

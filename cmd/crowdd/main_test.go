@@ -1,0 +1,295 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"accubench/internal/crowd"
+	"accubench/internal/testkit"
+	"accubench/internal/units"
+)
+
+// startDaemon boots the real daemon — run(), exactly what main() calls —
+// on a random port and returns its base URL, the captured stdout, and a
+// shutdown func that triggers the signal path and waits for exit.
+func startDaemon(t *testing.T, extraArgs ...string) (base string, out *lockedBuffer, shutdown func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out = &lockedBuffer{}
+	addrc := make(chan string, 1)
+	errc := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-bin-debounce", "1ms"}, extraArgs...)
+	go func() { errc <- run(ctx, args, out, func(addr string) { addrc <- addr }) }()
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	var once sync.Once
+	var exitErr error
+	shutdown = func() error {
+		once.Do(func() {
+			cancel()
+			select {
+			case exitErr = <-errc:
+			case <-time.After(15 * time.Second):
+				exitErr = fmt.Errorf("daemon did not exit after shutdown")
+			}
+		})
+		return exitErr
+	}
+	t.Cleanup(func() { shutdown() })
+	return base, out, shutdown
+}
+
+// lockedBuffer makes the daemon's stdout safe to read while it still
+// writes.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func post(t *testing.T, url string, raw []byte) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func metrics(t *testing.T, base string) map[string]uint64 {
+	t.Helper()
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	out := make(map[string]uint64)
+	for _, line := range strings.Split(body, "\n") {
+		name, val, ok := strings.Cut(strings.TrimSpace(line), " ")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable metric line %q", line)
+		}
+		out[name] = n
+	}
+	return out
+}
+
+// waitForCounter polls /metrics until the named counter reaches want —
+// uploads are processed asynchronously behind the 202.
+func waitForCounter(t *testing.T, base, name string, want uint64) map[string]uint64 {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m := metrics(t, base)
+		if m[name] >= want {
+			return m
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s stuck at %d, want %d", name, m[name], want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDaemonEndToEnd boots crowdd on a random port and exercises every
+// HTTP endpoint through a real TCP connection: healthz, submissions
+// (accepted, rejected, malformed, oversized), device verdicts (hit and
+// 404), bins (all models, one model, unknown-model 404), metrics
+// conservation, and the graceful signal-drain path.
+func TestDaemonEndToEnd(t *testing.T) {
+	base, out, shutdown := startDaemon(t, "-max-body", "4096")
+	policy := crowd.DefaultPolicy()
+
+	if code, body := get(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("GET /healthz = %d %q", code, body)
+	}
+
+	// Accepted population: two decorrelated score groups across the window.
+	var accepted uint64
+	for i := 0; i < 10; i++ {
+		score := 1000.0
+		if i%2 == 1 {
+			score = 1600
+		}
+		score += float64(i)
+		ambient := units.Celsius(21 + 0.8*float64(i))
+		raw := testkit.AcceptedPayload(t, policy, fmt.Sprintf("dev-%02d", i), score, ambient)
+		if code, body := post(t, base+"/v1/submissions", raw); code != http.StatusAccepted {
+			t.Fatalf("POST accepted payload %d = %d %q", i, code, body)
+		}
+		accepted++
+	}
+	// One filtered-out device.
+	if code, _ := post(t, base+"/v1/submissions", testkit.RejectedPayload(t, policy, "dev-hot", 900)); code != http.StatusAccepted {
+		t.Fatalf("POST rejected-by-policy payload = %d, want 202 (filtering is async)", code)
+	}
+	// Malformed corpus: 202 at the HTTP layer, decode errors in metrics.
+	for i, raw := range testkit.MalformedPayloads() {
+		if code, body := post(t, base+"/v1/submissions", raw); code != http.StatusAccepted {
+			t.Fatalf("POST malformed %d = %d %q", i, code, body)
+		}
+	}
+	// Error path with a synchronous status: a body over -max-body is 413.
+	huge := bytes.Repeat([]byte("x"), 8192)
+	if code, _ := post(t, base+"/v1/submissions", huge); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("POST oversized body = %d, want 413", code)
+	}
+
+	wantStored := accepted + 1 // rejected device is stored with its verdict
+	m := waitForCounter(t, base, "crowdd_stored_total", wantStored)
+	testkit.CheckMetricsFlow(t, m)
+	if got := m["crowdd_decode_errors_total"]; got != uint64(len(testkit.MalformedPayloads())) {
+		t.Errorf("decode errors %d, want %d (oversized body must not reach the decoder)",
+			got, len(testkit.MalformedPayloads()))
+	}
+	if got := m["crowdd_accepted_total"]; got != accepted {
+		t.Errorf("accepted %d, want %d", got, accepted)
+	}
+	if got := m["crowdd_rejected_total"]; got != 1 {
+		t.Errorf("rejected %d, want 1", got)
+	}
+
+	// Device verdict lookups.
+	code, body := get(t, base+"/v1/devices/dev-hot")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/devices/dev-hot = %d", code)
+	}
+	var rec struct {
+		Accepted bool `json:"accepted"`
+	}
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Accepted {
+		t.Error("hot device's verdict says accepted, want rejected")
+	}
+	if code, _ := get(t, base+"/v1/devices/no-such-device"); code != http.StatusNotFound {
+		t.Errorf("GET unknown device = %d, want 404", code)
+	}
+
+	// Bins settle after the debounced recompute covers the population.
+	deadline := time.Now().Add(10 * time.Second)
+	var mb struct {
+		Models []struct {
+			Model    string `json:"model"`
+			Accepted int    `json:"accepted"`
+			BinCount int    `json:"bin_count"`
+		} `json:"models"`
+	}
+	for {
+		code, body := get(t, base+"/v1/bins?model=Nexus+5")
+		if code != http.StatusOK {
+			if time.Now().After(deadline) {
+				t.Fatalf("GET /v1/bins?model= = %d", code)
+			}
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if err := json.Unmarshal([]byte(body), &mb); err != nil {
+			t.Fatal(err)
+		}
+		if len(mb.Models) == 1 && mb.Models[0].Accepted == int(accepted) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bins never settled: %+v", mb)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if mb.Models[0].BinCount < 2 {
+		t.Errorf("two well-separated score groups binned into %d cluster(s)", mb.Models[0].BinCount)
+	}
+	// The unfiltered listing carries the model too.
+	if code, body := get(t, base+"/v1/bins"); code != http.StatusOK || !strings.Contains(body, "Nexus 5") {
+		t.Errorf("GET /v1/bins = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/v1/bins?model=NoSuchPhone"); code != http.StatusNotFound {
+		t.Errorf("GET bins for unknown model = %d, want 404", code)
+	}
+
+	// Graceful drain: the daemon exits nil and accounts for every upload.
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	logs := out.String()
+	if !strings.Contains(logs, "drained") {
+		t.Errorf("shutdown log does not report the drain:\n%s", logs)
+	}
+	wantLine := fmt.Sprintf("received %d, stored %d (accepted %d, rejected 1), decode errors %d",
+		wantStored+uint64(len(testkit.MalformedPayloads())), wantStored, accepted, len(testkit.MalformedPayloads()))
+	if !strings.Contains(logs, wantLine) {
+		t.Errorf("drain accounting line mismatch:\nwant substring: %s\ngot logs:\n%s", wantLine, logs)
+	}
+}
+
+// TestDaemonFlagErrors locks the startup validation: bad flags, stray
+// arguments, an inverted acceptance window, and an unbindable address
+// all fail fast instead of half-starting.
+func TestDaemonFlagErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-no-such-flag"}},
+		{"stray args", []string{"stray"}},
+		{"inverted window", []string{"-accept-lo", "30", "-accept-hi", "20"}},
+		{"bad addr", []string{"-addr", "256.256.256.256:99999"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := run(ctx, tc.args, &out, nil); err == nil {
+				t.Errorf("run(%v) succeeded, want error", tc.args)
+			}
+		})
+	}
+}

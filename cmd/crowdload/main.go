@@ -33,28 +33,40 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "crowdload:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the whole load generator behind a testable seam: flags come
+// from args rather than the global FlagSet, and all output lands on the
+// given writers.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("crowdload", flag.ContinueOnError)
 	var (
-		addr        = flag.String("addr", "http://127.0.0.1:8077", "crowdd base URL")
-		devices     = flag.Int("devices", 200, "number of simulated devices")
-		modelName   = flag.String("model", "Nexus 5", "device model to simulate")
-		concurrency = flag.Int("concurrency", 16, "simulating/uploading workers")
-		seed        = flag.Int64("seed", 1, "random seed")
-		ambientLo   = flag.Float64("ambient-lo", 12, "lowest wild ambient, °C")
-		ambientHi   = flag.Float64("ambient-hi", 38, "highest wild ambient, °C")
-		sigma       = flag.Float64("sigma", 0.55, "population leakage log-normal sigma")
-		binNoise    = flag.Float64("bin-noise", 0.35, "fab binning-measurement noise")
-		retries     = flag.Int("retries", 50, "max retries per upload on backpressure")
+		addr        = fs.String("addr", "http://127.0.0.1:8077", "crowdd base URL")
+		devices     = fs.Int("devices", 200, "number of simulated devices")
+		modelName   = fs.String("model", "Nexus 5", "device model to simulate")
+		concurrency = fs.Int("concurrency", 16, "simulating/uploading workers")
+		seed        = fs.Int64("seed", 1, "random seed")
+		ambientLo   = fs.Float64("ambient-lo", 12, "lowest wild ambient, °C")
+		ambientHi   = fs.Float64("ambient-hi", 38, "highest wild ambient, °C")
+		sigma       = fs.Float64("sigma", 0.55, "population leakage log-normal sigma")
+		binNoise    = fs.Float64("bin-noise", 0.35, "fab binning-measurement noise")
+		retries     = fs.Int("retries", 50, "max retries per upload on backpressure")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 	if *devices <= 0 {
 		return fmt.Errorf("need -devices > 0")
+	}
+	if *concurrency <= 0 {
+		return fmt.Errorf("need -concurrency > 0")
 	}
 	model, err := soc.ModelByName(*modelName)
 	if err != nil {
@@ -79,12 +91,19 @@ func run() error {
 		}
 	}
 
-	fmt.Printf("crowdload: %d %s devices → %s (%d workers)\n", *devices, model.Name, *addr, *concurrency)
+	fmt.Fprintf(stdout, "crowdload: %d %s devices → %s (%d workers)\n", *devices, model.Name, *addr, *concurrency)
 	transport := http.DefaultTransport.(*http.Transport).Clone()
 	// The default transport keeps only 2 idle conns per host; with more
 	// workers than that, every third POST would pay a fresh TCP handshake.
 	transport.MaxIdleConnsPerHost = *concurrency
 	client := &http.Client{Timeout: 30 * time.Second, Transport: transport}
+
+	// Snapshot the counters first: the server may already hold records, so
+	// every accounting figure below is a delta against this baseline.
+	base, err := fetchMetrics(client, *addr)
+	if err != nil {
+		return err
+	}
 
 	var sent, retried, failed atomic.Uint64
 	var simNanos, postNanos atomic.Int64
@@ -99,20 +118,20 @@ func run() error {
 				t0 := time.Now()
 				sub, err := dev.Benchmark()
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "crowdload: %s: benchmark: %v\n", dev.Unit.Name, err)
+					fmt.Fprintf(stderr, "crowdload: %s: benchmark: %v\n", dev.Unit.Name, err)
 					failed.Add(1)
 					continue
 				}
 				raw, err := ingest.Marshal(sub.Device, dev.Unit.ModelName, sub.Score, sub.CooldownReadings)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "crowdload: %s: marshal: %v\n", dev.Unit.Name, err)
+					fmt.Fprintf(stderr, "crowdload: %s: marshal: %v\n", dev.Unit.Name, err)
 					failed.Add(1)
 					continue
 				}
 				t1 := time.Now()
 				simNanos.Add(t1.Sub(t0).Nanoseconds())
 				if err := upload(client, *addr, raw, *retries, &retried); err != nil {
-					fmt.Fprintf(os.Stderr, "crowdload: %s: %v\n", dev.Unit.Name, err)
+					fmt.Fprintf(stderr, "crowdload: %s: %v\n", dev.Unit.Name, err)
 					failed.Add(1)
 					continue
 				}
@@ -134,13 +153,14 @@ func run() error {
 
 	// Wait for the server to drain: stored must reach sent.
 	var metrics map[string]uint64
+	settled := func(name string) uint64 { return metrics[name] - base[name] }
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		metrics, err = fetchMetrics(client, *addr)
 		if err != nil {
 			return err
 		}
-		if metrics["crowdd_stored_total"]+metrics["crowdd_decode_errors_total"]+metrics["crowdd_aborted_total"] >= sent.Load() {
+		if settled("crowdd_stored_total")+settled("crowdd_decode_errors_total")+settled("crowdd_aborted_total") >= sent.Load() {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -149,25 +169,25 @@ func run() error {
 		time.Sleep(50 * time.Millisecond)
 	}
 
-	stored := metrics["crowdd_stored_total"]
-	accepted := metrics["crowdd_accepted_total"]
-	dropped := sent.Load() - stored
-	fmt.Printf("\nuploaded %d submissions in %v (%.1f sub/s end to end, %d backpressure retries)\n",
+	stored := settled("crowdd_stored_total")
+	accepted := settled("crowdd_accepted_total")
+	dropped := int64(sent.Load()) - int64(stored)
+	fmt.Fprintf(stdout, "\nuploaded %d submissions in %v (%.1f sub/s end to end, %d backpressure retries)\n",
 		sent.Load(), elapsed.Round(time.Millisecond), float64(sent.Load())/elapsed.Seconds(), retried.Load())
-	fmt.Printf("device-sim time %v total, post time %v total across %d workers\n",
+	fmt.Fprintf(stdout, "device-sim time %v total, post time %v total across %d workers\n",
 		time.Duration(simNanos.Load()).Round(time.Millisecond),
 		time.Duration(postNanos.Load()).Round(time.Millisecond), *concurrency)
-	fmt.Printf("server stored %d (accepted %d, rejected %d) — %.1f%% acceptance, %d dropped\n",
-		stored, accepted, metrics["crowdd_rejected_total"],
+	fmt.Fprintf(stdout, "server stored %d (accepted %d, rejected %d) — %.1f%% acceptance, %d dropped\n",
+		stored, accepted, settled("crowdd_rejected_total"),
 		100*float64(accepted)/float64(stored), dropped)
 
-	if err := printBins(client, *addr, model.Name, int(accepted)); err != nil {
+	if err := printBins(client, stdout, *addr, model.Name, int(accepted)); err != nil {
 		return err
 	}
 	if dropped > 0 {
 		return fmt.Errorf("%d submissions dropped", dropped)
 	}
-	fmt.Println("zero dropped submissions ✓")
+	fmt.Fprintln(stdout, "zero dropped submissions ✓")
 	return nil
 }
 
@@ -221,7 +241,7 @@ func fetchMetrics(client *http.Client, addr string) (map[string]uint64, error) {
 
 // printBins waits for the debounced binning loop to settle over the full
 // accepted population, then prints the cached bins for the model.
-func printBins(client *http.Client, addr, model string, wantAccepted int) error {
+func printBins(client *http.Client, stdout io.Writer, addr, model string, wantAccepted int) error {
 	type modelBins struct {
 		Model     string    `json:"model"`
 		Accepted  int       `json:"accepted"`
@@ -260,15 +280,15 @@ func printBins(client *http.Client, addr, model string, wantAccepted int) error 
 			break
 		}
 		if time.Now().After(deadline) {
-			fmt.Println("bins not settled yet (server still debouncing)")
+			fmt.Fprintln(stdout, "bins not settled yet (server still debouncing)")
 			return nil
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
-	fmt.Printf("bins for %s: %d bins over %d accepted (slope %.1f score/°C)\n",
+	fmt.Fprintf(stdout, "bins for %s: %d bins over %d accepted (slope %.1f score/°C)\n",
 		mb.Model, mb.BinCount, mb.Accepted, mb.Slope)
 	for i, c := range mb.Centroids {
-		fmt.Printf("  bin %d: centroid %.0f, %d devices\n", i, c, mb.Sizes[i])
+		fmt.Fprintf(stdout, "  bin %d: centroid %.0f, %d devices\n", i, c, mb.Sizes[i])
 	}
 	return nil
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"accubench/internal/server"
+)
+
+// TestLoadAgainstRealBackend runs the full load generator — simulated
+// fleet, concurrent uploads, drain wait, bin report — against a real
+// backend over HTTP, and asserts its own zero-drop guarantee held.
+func TestLoadAgainstRealBackend(t *testing.T) {
+	srv, err := server.New(server.Config{BinDebounce: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start(context.Background())
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	err = run([]string{
+		"-addr", ts.URL,
+		"-devices", "6",
+		"-concurrency", "3",
+		"-seed", "5",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("crowdload failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "uploaded 6 submissions") {
+		t.Errorf("output does not report 6 uploads:\n%s", out)
+	}
+	if !strings.Contains(out, "zero dropped submissions") {
+		t.Errorf("output does not confirm zero drops:\n%s", out)
+	}
+	if c := srv.Counters(); c.Stored != 6 {
+		t.Errorf("server stored %d, want 6", c.Stored)
+	}
+
+	// A second run hits a warm server: accounting must be a delta against
+	// the pre-existing records, not absolute counters.
+	stdout.Reset()
+	stderr.Reset()
+	err = run([]string{
+		"-addr", ts.URL,
+		"-devices", "4",
+		"-concurrency", "2",
+		"-seed", "9",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("crowdload against warm server failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+	out = stdout.String()
+	if !strings.Contains(out, "uploaded 4 submissions") {
+		t.Errorf("warm run does not report 4 uploads:\n%s", out)
+	}
+	if !strings.Contains(out, "zero dropped submissions") {
+		t.Errorf("warm run does not confirm zero drops:\n%s", out)
+	}
+	if c := srv.Counters(); c.Stored != 10 {
+		t.Errorf("server stored %d after both runs, want 10", c.Stored)
+	}
+}
+
+// TestLoadFlagErrors locks the generator's input validation.
+func TestLoadFlagErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-no-such-flag"}},
+		{"stray args", []string{"stray"}},
+		{"zero devices", []string{"-devices", "0"}},
+		{"negative concurrency", []string{"-concurrency", "-1"}},
+		{"unknown model", []string{"-model", "NoSuchPhone", "-devices", "1"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if err := run(tc.args, &stdout, &stderr); err == nil {
+				t.Errorf("run(%v) succeeded, want error", tc.args)
+			}
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package accubench_test
+
+import (
+	"testing"
+	"time"
+
+	"accubench/internal/accubench"
+	"accubench/internal/fleet"
+	"accubench/internal/monsoon"
+	"accubench/internal/soc"
+	"accubench/internal/testkit"
+)
+
+// quickBench assembles a bare bench (no THERMABOX) on one Nexus 5 unit
+// and runs a shortened two-iteration ACCUBENCH.
+func quickBench(t *testing.T, mode accubench.Mode) (accubench.Result, *accubench.Runner) {
+	t.Helper()
+	u := fleet.Nexus5Units()[0]
+	model, err := soc.ModelByName(u.ModelName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := monsoon.New(model.Battery.Nominal)
+	dev, err := u.NewDevice(26, 42, mon.Supply())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := accubench.DefaultConfig(mode)
+	cfg.Warmup = 45 * time.Second
+	cfg.Workload = 90 * time.Second
+	cfg.Iterations = 2
+	r := &accubench.Runner{Device: dev, Monitor: mon, Config: cfg}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, r
+}
+
+// iterSnapshot projects one iteration to reviewable JSON at full float
+// precision; any change in the thermal step, governor decision, or
+// energy accounting perturbs the bytes.
+type iterSnapshot struct {
+	Score            int      `json:"score"`
+	EnergyJ          float64  `json:"energy_j"`
+	MeanPowerW       float64  `json:"mean_power_w"`
+	PeakPowerW       float64  `json:"peak_power_w"`
+	MeanBigFreqMHz   float64  `json:"mean_big_freq_mhz"`
+	MeanDieTempC     float64  `json:"mean_die_temp_c"`
+	PeakDieTempC     float64  `json:"peak_die_temp_c"`
+	CooldownTookS    float64  `json:"cooldown_took_s"`
+	ThrottleEvents   int      `json:"throttle_events"`
+	MinOnlineCores   int      `json:"min_online_cores"`
+	CooldownReadings int      `json:"cooldown_readings"`
+	Phases           []string `json:"phases"`
+}
+
+func snapshot(res accubench.Result) []iterSnapshot {
+	out := make([]iterSnapshot, len(res.Iterations))
+	for i, it := range res.Iterations {
+		s := iterSnapshot{
+			Score:            it.Score,
+			EnergyJ:          float64(it.Energy.Energy),
+			MeanPowerW:       float64(it.Energy.MeanPower),
+			PeakPowerW:       float64(it.Energy.PeakPower),
+			MeanBigFreqMHz:   float64(it.MeanBigFreq),
+			MeanDieTempC:     float64(it.MeanDieTemp),
+			PeakDieTempC:     float64(it.PeakDieTemp),
+			CooldownTookS:    it.CooldownTook.Seconds(),
+			ThrottleEvents:   it.ThrottleEvents,
+			MinOnlineCores:   it.MinOnlineCores,
+			CooldownReadings: len(it.CooldownReadings),
+		}
+		for _, p := range it.Phases {
+			s.Phases = append(s.Phases, p.Name)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestGoldenRunnerNexus5Quick(t *testing.T) {
+	res, _ := quickBench(t, accubench.Unconstrained)
+	testkit.GoldenJSON(t, "runner_nexus5_quick", snapshot(res))
+}
+
+// TestEnergyEqualsIntegralOfPower cross-checks the two independent power
+// accountings: the Monsoon's trapezoidal measurement over the workload
+// window against the device's own power trace integrated over the same
+// window.
+func TestEnergyEqualsIntegralOfPower(t *testing.T) {
+	res, r := quickBench(t, accubench.Unconstrained)
+	series, ok := r.Device.Trace().Lookup("power")
+	if !ok {
+		t.Fatal("device trace has no power series")
+	}
+	for _, it := range res.Iterations {
+		var checked bool
+		for _, p := range it.Phases {
+			if p.Name != "workload" {
+				continue
+			}
+			testkit.CheckEnergyMatchesTrace(t, series.Samples(), p.Start, p.End, it.Energy)
+			checked = true
+		}
+		if !checked {
+			t.Fatalf("iteration %d has no workload phase: %+v", it.Index, it.Phases)
+		}
+	}
+}
+
+// TestGoldenNaiveQuick locks the naive-baseline protocol the methodology
+// comparison is judged against.
+func TestGoldenNaiveQuick(t *testing.T) {
+	u := fleet.Nexus5Units()[0]
+	model, err := soc.ModelByName(u.ModelName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := monsoon.New(model.Battery.Nominal)
+	dev, err := u.NewDevice(26, 42, mon.Supply())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := accubench.DefaultConfig(accubench.Unconstrained)
+	cfg.Warmup = 45 * time.Second
+	cfg.Workload = 90 * time.Second
+	r := &accubench.Runner{Device: dev, Monitor: mon, Config: cfg}
+	naive, err := r.RunNaive(3, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testkit.GoldenJSON(t, "naive_nexus5_quick", struct {
+		Scores         []int     `json:"scores"`
+		StartDieTemps  []float64 `json:"start_die_temps_c"`
+		FirstVsRestPct float64   `json:"first_vs_rest_pct"`
+	}{naive.Scores, temps(naive), naive.FirstVsRestPct()})
+}
+
+func temps(n accubench.NaiveResult) []float64 {
+	out := make([]float64, len(n.StartDieTemps))
+	for i, c := range n.StartDieTemps {
+		out[i] = float64(c)
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package crowd_test
+
+import (
+	"testing"
+
+	"accubench/internal/crowd"
+	"accubench/internal/testkit"
+)
+
+// TestGoldenStudyQuick locks the full crowd pipeline — wild fleet
+// simulation, ambient extrapolation, filtering, normalization, binning —
+// byte-for-byte. The per-submission verdicts make a drifted estimator or
+// filter immediately visible in the diff.
+func TestGoldenStudyQuick(t *testing.T) {
+	cfg := crowd.DefaultStudyConfig()
+	cfg.Population = 24
+	cfg.Seed = 11
+	res, err := crowd.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type verdict struct {
+		Device          string  `json:"device"`
+		Score           float64 `json:"score"`
+		EstimatedC      float64 `json:"estimated_ambient_c"`
+		TrueAmbientC    float64 `json:"true_ambient_c"`
+		NormalizedScore float64 `json:"normalized_score"`
+		Accepted        bool    `json:"accepted"`
+	}
+	snap := struct {
+		Accepted        int       `json:"accepted"`
+		EstimationMAE   float64   `json:"estimation_mae_c"`
+		RankCorrelation float64   `json:"rank_correlation"`
+		AmbientSlope    float64   `json:"ambient_slope_per_c"`
+		BinCount        int       `json:"bin_count"`
+		Verdicts        []verdict `json:"verdicts"`
+	}{
+		Accepted:        res.Accepted,
+		EstimationMAE:   res.EstimationMAE,
+		RankCorrelation: res.RankCorrelation,
+		AmbientSlope:    res.AmbientSlope,
+		BinCount:        res.BinCount,
+	}
+	for _, s := range res.Submissions {
+		snap.Verdicts = append(snap.Verdicts, verdict{
+			Device:          s.Device,
+			Score:           s.Score,
+			EstimatedC:      float64(s.EstimatedAmbient),
+			TrueAmbientC:    float64(s.TrueAmbient()),
+			NormalizedScore: s.NormalizedScore,
+			Accepted:        s.Accepted,
+		})
+	}
+	testkit.GoldenJSON(t, "study_quick", snap)
+}

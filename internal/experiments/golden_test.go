@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"accubench/internal/testkit"
+)
+
+// The golden tests lock the full experiment pipeline byte-for-byte: a
+// seeded quick study renders to canonical JSON and must match the
+// checked-in file exactly. Any change to the simulator — thermal step,
+// governor decision, workload retirement, RNG consumption order — shows
+// up here as a diff to review, not as silent drift in the paper's
+// numbers. Regenerate intentionally with `go test ./internal/experiments
+// -run TestGolden -update`.
+
+// unitSnapshot is the reviewable per-unit projection of a study: who the
+// unit is (its lottery outcome) and what ACCUBENCH measured on it, at
+// full float precision so any simulator change perturbs the bytes.
+type unitSnapshot struct {
+	Unit       string  `json:"unit"`
+	Bin        int     `json:"bin"`
+	Leakage    float64 `json:"leakage"`
+	PerfScores []int   `json:"perf_scores"`
+	MeanScore  float64 `json:"mean_score"`
+	MeanEnergy float64 `json:"mean_energy_j"`
+}
+
+type studySnapshot struct {
+	Model            string         `json:"model"`
+	Units            []unitSnapshot `json:"units"`
+	PerfVariationPct float64        `json:"perf_variation_pct"`
+	EnergyVarPct     float64        `json:"energy_variation_pct"`
+	PerfErrorRSD     float64        `json:"perf_error_rsd"`
+	FixedFreqRSD     float64        `json:"fixed_freq_perf_rsd"`
+}
+
+func snapshotStudy(s ModelStudy) studySnapshot {
+	snap := studySnapshot{
+		Model:            s.Model,
+		PerfVariationPct: s.PerfVariationPct(),
+		EnergyVarPct:     s.EnergyVariationPct(),
+		PerfErrorRSD:     s.PerfErrorRSD(),
+		FixedFreqRSD:     s.FixedFreqPerfRSD(),
+	}
+	for i, o := range s.Perf {
+		u := unitSnapshot{
+			Unit:       o.Unit.Name,
+			Bin:        int(o.Unit.Corner.Bin),
+			Leakage:    o.Unit.Corner.Leakage,
+			MeanScore:  o.Result.MeanScore(),
+			MeanEnergy: s.Energy[i].Result.MeanEnergy(),
+		}
+		for _, it := range o.Result.Iterations {
+			u.PerfScores = append(u.PerfScores, int(it.Score))
+		}
+		snap.Units = append(snap.Units, u)
+	}
+	return snap
+}
+
+func TestGoldenStudyNexus5Quick(t *testing.T) {
+	st, err := StudyParallel("Nexus 5", Options{Quick: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testkit.GoldenJSON(t, "study_nexus5_quick", snapshotStudy(st))
+}
+
+func TestGoldenBaselineQuick(t *testing.T) {
+	b, err := Baseline(Options{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testkit.GoldenJSON(t, "baseline_quick", struct {
+		NaiveScores   []int   `json:"naive_scores"`
+		NaiveRSD      float64 `json:"naive_rsd"`
+		AccubenchRSD  float64 `json:"accubench_rsd"`
+		FridgeScore   float64 `json:"fridge_score"`
+		HotScore      float64 `json:"hot_score"`
+		FridgeGainPct float64 `json:"fridge_gain_pct"`
+	}{b.Naive.Scores, b.NaiveRSD, b.AccubenchRSD, b.FridgeScore, b.HotScore, b.FridgeGainPct()})
+}
+
+func TestGoldenTableIIQuick(t *testing.T) {
+	rows, _, err := TableII(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testkit.GoldenJSON(t, "tableii_quick", rows)
+}
+
+// TestPipelineRunTwiceByteIdentical is the repeatability acceptance
+// criterion in executable form: two full pipeline runs from the same seed
+// must render to identical bytes, with no golden file involved — this
+// catches nondeterminism (map iteration, wall-clock leaks, scheduling)
+// even on platforms whose floats differ from the golden's.
+func TestPipelineRunTwiceByteIdentical(t *testing.T) {
+	run := func() []byte {
+		st, err := Study("Nexus 5", Options{Quick: true, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return testkit.MarshalCanonical(t, snapshotStudy(st))
+	}
+	first, second := run(), run()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same seed, different output:\n%s", testkit.DiffLines(first, second))
+	}
+}

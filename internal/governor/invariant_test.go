@@ -1,0 +1,22 @@
+package governor_test
+
+import (
+	"testing"
+
+	"accubench/internal/soc"
+	"accubench/internal/testkit"
+)
+
+// TestEveryPolicyRespected sweeps the cap-discipline invariant over every
+// calibrated handset's thermal policy: on-ladder caps, bounded by the
+// policy floor and the cluster maximum, hysteresis honored in both
+// directions, hotplug within limits, and recovery to full speed after the
+// die cools.
+func TestEveryPolicyRespected(t *testing.T) {
+	for _, m := range soc.Models() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			testkit.CheckEngineRespectsPolicy(t, m.Thermal, m.SoC.Big)
+		})
+	}
+}

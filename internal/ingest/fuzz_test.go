@@ -1,0 +1,46 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode fuzzes the submission decoder — the surface every
+// in-the-wild upload crosses. Decode must never panic, anything it
+// accepts must satisfy Validate (the pipeline stores decoded submissions
+// without re-checking), and accepted payloads must round-trip through
+// Marshal byte-for-byte up to JSON re-encoding stability.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(`{"device":"unit-1","model":"Nexus 5","score":1500,"cooldown":[{"at_s":10,"temp_c":40},{"at_s":20,"temp_c":38}]}`))
+	f.Add([]byte(`{"device":"d","model":"m","score":1,"cooldown":[{"at_s":0.5,"temp_c":-49.5}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"device":"d","model":"m","score":-1,"cooldown":[]}`))
+	f.Add([]byte(`{"device":"d","model":"m","score":1e999,"cooldown":[{"at_s":1,"temp_c":30}]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		sub, err := Decode(raw)
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		if verr := sub.Validate(); verr != nil {
+			t.Fatalf("Decode accepted a payload Validate rejects: %v\npayload: %q", verr, raw)
+		}
+		// Accepted payloads re-marshal and re-decode to the same submission.
+		out, err := Marshal(sub.Device, sub.Model, sub.Score, sub.Readings())
+		if err != nil {
+			t.Fatalf("accepted submission failed to marshal: %v\npayload: %q", err, raw)
+		}
+		sub2, err := Decode(out)
+		if err != nil {
+			t.Fatalf("marshaled submission failed to decode: %v\nwire: %s", err, out)
+		}
+		out2, err := Marshal(sub2.Device, sub2.Model, sub2.Score, sub2.Readings())
+		if err != nil {
+			t.Fatalf("re-decoded submission failed to marshal: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("wire round-trip unstable:\nfirst:  %s\nsecond: %s", out, out2)
+		}
+	})
+}

@@ -1,0 +1,263 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"accubench/internal/crowd"
+	"accubench/internal/server"
+	"accubench/internal/testkit"
+	"accubench/internal/units"
+)
+
+// Black-box tests: everything goes through srv.Handler() over real HTTP;
+// nothing reaches into the pipeline except the exported Counters.
+
+func postSubmission(t *testing.T, client *http.Client, base string, raw []byte) *http.Response {
+	t.Helper()
+	resp, err := client.Post(base+"/v1/submissions", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func drainBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func scrapeMetrics(t *testing.T, client *http.Client, base string) map[string]uint64 {
+	t.Helper()
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := drainBody(t, resp)
+	out := make(map[string]uint64)
+	for _, line := range strings.Split(body, "\n") {
+		name, val, ok := strings.Cut(strings.TrimSpace(line), " ")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable metric line %q", line)
+		}
+		out[name] = n
+	}
+	return out
+}
+
+// TestBackpressureDeterministic pins the saturation path without racing
+// the workers: the pipeline is built but NOT started, so its intake queue
+// (depth 1) fills deterministically. The first POST queues, the second
+// hits the submit timeout and must come back 503 with Retry-After. Once
+// the workers start, the retry goes through and the drain accounts for
+// every byte ever accepted.
+func TestBackpressureDeterministic(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Workers:       1,
+		QueueDepth:    1,
+		SubmitTimeout: 50 * time.Millisecond,
+		BinDebounce:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	policy := crowd.DefaultPolicy()
+
+	first := testkit.AcceptedPayload(t, policy, "bp-0", 1000, 25)
+	if resp := postSubmission(t, client, ts.URL, first); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first POST with free queue = %d, want 202 (%s)", resp.StatusCode, drainBody(t, resp))
+	} else {
+		drainBody(t, resp)
+	}
+
+	second := testkit.AcceptedPayload(t, policy, "bp-1", 1100, 25)
+	resp := postSubmission(t, client, ts.URL, second)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST against a full stopped queue = %d, want 503 (%s)", resp.StatusCode, drainBody(t, resp))
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 backpressure response is missing Retry-After")
+	}
+	drainBody(t, resp)
+
+	// Start the workers; the client's retry must now succeed.
+	srv.Start(context.Background())
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp := postSubmission(t, client, ts.URL, second)
+		code := resp.StatusCode
+		drainBody(t, resp)
+		if code == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retry after Start still failing with %d", code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	srv.Close()
+
+	c := srv.Counters()
+	testkit.CheckCounterFlow(t, c)
+	if c.Stored != c.Received {
+		t.Errorf("well-formed uploads dropped: received %d, stored %d", c.Received, c.Stored)
+	}
+	if c.Accepted != 2 {
+		t.Errorf("accepted %d submissions, want 2", c.Accepted)
+	}
+}
+
+// TestE2ESubmissionsToBins drives a synthetic population through the
+// public API: accepted payloads in two score groups, a rejected hot
+// device, and the malformed corpus. Asserts verdict lookups, bins, and
+// the /metrics conservation laws after a graceful drain.
+func TestE2ESubmissionsToBins(t *testing.T) {
+	srv, err := server.New(server.Config{BinDebounce: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	policy := crowd.DefaultPolicy()
+
+	var accepted int
+	for i := 0; i < 10; i++ {
+		// Alternate clusters as ambient rises so score and ambient stay
+		// uncorrelated — otherwise the binner's slope normalization would
+		// (correctly) absorb the separation as an ambient effect.
+		score := 1000.0 // slow cluster
+		if i%2 == 1 {
+			score = 1600 // fast cluster
+		}
+		score += float64(i) // within-cluster spread
+		ambient := units.Celsius(21 + 0.8*float64(i)) // interior of the window; the boundary itself is float-rounding fragile
+		raw := testkit.AcceptedPayload(t, policy, fmt.Sprintf("e2e-%02d", i), score, ambient)
+		resp := postSubmission(t, client, ts.URL, raw)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST %d = %d (%s)", i, resp.StatusCode, drainBody(t, resp))
+		}
+		drainBody(t, resp)
+		accepted++
+	}
+	rejected := testkit.RejectedPayload(t, policy, "e2e-hot", 900)
+	resp := postSubmission(t, client, ts.URL, rejected)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("rejected-by-policy POST = %d, want 202 (policy runs async)", resp.StatusCode)
+	}
+	drainBody(t, resp)
+	for _, raw := range testkit.MalformedPayloads() {
+		resp := postSubmission(t, client, ts.URL, raw)
+		// Malformed bytes are still 202: decode happens off the request
+		// path. They must surface in the decode-error counter instead.
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("malformed POST = %d, want 202 (%s)", resp.StatusCode, drainBody(t, resp))
+		}
+		drainBody(t, resp)
+	}
+
+	// Graceful drain, then everything is observable and settled.
+	srv.Close()
+
+	m := scrapeMetrics(t, client, ts.URL)
+	testkit.CheckMetricsFlow(t, m)
+	if got := m["crowdd_decode_errors_total"]; got != uint64(len(testkit.MalformedPayloads())) {
+		t.Errorf("decode errors %d, want %d", got, len(testkit.MalformedPayloads()))
+	}
+	if got := m["crowdd_accepted_total"]; got != uint64(accepted) {
+		t.Errorf("accepted %d, want %d", got, accepted)
+	}
+	if got := m["crowdd_rejected_total"]; got != 1 {
+		t.Errorf("rejected %d, want 1", got)
+	}
+
+	// Device verdict lookups.
+	resp, err = client.Get(ts.URL + "/v1/devices/e2e-hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Device   string `json:"device"`
+		Accepted bool   `json:"accepted"`
+	}
+	if err := json.Unmarshal([]byte(drainBody(t, resp)), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Accepted {
+		t.Error("hot device's verdict says accepted, want rejected")
+	}
+	resp, err = client.Get(ts.URL + "/v1/devices/no-such-device")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := resp.StatusCode; code != http.StatusNotFound {
+		t.Errorf("unknown device lookup = %d, want 404", code)
+	}
+	drainBody(t, resp)
+
+	// Bins: Close ran a final recompute, so the cache covers the full
+	// accepted population.
+	resp, err = client.Get(ts.URL + "/v1/bins?model=Nexus+5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bins struct {
+		Models []struct {
+			Model    string `json:"model"`
+			Accepted int    `json:"accepted"`
+			BinCount int    `json:"bin_count"`
+			Sizes    []int  `json:"sizes"`
+		} `json:"models"`
+	}
+	if err := json.Unmarshal([]byte(drainBody(t, resp)), &bins); err != nil {
+		t.Fatal(err)
+	}
+	if len(bins.Models) != 1 || bins.Models[0].Model != "Nexus 5" {
+		t.Fatalf("bins response: %+v", bins)
+	}
+	mb := bins.Models[0]
+	if mb.Accepted != accepted {
+		t.Errorf("bins cover %d accepted, want %d", mb.Accepted, accepted)
+	}
+	if mb.BinCount < 2 {
+		t.Errorf("two well-separated score groups binned into %d cluster(s)", mb.BinCount)
+	}
+	var population int
+	for _, n := range mb.Sizes {
+		population += n
+	}
+	if population != accepted {
+		t.Errorf("bin sizes sum to %d, want %d — devices fell out of the clustering", population, accepted)
+	}
+
+	resp, err = client.Get(ts.URL + "/v1/bins?model=NoSuchPhone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := resp.StatusCode; code != http.StatusNotFound {
+		t.Errorf("bins for unknown model = %d, want 404", code)
+	}
+	drainBody(t, resp)
+}

@@ -208,7 +208,10 @@ func clusterFromJSON(cj clusterJSON) Cluster {
 	c := Cluster{
 		Name:               cj.Name,
 		Cores:              cj.Cores,
-		Ceff:               units.Farads(cj.CeffNF * 1e-9),
+		// Divide by the same constant the save path multiplies by: scaling
+		// by c then by a rounded 1/c drifts a ULP per save/load cycle,
+		// whereas multiply-then-divide by one constant is idempotent.
+		Ceff:               units.Farads(cj.CeffNF / 1e9),
 		CyclesPerIteration: cj.CyclesPerIteration,
 	}
 	for _, f := range cj.OPPsMHz {

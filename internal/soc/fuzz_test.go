@@ -1,0 +1,46 @@
+package soc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzModelCodec fuzzes the model file decoder — one of the two
+// untrusted-input surfaces (model files are user-editable calibration
+// artifacts). The decoder must never panic, and any input it accepts
+// must round-trip stably: save(load(b)) re-loads to the identical
+// serialization, so a file surviving one load/save cycle survives them
+// all.
+func FuzzModelCodec(f *testing.F) {
+	for _, m := range Models() {
+		var buf bytes.Buffer
+		if err := SaveModel(&buf, m); err != nil {
+			f.Fatalf("seeding: %v", err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x"}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := LoadModel(bytes.NewReader(raw))
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		var first bytes.Buffer
+		if err := SaveModel(&first, m); err != nil {
+			t.Fatalf("accepted model failed to save: %v", err)
+		}
+		m2, err := LoadModel(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("saved model failed to re-load: %v\nserialized: %s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := SaveModel(&second, m2); err != nil {
+			t.Fatalf("re-loaded model failed to save: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("codec round-trip unstable:\nfirst:  %s\nsecond: %s", first.Bytes(), second.Bytes())
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"accubench/internal/accubench"
+	"accubench/internal/crowd"
+	"accubench/internal/fleet"
+	"accubench/internal/ingest"
+	"accubench/internal/silicon"
+	"accubench/internal/sim"
+	"accubench/internal/soc"
+	"accubench/internal/units"
+)
+
+// Fixtures: seeded, deterministic inputs shared by tests across the tree.
+// Two families live here. The synthetic ones are closed-form — a clean
+// geometric cooldown whose asymptote the backend's Aitken extrapolation
+// recovers *exactly*, so acceptance and rejection are provable, not
+// tuned. The wild ones run the real simulator (quick mode) so e2e tests
+// exercise the same payloads a genuine fleet would upload.
+
+// CooldownSpec describes a synthetic exponential cooldown trace.
+type CooldownSpec struct {
+	// Asymptote is the temperature the trace decays toward (the raw
+	// value EstimateAmbient recovers, before any idle-bias correction).
+	Asymptote units.Celsius
+	// Amplitude is how far above the asymptote the trace starts.
+	Amplitude float64
+	// Tau is the exponential time constant.
+	Tau time.Duration
+	// Polls and Poll set the sampling: readings at Poll, 2·Poll, ….
+	Polls int
+	// Poll is the sampling interval.
+	Poll time.Duration
+}
+
+// DefaultCooldownSpec returns a trace shaped like a real quick-mode
+// cooldown: 36 polls at 10 s, starting 12 °C hot with a 6-minute time
+// constant. The tail past the 2-minute estimator cutoff holds 25 polls —
+// comfortably beyond the 9-poll minimum — and its block-mean decay is
+// steep enough (Δ ≈ 3 °C) to clear the estimator's flatness guards.
+func DefaultCooldownSpec(asymptote units.Celsius) CooldownSpec {
+	return CooldownSpec{
+		Asymptote: asymptote,
+		Amplitude: 12,
+		Tau:       6 * time.Minute,
+		Polls:     36,
+		Poll:      10 * time.Second,
+	}
+}
+
+// Trace renders the spec as cooldown samples: T(t) = asymptote +
+// amplitude·e^(−t/τ). Block means of this geometric decay are themselves
+// geometric, so Aitken's Δ² recovers the asymptote exactly (to float
+// rounding) — the property the Accepted/Rejected payload fixtures build
+// on.
+func (c CooldownSpec) Trace() []accubench.CooldownSample {
+	out := make([]accubench.CooldownSample, c.Polls)
+	for i := range out {
+		at := time.Duration(i+1) * c.Poll
+		out[i] = accubench.CooldownSample{
+			At:      at,
+			Reading: c.Asymptote + units.Celsius(c.Amplitude*math.Exp(-at.Seconds()/c.Tau.Seconds())),
+		}
+	}
+	return out
+}
+
+// SyntheticCooldown returns the default-shaped trace decaying toward
+// asymptote.
+func SyntheticCooldown(asymptote units.Celsius) []accubench.CooldownSample {
+	return DefaultCooldownSpec(asymptote).Trace()
+}
+
+// AcceptedCooldown returns a trace the policy provably accepts with the
+// estimate landing on exactly ambient: the raw asymptote is ambient plus
+// the policy's idle bias, which EstimateAmbient recovers and the bias
+// correction removes. ambient must lie inside the policy's window.
+func AcceptedCooldown(t *testing.T, policy crowd.Policy, ambient units.Celsius) []accubench.CooldownSample {
+	t.Helper()
+	if !policy.Accept(ambient) {
+		t.Fatalf("testkit: ambient %v is outside the acceptance window [%v, %v] — fixture would not be accepted",
+			ambient, policy.AcceptLo, policy.AcceptHi)
+	}
+	return SyntheticCooldown(ambient + units.Celsius(policy.IdleBias))
+}
+
+// RejectedCooldown returns a well-formed trace the policy provably
+// rejects: the corrected estimate lands 8 °C above the window's top.
+func RejectedCooldown(policy crowd.Policy) []accubench.CooldownSample {
+	hot := policy.AcceptHi + 8
+	return SyntheticCooldown(hot + units.Celsius(policy.IdleBias))
+}
+
+// AcceptedPayload wires an accepted cooldown into an upload-ready wire
+// payload.
+func AcceptedPayload(t *testing.T, policy crowd.Policy, device string, score float64, ambient units.Celsius) []byte {
+	t.Helper()
+	raw, err := ingest.Marshal(device, "Nexus 5", score, AcceptedCooldown(t, policy, ambient))
+	if err != nil {
+		t.Fatalf("testkit: marshaling accepted payload: %v", err)
+	}
+	return raw
+}
+
+// RejectedPayload wires a rejected cooldown into an upload-ready wire
+// payload.
+func RejectedPayload(t *testing.T, policy crowd.Policy, device string, score float64) []byte {
+	t.Helper()
+	raw, err := ingest.Marshal(device, "Nexus 5", score, RejectedCooldown(policy))
+	if err != nil {
+		t.Fatalf("testkit: marshaling rejected payload: %v", err)
+	}
+	return raw
+}
+
+// MalformedPayloads is a corpus of uploads the decoder must refuse —
+// broken JSON, schema violations, and physically implausible values. The
+// ingest fuzz target seeds from it; the e2e tests post it and watch the
+// decode-error counter.
+func MalformedPayloads() [][]byte {
+	return [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("{"),
+		[]byte("not json at all"),
+		[]byte(`[]`),
+		[]byte(`{"device":"","model":"Nexus 5","score":1000,"cooldown":[]}`),
+		[]byte(`{"device":"d","model":"","score":1000,"cooldown":[]}`),
+		[]byte(`{"device":"d","model":"Nexus 5","score":-3,"cooldown":[]}`),
+		[]byte(`{"device":"d","model":"Nexus 5","score":"fast","cooldown":[]}`),
+		// Non-increasing timestamps.
+		[]byte(`{"device":"d","model":"Nexus 5","score":1000,"cooldown":[{"at_s":20,"temp_c":30},{"at_s":10,"temp_c":29}]}`),
+		// Temperature outside the plausible band.
+		[]byte(`{"device":"d","model":"Nexus 5","score":1000,"cooldown":[{"at_s":10,"temp_c":900}]}`),
+	}
+}
+
+// WildSubmission pairs a real simulated upload with its hidden ground
+// truth.
+type WildSubmission struct {
+	// Device is the unit name carried in the payload.
+	Device string
+	// Raw is the upload-ready wire payload.
+	Raw []byte
+	// Score is the benchmark score inside the payload.
+	Score float64
+	// TrueAmbient is the ground-truth ambient the backend never sees.
+	TrueAmbient units.Celsius
+	// TrueLeakage is the unit's process corner.
+	TrueLeakage float64
+}
+
+// WildFleet simulates n in-the-wild devices of the named model end to
+// end — silicon-lottery draw, quick ACCUBENCH run, cooldown trace — and
+// returns their wire payloads with ground truth attached. Everything
+// derives from seed, so the same call always yields the same bytes.
+func WildFleet(t *testing.T, modelName string, n int, seed int64, ambientLo, ambientHi units.Celsius) []WildSubmission {
+	t.Helper()
+	model, err := soc.ModelByName(modelName)
+	if err != nil {
+		t.Fatalf("testkit: %v", err)
+	}
+	src := sim.NewSource(seed, "testkit-wildfleet")
+	lottery := silicon.Lottery{Sigma: 0.55, Bins: model.SoC.Bins, BinNoise: 0.35}
+	corners, err := lottery.Draw(src, n)
+	if err != nil {
+		t.Fatalf("testkit: drawing lottery: %v", err)
+	}
+	out := make([]WildSubmission, n)
+	for i, corner := range corners {
+		dev := crowd.WildDevice{
+			Unit:    fleet.Unit{Name: fmt.Sprintf("wild-%03d", i), ModelName: model.Name, Corner: corner},
+			Ambient: units.Celsius(src.Uniform(float64(ambientLo), float64(ambientHi))),
+			Seed:    seed*1000 + int64(i),
+			Quick:   true,
+		}
+		sub, err := dev.Benchmark()
+		if err != nil {
+			t.Fatalf("testkit: benchmarking %s: %v", dev.Unit.Name, err)
+		}
+		raw, err := ingest.Marshal(sub.Device, model.Name, sub.Score, sub.CooldownReadings)
+		if err != nil {
+			t.Fatalf("testkit: marshaling %s: %v", dev.Unit.Name, err)
+		}
+		out[i] = WildSubmission{
+			Device:      sub.Device,
+			Raw:         raw,
+			Score:       sub.Score,
+			TrueAmbient: dev.Ambient,
+			TrueLeakage: corner.Leakage,
+		}
+	}
+	return out
+}

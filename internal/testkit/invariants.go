@@ -1,0 +1,274 @@
+package testkit
+
+import (
+	"testing"
+	"time"
+
+	"accubench/internal/governor"
+	"accubench/internal/ingest"
+	"accubench/internal/monsoon"
+	"accubench/internal/soc"
+	"accubench/internal/thermal"
+	"accubench/internal/trace"
+	"accubench/internal/units"
+)
+
+// This file holds the cross-package physics and pipeline invariants as
+// reusable checkers. Each checker asserts a law the paper's methodology
+// depends on — laws that must hold for every handset model and every
+// policy, not just the calibrated five, so they are written against the
+// interfaces rather than the catalog.
+
+// CheckConvergesToAmbient asserts the RC thermal model's boundary
+// behaviour: with no injected power, a body released from any initial
+// temperature relaxes monotonically toward the ambient and settles there.
+// This is the physical premise of ACCUBENCH's cooldown phase — and of the
+// crowd backend's ambient extrapolation, which assumes the decay's
+// asymptote *is* the ambient.
+func CheckConvergesToAmbient(t *testing.T, body thermal.PhoneBody, ambient, from units.Celsius) {
+	t.Helper()
+	nw, die, cs, err := body.Build(ambient)
+	if err != nil {
+		t.Fatalf("testkit: building body: %v", err)
+	}
+	if err := nw.SetTemperature(die, from); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetTemperature(cs, from); err != nil {
+		t.Fatal(err)
+	}
+	gap := func() float64 {
+		d, err := nw.Temperature(die)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := float64(d - ambient)
+		if g < 0 {
+			return -g
+		}
+		return g
+	}
+	prev := gap()
+	const step = time.Second
+	for elapsed := time.Duration(0); elapsed < 2*time.Hour; elapsed += step {
+		nw.Step(step)
+		g := gap()
+		// Monotone relaxation: the die never moves away from the ambient
+		// (tiny epsilon for the last bits of float noise at equilibrium).
+		if g > prev+1e-9 {
+			t.Fatalf("testkit: die moved away from ambient at %v: |ΔT| %.6f°C after %.6f°C (from %v toward %v)",
+				elapsed, g, prev, from, ambient)
+		}
+		prev = g
+		if g < 0.01 {
+			return
+		}
+	}
+	t.Fatalf("testkit: die never converged to ambient %v from %v: still %.3f°C away after 2h", ambient, from, prev)
+}
+
+// CheckMonotoneInPower asserts that the equilibrium die temperature is
+// strictly increasing in injected power and matches the closed-form
+// steady state — the mechanism that makes leaky silicon hit trip points
+// sooner. powers must be sorted ascending.
+func CheckMonotoneInPower(t *testing.T, body thermal.PhoneBody, ambient units.Celsius, powers []units.Watts) {
+	t.Helper()
+	prev := float64(ambient) - 1
+	for _, p := range powers {
+		nw, die, _, err := body.Build(ambient)
+		if err != nil {
+			t.Fatalf("testkit: building body: %v", err)
+		}
+		// Run to equilibrium: inject p each step until the die stops moving.
+		const step = time.Second
+		last := float64(ambient)
+		for elapsed := time.Duration(0); ; elapsed += step {
+			if elapsed > 4*time.Hour {
+				t.Fatalf("testkit: no equilibrium at %v injected after 4h", p)
+			}
+			if err := nw.Inject(die, p); err != nil {
+				t.Fatal(err)
+			}
+			nw.Step(step)
+			d, err := nw.Temperature(die)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := float64(d) - last; diff < 1e-7 && diff > -1e-7 {
+				break
+			}
+			last = float64(d)
+		}
+		want := float64(body.SteadyStateDie(ambient, p))
+		if last-want > 0.1 || want-last > 0.1 {
+			t.Errorf("testkit: equilibrium die at %v = %.2f°C, closed form says %.2f°C", p, last, want)
+		}
+		if last <= prev {
+			t.Errorf("testkit: equilibrium die at %v = %.2f°C not above %.2f°C at the lower power", p, last, prev)
+		}
+		prev = last
+	}
+}
+
+// CheckEngineRespectsPolicy drives a thermal engine over a synthetic
+// temperature sweep — cool, ramp past every trip point, hold hot, cool
+// back down — and asserts the cap discipline the paper's §IV-B mechanism
+// depends on: the cap always sits on the cluster's ladder, never exceeds
+// the maximum OPP, never goes below the policy floor, only steps down at
+// or above the trip point, and hotplug never takes more cores offline
+// than the policy allows.
+func CheckEngineRespectsPolicy(t *testing.T, policy soc.ThermalPolicy, big soc.Cluster) {
+	t.Helper()
+	eng := governor.NewEngine(policy, big, 0)
+	trip := float64(policy.ThrottleAt)
+	profile := func(now time.Duration) units.Celsius {
+		s := now.Seconds()
+		switch {
+		case s < 30: // cool start
+			return units.Celsius(trip - 30)
+		case s < 90: // ramp through the trip point and past core-offline
+			return units.Celsius(trip - 30 + (s-30)*(45.0/60.0))
+		case s < 150: // hold hot
+			return units.Celsius(trip + 15)
+		default: // cool back below the hysteresis band
+			return units.Celsius(trip - 30)
+		}
+	}
+	floor := big.OPPs[0]
+	if policy.MinCapFreq > 0 {
+		floor = governor.ClampToLadder(big, policy.MinCapFreq)
+	}
+	maxOffline := big.Cores - policy.MinOnlineCores
+	if policy.MinOnlineCores <= 0 {
+		maxOffline = big.Cores
+	}
+	prevCap := eng.Cap()
+	const step = 250 * time.Millisecond
+	for now := time.Duration(0); now < 210*time.Second; now += step {
+		die := profile(now)
+		eng.Poll(now, die)
+		cap := eng.Cap()
+		if cap > big.MaxFreq() {
+			t.Fatalf("testkit: cap %v above the cluster maximum %v at %v", cap, big.MaxFreq(), now)
+		}
+		if cap < floor {
+			t.Fatalf("testkit: cap %v below the policy floor %v at %v (die %v)", cap, floor, now, die)
+		}
+		if snapped := governor.ClampToLadder(big, cap); snapped != cap {
+			t.Fatalf("testkit: cap %v is not on the cluster ladder at %v", cap, now)
+		}
+		if cap < prevCap && float64(die) < trip {
+			t.Fatalf("testkit: cap stepped down %v → %v at %v with die %v below the %v trip",
+				prevCap, cap, now, die, policy.ThrottleAt)
+		}
+		if cap > prevCap && float64(die) > trip-policy.Hysteresis {
+			t.Fatalf("testkit: cap stepped up %v → %v at %v with die %v inside the hysteresis band",
+				prevCap, cap, now, die)
+		}
+		// The governor never outruns the thermal cap: whatever the governor
+		// wants, the effective frequency obeys the engine.
+		for _, g := range []governor.Governor{governor.Performance{}, governor.Userspace{Freq: big.MaxFreq()}} {
+			if eff := governor.Effective(g, big, cap, big.MaxFreq()); eff > cap {
+				t.Fatalf("testkit: %s runs %v above the thermal cap %v at %v", g.Name(), eff, cap, now)
+			}
+		}
+		if off := eng.OfflineBigCores(); off < 0 || off > maxOffline {
+			t.Fatalf("testkit: %d cores offline at %v, policy allows at most %d", off, now, maxOffline)
+		}
+		prevCap = cap
+	}
+	if eng.Cap() != big.MaxFreq() {
+		t.Errorf("testkit: cap %v did not recover to %v after cooling down", eng.Cap(), big.MaxFreq())
+	}
+}
+
+// TrapezoidEnergy reproduces the Monsoon's integration rule over a power
+// trace: starting from zero power at start, trapezoids between successive
+// samples in (start, end]. It is the reference for
+// CheckEnergyMatchesTrace.
+func TrapezoidEnergy(samples []trace.Sample, start, end time.Duration) units.Joules {
+	var e float64
+	prevAt, prevP := start, 0.0
+	for _, s := range samples {
+		if s.At <= start || s.At > end {
+			continue
+		}
+		e += (prevP + s.Value) / 2 * (s.At - prevAt).Seconds()
+		prevAt, prevP = s.At, s.Value
+	}
+	return units.Joules(e)
+}
+
+// CheckEnergyMatchesTrace asserts energy-equals-the-integral-of-power:
+// the Monsoon's reported energy over a measurement window must equal the
+// trapezoidal integral of the device's own power trace over that window.
+// The monitor and the trace observe the same samples through different
+// code paths, so any drift means one of the two accounting pipelines is
+// wrong.
+func CheckEnergyMatchesTrace(t *testing.T, powerTrace []trace.Sample, start, end time.Duration, meas monsoon.Measurement) {
+	t.Helper()
+	want := float64(TrapezoidEnergy(powerTrace, start, end))
+	got := float64(meas.Energy)
+	if want == 0 {
+		t.Fatalf("testkit: power trace integrates to zero over [%v, %v] — empty window?", start, end)
+	}
+	rel := (got - want) / want
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 1e-9 {
+		t.Errorf("testkit: measured energy %.6fJ != ∫P dt %.6fJ over [%v, %v] (rel err %.2e)",
+			got, want, start, end, rel)
+	}
+}
+
+// CheckCounterFlow asserts the ingest pipeline's conservation laws, valid
+// after a graceful drain: every received upload is accounted for exactly
+// once, and every stored record carries exactly one verdict. These are
+// the "ingest never drops an accepted submission" books.
+func CheckCounterFlow(t *testing.T, c ingest.Counters) {
+	t.Helper()
+	if c.Received != c.DecodeErrors+c.Aborted+c.Stored {
+		t.Errorf("testkit: counter flow broken: received %d != decode errors %d + aborted %d + stored %d",
+			c.Received, c.DecodeErrors, c.Aborted, c.Stored)
+	}
+	if c.Stored != c.Accepted+c.Rejected {
+		t.Errorf("testkit: verdicts broken: stored %d != accepted %d + rejected %d",
+			c.Stored, c.Accepted, c.Rejected)
+	}
+	if c.Aborted == 0 {
+		if c.Decoded != c.Received-c.DecodeErrors {
+			t.Errorf("testkit: decoded %d != received %d - decode errors %d", c.Decoded, c.Received, c.DecodeErrors)
+		}
+		if c.Evaluated+c.EstimateFailures != c.Decoded {
+			t.Errorf("testkit: evaluated %d + estimate failures %d != decoded %d",
+				c.Evaluated, c.EstimateFailures, c.Decoded)
+		}
+	}
+}
+
+// CheckMetricsFlow asserts the same conservation laws over a parsed
+// /metrics exposition — the black-box view of CheckCounterFlow, used by
+// the e2e tests that only see the HTTP surface.
+func CheckMetricsFlow(t *testing.T, m map[string]uint64) {
+	t.Helper()
+	CheckCounterFlow(t, ingest.Counters{
+		Received:         m["crowdd_received_total"],
+		Decoded:          m["crowdd_decoded_total"],
+		DecodeErrors:     m["crowdd_decode_errors_total"],
+		Evaluated:        m["crowdd_evaluated_total"],
+		EstimateFailures: m["crowdd_estimate_failures_total"],
+		Accepted:         m["crowdd_accepted_total"],
+		Rejected:         m["crowdd_rejected_total"],
+		Stored:           m["crowdd_stored_total"],
+		Aborted:          m["crowdd_aborted_total"],
+	})
+	if m["crowdd_store_records"] != m["crowdd_stored_total"] {
+		t.Errorf("testkit: store holds %d records but the pipeline stored %d",
+			m["crowdd_store_records"], m["crowdd_stored_total"])
+	}
+	if m["crowdd_store_accepted_records"] != m["crowdd_accepted_total"] {
+		t.Errorf("testkit: store holds %d accepted records but the pipeline accepted %d",
+			m["crowdd_store_accepted_records"], m["crowdd_accepted_total"])
+	}
+}

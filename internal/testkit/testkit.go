@@ -1,0 +1,132 @@
+// Package testkit is the repository's shared verification harness. The
+// paper's whole contribution is repeatability — ACCUBENCH exists because
+// naive benchmarking is too noisy to quantify 2–14% effects — so the
+// reproduction holds itself to the same standard: simulator outputs are
+// locked byte-for-byte against golden files, cross-package physics
+// invariants are expressed once and asserted everywhere, and deterministic
+// fixtures give every test the same canned fleets and wire payloads.
+//
+// Three tools live here:
+//
+//   - Golden / GoldenJSON — golden-trace regression. A test renders its
+//     result deterministically and compares it byte-for-byte against a
+//     checked-in file under testdata/. Intentional changes are recorded by
+//     rerunning with -update and reviewing the diff like any other code
+//     change; silent drift fails loudly with a line-level diff.
+//   - Check* — reusable invariant checkers (thermal convergence and
+//     monotonicity, governor cap discipline, energy-equals-integral,
+//     ingest counter conservation) shared by property tests across
+//     packages.
+//   - fixtures.go — seeded, deterministic fixtures: synthetic cooldown
+//     decays, wire payloads the acceptance policy provably accepts or
+//     rejects, malformed-upload corpora, and fully simulated wild fleets.
+//
+// Determinism caveat: the simulation is bit-for-bit reproducible for a
+// given architecture and Go toolchain, but Go permits floating-point
+// fusing (FMA) to differ across GOARCH, so goldens are regenerated — not
+// hand-edited — when the build platform changes.
+package testkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update rewrites golden files instead of comparing against them:
+//
+//	go test ./... -update
+//
+// The flag is registered once here; every test package that imports
+// testkit shares it.
+var update = flag.Bool("update", false, "rewrite golden files under testdata/ with current output")
+
+// Updating reports whether the test run is regenerating golden files.
+func Updating() bool { return *update }
+
+// GoldenPath returns the on-disk location of a named golden file,
+// relative to the calling test's package directory.
+func GoldenPath(name string) string {
+	return filepath.Join("testdata", name+".golden")
+}
+
+// Golden compares got against the named golden file byte-for-byte. Under
+// -update it (re)writes the file instead and never fails. The failure
+// message carries a line-level diff so drift is diagnosable from CI logs
+// alone.
+func Golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := GoldenPath(name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("testkit: creating %s: %v", filepath.Dir(path), err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("testkit: writing golden %s: %v", path, err)
+		}
+		t.Logf("testkit: wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("testkit: missing golden %s (create it with `go test -update`): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("testkit: output drifted from golden %s\n%s\n(if the change is intentional, regenerate with `go test -update` and review the diff)",
+			path, DiffLines(want, got))
+	}
+}
+
+// GoldenJSON marshals v deterministically (see MarshalCanonical) and
+// compares it against the named golden file.
+func GoldenJSON(t *testing.T, name string, v any) {
+	t.Helper()
+	Golden(t, name, MarshalCanonical(t, v))
+}
+
+// MarshalCanonical renders v as indented JSON with a trailing newline.
+// encoding/json sorts map keys and formats floats deterministically, so
+// equal values always produce equal bytes — the property every golden
+// and every run-twice determinism test in the tree relies on.
+func MarshalCanonical(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("testkit: marshaling %T: %v", v, err)
+	}
+	return append(b, '\n')
+}
+
+// DiffLines renders a compact line diff between two byte slices: the
+// first differing line with context, plus a summary of the tail. It is
+// intentionally simple — golden drift is investigated by regenerating,
+// not by patching the golden from the diff.
+func DiffLines(want, got []byte) string {
+	wl := strings.Split(string(want), "\n")
+	gl := strings.Split(string(got), "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] == gl[i] {
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "first difference at line %d:\n", i+1)
+		for j := max(0, i-2); j < i; j++ {
+			fmt.Fprintf(&b, "    %s\n", wl[j])
+		}
+		fmt.Fprintf(&b, "  - %s\n  + %s", wl[i], gl[i])
+		if rem := len(wl) - i - 1; rem > 0 {
+			fmt.Fprintf(&b, "\n  (%d more golden lines follow)", rem)
+		}
+		return b.String()
+	}
+	return fmt.Sprintf("outputs agree for %d lines, then lengths differ: golden has %d lines, got %d", n, len(wl), len(gl))
+}

@@ -1,0 +1,122 @@
+package testkit
+
+import (
+	"strings"
+	"testing"
+
+	"accubench/internal/crowd"
+	"accubench/internal/ingest"
+	"accubench/internal/soc"
+	"accubench/internal/units"
+)
+
+func TestMarshalCanonicalIsDeterministic(t *testing.T) {
+	v := map[string]any{"b": 2.5, "a": []int{3, 1}, "c": map[string]int{"z": 1, "y": 2}}
+	first := MarshalCanonical(t, v)
+	for i := 0; i < 50; i++ {
+		if got := MarshalCanonical(t, v); string(got) != string(first) {
+			t.Fatalf("canonical marshal unstable on iteration %d:\n%s", i, DiffLines(first, got))
+		}
+	}
+	if !strings.HasSuffix(string(first), "\n") {
+		t.Error("canonical marshal must end with a newline")
+	}
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	// The checked-in golden locks the machinery itself: if this drifts,
+	// every golden in the tree is suspect.
+	GoldenJSON(t, "selftest", struct {
+		Name  string    `json:"name"`
+		Score float64   `json:"score"`
+		Bins  []float64 `json:"bins"`
+	}{"selftest", 1234.5, []float64{0.55, 1.0, 1.5, 1.72}})
+}
+
+func TestDiffLines(t *testing.T) {
+	want := []byte("a\nb\nc\nd\n")
+	got := []byte("a\nb\nX\nd\n")
+	d := DiffLines(want, got)
+	if !strings.Contains(d, "line 3") || !strings.Contains(d, "- c") || !strings.Contains(d, "+ X") {
+		t.Errorf("diff did not pinpoint the change:\n%s", d)
+	}
+	if d := DiffLines([]byte("a\nb"), []byte("a\nb\nc")); !strings.Contains(d, "lengths differ") {
+		t.Errorf("pure-append diff not reported as length change:\n%s", d)
+	}
+}
+
+func TestAcceptedCooldownEstimatesExactly(t *testing.T) {
+	policy := crowd.DefaultPolicy()
+	for _, ambient := range []units.Celsius{21, 25, 29.5} {
+		est, accepted, err := policy.Evaluate(AcceptedCooldown(t, policy, ambient))
+		if err != nil {
+			t.Fatalf("ambient %v: %v", ambient, err)
+		}
+		if !accepted {
+			t.Errorf("ambient %v: accepted fixture was rejected (est %v)", ambient, est)
+		}
+		if diff := float64(est - ambient); diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("ambient %v: Aitken recovered %v, want exact", ambient, est)
+		}
+	}
+}
+
+func TestRejectedCooldownIsRejected(t *testing.T) {
+	policy := crowd.DefaultPolicy()
+	est, accepted, err := policy.Evaluate(RejectedCooldown(policy))
+	if err != nil {
+		t.Fatalf("rejected fixture must be estimable, got error: %v", err)
+	}
+	if accepted {
+		t.Errorf("rejected fixture was accepted with estimate %v", est)
+	}
+}
+
+func TestMalformedPayloadsAllFailDecode(t *testing.T) {
+	for i, raw := range MalformedPayloads() {
+		if _, err := ingest.Decode(raw); err == nil {
+			t.Errorf("malformed payload %d decoded cleanly: %q", i, raw)
+		}
+	}
+}
+
+func TestAcceptedPayloadRoundTrips(t *testing.T) {
+	policy := crowd.DefaultPolicy()
+	raw := AcceptedPayload(t, policy, "unit-1", 1500, 25)
+	sub, err := ingest.Decode(raw)
+	if err != nil {
+		t.Fatalf("accepted payload failed decode: %v", err)
+	}
+	if sub.Device != "unit-1" || sub.Score != 1500 {
+		t.Errorf("payload round-trip mangled fields: %+v", sub)
+	}
+	est, accepted, err := policy.Evaluate(sub.Readings())
+	if err != nil || !accepted {
+		t.Errorf("decoded payload not accepted: est %v accepted %v err %v", est, accepted, err)
+	}
+}
+
+func TestInvariantCheckersOnCatalog(t *testing.T) {
+	// Smoke the physics checkers on the first catalog model; the full
+	// catalog sweeps live in the thermal and governor test packages.
+	m := soc.Models()[0]
+	CheckConvergesToAmbient(t, m.Body, 25, 80)
+	CheckMonotoneInPower(t, m.Body, 25, []units.Watts{0.5, 1, 2, 4})
+	CheckEngineRespectsPolicy(t, m.Thermal, m.SoC.Big)
+}
+
+func TestWildFleetIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates real devices")
+	}
+	a := WildFleet(t, "Nexus 5", 2, 7, 15, 35)
+	b := WildFleet(t, "Nexus 5", 2, 7, 15, 35)
+	for i := range a {
+		if string(a[i].Raw) != string(b[i].Raw) {
+			t.Errorf("wild fleet payload %d differs between identical calls:\n%s", i, DiffLines(a[i].Raw, b[i].Raw))
+		}
+		if a[i].TrueAmbient != b[i].TrueAmbient || a[i].TrueLeakage != b[i].TrueLeakage {
+			t.Errorf("wild fleet ground truth %d differs between identical calls", i)
+		}
+	}
+}

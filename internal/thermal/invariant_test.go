@@ -1,0 +1,40 @@
+package thermal_test
+
+import (
+	"testing"
+
+	"accubench/internal/soc"
+	"accubench/internal/testkit"
+	"accubench/internal/units"
+)
+
+// Every calibrated handset body must obey the RC model's physical laws —
+// the checkers live in testkit so property tests elsewhere assert the
+// same statements on ad-hoc bodies.
+
+func TestEveryBodyConvergesToAmbient(t *testing.T) {
+	for _, m := range soc.Models() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			for _, tc := range []struct {
+				ambient, from units.Celsius
+			}{
+				{25, 90},  // hot die relaxing down
+				{25, 5},   // cold-soaked device warming up
+				{38, 95},  // hot pocket
+				{10, 100}, // fridge trick
+			} {
+				testkit.CheckConvergesToAmbient(t, m.Body, tc.ambient, tc.from)
+			}
+		})
+	}
+}
+
+func TestEveryBodyMonotoneInPower(t *testing.T) {
+	for _, m := range soc.Models() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			testkit.CheckMonotoneInPower(t, m.Body, 26, []units.Watts{0.25, 0.5, 1, 2, 3, 5})
+		})
+	}
+}
