@@ -180,6 +180,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "server stored %d (accepted %d, rejected %d) — %.1f%% acceptance, %d dropped\n",
 		stored, accepted, settled("crowdd_rejected_total"),
 		100*float64(accepted)/float64(stored), dropped)
+	if _, ok := metrics["crowdd_wal_appends_total"]; ok {
+		fmt.Fprintf(stdout, "server persistence: wal appended %d this run (%d fsyncs, %d bytes, %d segments live), last snapshot seq %d\n",
+			settled("crowdd_wal_appended_total"), settled("crowdd_wal_fsyncs_total"),
+			settled("crowdd_wal_bytes_total"), metrics["crowdd_wal_segments"],
+			metrics["crowdd_wal_last_snapshot_seq"])
+	} else {
+		fmt.Fprintln(stdout, "server persistence: disabled (in-memory store)")
+	}
 
 	if err := printBins(client, stdout, *addr, model.Name, int(accepted)); err != nil {
 		return err

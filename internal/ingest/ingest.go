@@ -7,8 +7,9 @@
 //	decode   — parse and validate the JSON wire format
 //	evaluate — estimate the ambient from the cooldown trace (Aitken
 //	           extrapolation via crowd.Policy) and apply the strict filters
-//	store    — append the verdict to the sharded store and notify the
-//	           binning loop
+//	store    — commit the verdict (WAL append + fsync first, when
+//	           durability is configured), land it in the sharded store
+//	           and notify the binning loop
 //
 // Each stage runs its own worker pool; an upload occupies exactly one
 // worker per stage, so slow evaluation of one submission never blocks
@@ -55,10 +56,24 @@ type Config struct {
 	Policy crowd.Policy
 	// Store receives the verdicts. Required.
 	Store *store.Store
+	// WAL, when non-nil, makes the store stage durable: every record is
+	// committed — appended to the write-ahead log and fsynced, then
+	// inserted into the store with its log-assigned sequence number —
+	// instead of stored directly. This is the append-before-store commit
+	// point: a record is never visible without being durable.
+	WAL Committer
 	// OnStored, when non-nil, is called after each record lands, with the
 	// record's model — the binning loop's dirty trigger. It must be safe
 	// for concurrent use and fast (it runs on store workers).
 	OnStored func(model string)
+}
+
+// Committer is the durability hook the store stage calls when a WAL is
+// configured. Commit must make the record durable and visible in the
+// store (setting its Seq) before returning; internal/wal.Persister is the
+// production implementation.
+type Committer interface {
+	Commit(r *store.Record) (uint64, error)
 }
 
 // DefaultWorkers is the per-stage worker count for Config.Workers <= 0.
@@ -70,8 +85,10 @@ const DefaultQueueDepth = 256
 // Counters is a snapshot of the pipeline's per-stage counters. The flow
 // invariant after a graceful Close is
 //
-//	Received = DecodeErrors + Aborted + Stored
+//	Received = DecodeErrors + Aborted + Stored + WALFailed
 //	Stored   = Accepted + Rejected
+//
+// and, when a WAL is configured, Stored = WALAppended.
 type Counters struct {
 	// Received counts uploads admitted by Submit.
 	Received uint64 `json:"received"`
@@ -95,12 +112,19 @@ type Counters struct {
 	// Aborted counts in-flight submissions dropped by a hard (context)
 	// shutdown.
 	Aborted uint64 `json:"aborted"`
+	// WALAppended counts records durably committed through the WAL before
+	// storing (zero when no WAL is configured).
+	WALAppended uint64 `json:"wal_appended"`
+	// WALFailed counts records dropped because their WAL commit failed —
+	// they were never stored, so acceptance never outran durability.
+	WALFailed uint64 `json:"wal_failed"`
 }
 
 type counters struct {
 	received, decoded, decodeErrors     atomic.Uint64
 	evaluated, estimateFailures         atomic.Uint64
 	accepted, rejected, stored, aborted atomic.Uint64
+	walAppended, walFailed              atomic.Uint64
 }
 
 func (c *counters) snapshot() Counters {
@@ -114,6 +138,8 @@ func (c *counters) snapshot() Counters {
 		Rejected:         c.rejected.Load(),
 		Stored:           c.stored.Load(),
 		Aborted:          c.aborted.Load(),
+		WALAppended:      c.walAppended.Load(),
+		WALFailed:        c.walFailed.Load(),
 	}
 }
 
@@ -334,7 +360,17 @@ func (p *Pipeline) storeWorker() {
 			p.ctr.aborted.Add(1)
 			continue
 		}
-		if _, err := p.cfg.Store.Put(rec); err != nil {
+		if p.cfg.WAL != nil {
+			// Append-before-store: the record is fsynced into the log —
+			// which assigns its sequence number — before it becomes
+			// visible. A failed commit drops the record (counted), never
+			// stores it: acceptance must not outrun durability.
+			if _, err := p.cfg.WAL.Commit(&rec); err != nil {
+				p.ctr.walFailed.Add(1)
+				continue
+			}
+			p.ctr.walAppended.Add(1)
+		} else if _, err := p.cfg.Store.Put(rec); err != nil {
 			// Validated at decode; a store rejection here is a bug, but
 			// never lose count of the submission.
 			p.ctr.aborted.Add(1)

@@ -239,3 +239,84 @@ func TestNewValidation(t *testing.T) {
 		t.Error("config with empty policy window accepted")
 	}
 }
+
+// committer is a test double for the WAL's commit point: it assigns
+// sequence numbers, forwards to the store like the real Persister, and
+// fails on demand after a set number of commits.
+type committer struct {
+	st      *store.Store
+	mu      sync.Mutex
+	seq     uint64
+	failAll bool
+}
+
+func (c *committer) Commit(r *store.Record) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failAll {
+		return 0, errors.New("disk full")
+	}
+	c.seq++
+	r.Seq = c.seq
+	if err := c.st.PutSeq(*r); err != nil {
+		return 0, err
+	}
+	return c.seq, nil
+}
+
+func TestPipelineCommitsThroughWAL(t *testing.T) {
+	st := store.New(4)
+	wal := &committer{st: st}
+	p := newPipeline(t, st, func(c *Config) { c.WAL = wal })
+	p.Start(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 6; i++ {
+		if err := p.Submit(ctx, payload(t, fmt.Sprintf("wal-%d", i), 1000, 24)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+
+	c := p.Counters()
+	if c.WALAppended != 6 || c.WALFailed != 0 || c.Stored != 6 {
+		t.Fatalf("counters = %+v, want 6 wal appends", c)
+	}
+	if st.Len() != 6 {
+		t.Fatalf("store holds %d records", st.Len())
+	}
+	// Every stored record carries the committer's sequence number.
+	for _, r := range st.Model("Nexus 5") {
+		if r.Seq == 0 {
+			t.Fatalf("stored record lost its assigned seq: %+v", r)
+		}
+	}
+}
+
+func TestPipelineCountsWALFailures(t *testing.T) {
+	st := store.New(4)
+	wal := &committer{st: st, failAll: true}
+	p := newPipeline(t, st, func(c *Config) { c.WAL = wal })
+	p.Start(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 4; i++ {
+		if err := p.Submit(ctx, payload(t, fmt.Sprintf("fail-%d", i), 1000, 24)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+
+	c := p.Counters()
+	if c.WALFailed != 4 || c.Stored != 0 {
+		t.Fatalf("counters = %+v, want 4 wal failures and nothing stored", c)
+	}
+	// Nothing became visible without committing.
+	if st.Len() != 0 {
+		t.Fatalf("store holds %d records after commit failures", st.Len())
+	}
+	// The conservation law still balances with the failure leg.
+	if c.Received != c.DecodeErrors+c.Aborted+c.Stored+c.WALFailed {
+		t.Errorf("flow invariant violated: %+v", c)
+	}
+}

@@ -113,7 +113,11 @@ func (b *Binner) Start() {
 }
 
 // Stop terminates the loop after one final recompute of anything pending.
+// Safe on a binner that was never started (a server built but not Started
+// — e.g. boot-recovery inspection): the loop is kept from ever launching
+// instead of being waited for.
 func (b *Binner) Stop() {
+	b.startOnce.Do(func() { close(b.done) })
 	b.stopOnce.Do(func() { close(b.stopped) })
 	<-b.done
 }

@@ -8,6 +8,10 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -260,4 +264,293 @@ func TestE2ESubmissionsToBins(t *testing.T) {
 		t.Errorf("bins for unknown model = %d, want 404", code)
 	}
 	drainBody(t, resp)
+}
+
+// stableBins is the /v1/bins payload minus Revision (a per-process
+// recompute counter that legitimately differs across restarts).
+type stableBins struct {
+	Model        string    `json:"model"`
+	Submissions  int       `json:"submissions"`
+	Accepted     int       `json:"accepted"`
+	AmbientSlope float64   `json:"ambient_slope_per_c"`
+	BinCount     int       `json:"bin_count"`
+	Centroids    []float64 `json:"centroids"`
+	Sizes        []int     `json:"sizes"`
+}
+
+// fetchBins returns the stable bins for one model, or nil before the
+// binner has covered it.
+func fetchBins(t *testing.T, client *http.Client, base, model string) *stableBins {
+	t.Helper()
+	resp, err := client.Get(base + "/v1/bins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bins struct {
+		Models []stableBins `json:"models"`
+	}
+	if err := json.Unmarshal([]byte(drainBody(t, resp)), &bins); err != nil {
+		t.Fatal(err)
+	}
+	for i := range bins.Models {
+		if bins.Models[i].Model == model {
+			return &bins.Models[i]
+		}
+	}
+	return nil
+}
+
+// waitForBins polls until the model's bins cover wantAccepted devices.
+func waitForBins(t *testing.T, client *http.Client, base, model string, wantAccepted int) *stableBins {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if mb := fetchBins(t, client, base, model); mb != nil && mb.Accepted >= wantAccepted {
+			return mb
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bins never covered %d accepted devices for %s", wantAccepted, model)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitForStored polls /metrics until the pipeline has stored (or failed)
+// everything submitted, so crash points are deterministic.
+func waitForStored(t *testing.T, client *http.Client, base string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m := scrapeMetrics(t, client, base)
+		if m["crowdd_stored_total"]+m["crowdd_decode_errors_total"] >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline never settled at %d processed: %v", want, m)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// walSegments lists the data dir's WAL segment files, sorted by name
+// (which sorts by first sequence number).
+func walSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// TestCrashRecoveryE2E is the durability contract as a black box: boot
+// with a data dir, submit over HTTP, hard-kill mid-stream, restart on the
+// same dir, and every accepted submission — sequence numbers, scores,
+// verdicts, bins — must come back. Then damage the log's tail two ways
+// (torn half-frame, bit flip) and assert boot truncates instead of
+// aborting, losing at most the damaged record.
+func TestCrashRecoveryE2E(t *testing.T) {
+	dir := t.TempDir()
+	policy := crowd.DefaultPolicy()
+	boot := func() *server.Server {
+		// FsyncEvery 0 = synchronous commits: every 202'd-and-stored
+		// submission is durable the moment the counter moves.
+		srv, err := server.New(server.Config{
+			DataDir:     dir,
+			BinDebounce: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+
+	srv1 := boot()
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	srv1.Start(ctx1)
+	ts1 := httptest.NewServer(srv1.Handler())
+	client := ts1.Client()
+
+	const accepted = 8
+	for i := 0; i < accepted; i++ {
+		score := 1000.0 + float64(i)
+		if i%2 == 1 {
+			score = 1600 + float64(i)
+		}
+		raw := testkit.AcceptedPayload(t, policy, fmt.Sprintf("cr-%02d", i), score, units.Celsius(21+float64(i)))
+		resp := postSubmission(t, client, ts1.URL, raw)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST %d = %d (%s)", i, resp.StatusCode, drainBody(t, resp))
+		}
+		drainBody(t, resp)
+	}
+	rejected := testkit.RejectedPayload(t, policy, "cr-hot", 900)
+	resp := postSubmission(t, client, ts1.URL, rejected)
+	drainBody(t, resp)
+	waitForStored(t, client, ts1.URL, accepted+1)
+
+	// The pre-crash ground truth: full store state and settled bins.
+	wantStore := srv1.Store().Snapshot()
+	wantLen := srv1.Store().Len()
+	wantBins := waitForBins(t, client, ts1.URL, "Nexus 5", accepted)
+
+	// Hard kill: abort the pipeline, abandon the WAL without flush or
+	// snapshot. Everything whose commit completed is already on disk.
+	cancel1()
+	srv1.Crash()
+	ts1.Close()
+
+	// Restart on the same directory.
+	srv2 := boot()
+	rec, ok := srv2.Recovery()
+	if !ok {
+		t.Fatal("persistent server reports no recovery")
+	}
+	if rec.Restored != wantLen || rec.Replayed != wantLen || rec.SnapshotRecords != 0 {
+		t.Fatalf("recovery = %+v, want all %d replayed from the log (no snapshot was cut)", rec, wantLen)
+	}
+	if got := srv2.Store().Snapshot(); !reflect.DeepEqual(got, wantStore) {
+		t.Fatalf("recovered store diverged from pre-crash state:\n got %+v\nwant %+v", got, wantStore)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	srv2.Start(ctx2)
+	ts2 := httptest.NewServer(srv2.Handler())
+	client2 := ts2.Client()
+
+	// The binner re-primed from the recovered store: bins match pre-crash.
+	gotBins := waitForBins(t, client2, ts2.URL, "Nexus 5", accepted)
+	if !reflect.DeepEqual(gotBins, wantBins) {
+		t.Fatalf("recovered bins diverged:\n got %+v\nwant %+v", gotBins, wantBins)
+	}
+
+	// The black-box surfaces agree: healthz narrates the recovery, metrics
+	// keep the conservation laws with the restored leg.
+	resp, err := client2.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := drainBody(t, resp)
+	if !strings.Contains(health, "recovery: restored 9 records") {
+		t.Errorf("healthz does not narrate the recovery:\n%s", health)
+	}
+	m := scrapeMetrics(t, client2, ts2.URL)
+	testkit.CheckMetricsFlow(t, m)
+	if m["crowdd_wal_restored_records"] != uint64(wantLen) || m["crowdd_wal_replayed_total"] != uint64(wantLen) {
+		t.Errorf("restored-record metrics = %d/%d, want %d", m["crowdd_wal_restored_records"], m["crowdd_wal_replayed_total"], wantLen)
+	}
+
+	// The recovered server keeps accepting: one more device, then crash
+	// again with a *torn tail* — garbage appended mid-write.
+	raw := testkit.AcceptedPayload(t, policy, "cr-late", 1300, 26)
+	resp = postSubmission(t, client2, ts2.URL, raw)
+	drainBody(t, resp)
+	waitForStored(t, client2, ts2.URL, 1)
+	wantStore = srv2.Store().Snapshot()
+	wantLen = srv2.Store().Len()
+	cancel2()
+	srv2.Crash()
+	ts2.Close()
+
+	segs := walSegments(t, dir)
+	if len(segs) == 0 {
+		t.Fatal("no WAL segments on disk after two sessions")
+	}
+	tail := segs[len(segs)-1]
+	f, err := os.OpenFile(tail, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x37, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv3 := boot()
+	rec, _ = srv3.Recovery()
+	if rec.TruncatedBytes != 4 {
+		t.Errorf("torn-tail boot truncated %d bytes, want 4", rec.TruncatedBytes)
+	}
+	if rec.Restored != wantLen {
+		t.Errorf("torn tail cost committed records: restored %d, want %d", rec.Restored, wantLen)
+	}
+	if got := srv3.Store().Snapshot(); !reflect.DeepEqual(got, wantStore) {
+		t.Fatal("store diverged after torn-tail recovery")
+	}
+	srv3.Crash()
+
+	// Bit-flip the last committed frame: boot must truncate at the last
+	// valid frame — losing exactly that one record — not abort.
+	data, err := os.ReadFile(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("active segment is empty; the bit-flip scenario needs the tail record in it")
+	}
+	data[len(data)-2] ^= 0x20
+	if err := os.WriteFile(tail, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv4 := boot()
+	rec, _ = srv4.Recovery()
+	if rec.TruncatedBytes == 0 {
+		t.Error("bit-flipped tail boot reports no truncation")
+	}
+	if rec.Restored != wantLen-1 {
+		t.Errorf("bit-flipped tail: restored %d, want %d (exactly the damaged record lost)", rec.Restored, wantLen-1)
+	}
+	if got := srv4.Store().Snapshot(); !reflect.DeepEqual(got, wantStore[:len(wantStore)-1]) {
+		t.Fatal("store diverged after bit-flip recovery: surviving prefix must be intact")
+	}
+	if err := srv4.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGracefulShutdownSnapshotsE2E pins the clean-exit path: a graceful
+// Close cuts a covering snapshot, so the next boot restores purely from
+// it with zero replay.
+func TestGracefulShutdownSnapshotsE2E(t *testing.T) {
+	dir := t.TempDir()
+	policy := crowd.DefaultPolicy()
+	srv, err := server.New(server.Config{DataDir: dir, BinDebounce: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+	for i := 0; i < 5; i++ {
+		raw := testkit.AcceptedPayload(t, policy, fmt.Sprintf("gs-%02d", i), 1000+float64(i), 24)
+		resp := postSubmission(t, client, ts.URL, raw)
+		drainBody(t, resp)
+	}
+	waitForStored(t, client, ts.URL, 5)
+	want := srv.Store().Snapshot()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	pc, ok := srv.PersistCounters()
+	if !ok || pc.LastSnapshotSeq != 5 {
+		t.Fatalf("graceful close cut no covering snapshot: %+v", pc)
+	}
+
+	srv2, err := server.New(server.Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := srv2.Recovery()
+	if rec.Replayed != 0 || rec.SnapshotRecords != 5 || rec.Restored != 5 {
+		t.Fatalf("boot after clean shutdown = %+v, want 5 from the snapshot and zero replay", rec)
+	}
+	if got := srv2.Store().Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatal("store diverged across a clean shutdown")
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
 }

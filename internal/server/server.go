@@ -9,14 +9,21 @@
 //	POST /v1/submissions     — upload one benchmark run (202 on enqueue)
 //	GET  /v1/bins            — cached per-model bins (never recomputes)
 //	GET  /v1/devices/{id}    — one device's latest verdict
-//	GET  /healthz            — liveness
-//	GET  /metrics            — plain-text counters
+//	GET  /healthz            — liveness + persistence/recovery status
+//	GET  /metrics            — plain-text counters (pipeline, store, WAL)
 //
 // Uploads flow through the ingest pipeline (bounded, staged worker pool),
 // land in the sharded store, and mark their model dirty for the debounced
 // binning loop. The request path never runs the estimator or the
 // clustering inline: submissions return as soon as the pipeline accepts
 // the bytes, and bin reads are pure cache hits.
+//
+// With Config.DataDir set the store is durable: each record commits
+// through internal/wal's segmented write-ahead log before becoming
+// visible, a background snapshotter checkpoints the store and compacts
+// the log, and New recovers the previous state on boot — the submission
+// corpus survives crashes and deploys, which is what lets §VI's bins
+// sharpen across sessions.
 package server
 
 import (
@@ -31,6 +38,7 @@ import (
 	"accubench/internal/crowd"
 	"accubench/internal/ingest"
 	"accubench/internal/store"
+	"accubench/internal/wal"
 )
 
 // Config parameterizes the backend.
@@ -53,16 +61,33 @@ type Config struct {
 	SubmitTimeout time.Duration
 	// MaxBodyBytes caps upload size (default 1 MiB).
 	MaxBodyBytes int64
+	// DataDir, when non-empty, makes the store durable: submissions
+	// commit through a write-ahead log in this directory before becoming
+	// visible, a background snapshotter checkpoints the store, and New
+	// recovers the previous state (snapshot + log replay) on boot. Empty
+	// keeps the store purely in-memory.
+	DataDir string
+	// FsyncEvery is the WAL's group-commit window; <= 0 fsyncs every
+	// commit synchronously. Only meaningful with DataDir set.
+	FsyncEvery time.Duration
+	// SnapshotEvery is how many commits accumulate between background
+	// snapshots (wal.DefaultSnapshotEvery if <= 0).
+	SnapshotEvery int
+	// SegmentBytes is the WAL's segment-rotation threshold
+	// (wal.DefaultSegmentBytes if <= 0).
+	SegmentBytes int64
 }
 
 // Server owns the store, the ingest pipeline and the binning loop, and
 // serves the HTTP API over them.
 type Server struct {
-	cfg    Config
-	store  *store.Store
-	pipe   *ingest.Pipeline
-	binner *Binner
-	mux    *http.ServeMux
+	cfg      Config
+	store    *store.Store
+	pipe     *ingest.Pipeline
+	binner   *Binner
+	mux      *http.ServeMux
+	pers     *wal.Persister // nil when DataDir is empty
+	recovery wal.Recovery
 }
 
 // New assembles the backend. Call Start before serving, Close to shut
@@ -78,22 +103,43 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxBodyBytes = 1 << 20
 	}
 	st := store.New(cfg.Shards)
+	var pers *wal.Persister
+	var recovery wal.Recovery
+	if cfg.DataDir != "" {
+		var err error
+		pers, recovery, err = wal.Open(wal.PersistConfig{
+			Dir:           cfg.DataDir,
+			SegmentBytes:  cfg.SegmentBytes,
+			FlushEvery:    cfg.FsyncEvery,
+			SnapshotEvery: cfg.SnapshotEvery,
+		}, st)
+		if err != nil {
+			return nil, err
+		}
+	}
 	binner := NewBinner(BinnerConfig{
 		Store:    st,
 		MaxK:     cfg.MaxK,
 		Debounce: cfg.BinDebounce,
 	})
-	pipe, err := ingest.New(ingest.Config{
+	icfg := ingest.Config{
 		Workers:    cfg.Workers,
 		QueueDepth: cfg.QueueDepth,
 		Policy:     cfg.Policy,
 		Store:      st,
 		OnStored:   binner.MarkDirty,
-	})
+	}
+	if pers != nil {
+		icfg.WAL = pers
+	}
+	pipe, err := ingest.New(icfg)
 	if err != nil {
+		if pers != nil {
+			pers.Close()
+		}
 		return nil, err
 	}
-	s := &Server{cfg: cfg, store: st, pipe: pipe, binner: binner, mux: http.NewServeMux()}
+	s := &Server{cfg: cfg, store: st, pipe: pipe, binner: binner, mux: http.NewServeMux(), pers: pers, recovery: recovery}
 	s.mux.HandleFunc("POST /v1/submissions", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/bins", s.handleBins)
 	s.mux.HandleFunc("GET /v1/devices/{id}", s.handleDevice)
@@ -102,18 +148,57 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Start launches the ingest workers and the binning loop. Cancelling ctx
-// hard-aborts the pipeline; prefer Close for a graceful drain.
+// Start launches the ingest workers and the binning loop, and re-primes
+// the binner over any models recovered from the data dir — restored bins
+// come back without waiting for fresh submissions.
 func (s *Server) Start(ctx context.Context) {
 	s.pipe.Start(ctx)
 	s.binner.Start()
+	if s.pers != nil {
+		for _, model := range s.store.Models() {
+			s.binner.MarkDirty(model)
+		}
+	}
 }
 
-// Close drains the pipeline, runs a final recompute of pending bins and
-// stops the binning loop.
-func (s *Server) Close() {
+// Close shuts down gracefully, in durability order: drain the pipeline
+// (every enqueued submission commits), run the binner's final recompute,
+// then flush the WAL and cut a final snapshot — so a clean shutdown never
+// needs replay on the next boot.
+func (s *Server) Close() error {
 	s.pipe.Close()
 	s.binner.Stop()
+	if s.pers != nil {
+		return s.pers.Close()
+	}
+	return nil
+}
+
+// Crash simulates a hard process kill for crash-recovery tests: the
+// binning loop stops, and the WAL is abandoned without the final flush or
+// snapshot. Records whose commit completed are already durable — exactly
+// the set a real kill -9 would preserve. The caller hard-aborts the
+// pipeline by cancelling the Start context.
+func (s *Server) Crash() {
+	s.binner.Stop()
+	if s.pers != nil {
+		s.pers.Crash()
+	}
+}
+
+// Recovery reports what boot recovery restored from the data dir; ok is
+// false when the server runs in-memory.
+func (s *Server) Recovery() (wal.Recovery, bool) {
+	return s.recovery, s.pers != nil
+}
+
+// PersistCounters exposes the WAL's activity counters; ok is false when
+// the server runs in-memory.
+func (s *Server) PersistCounters() (wal.PersistCounters, bool) {
+	if s.pers == nil {
+		return wal.PersistCounters{}, false
+	}
+	return s.pers.Counters(), true
 }
 
 // Handler returns the API handler.
@@ -187,6 +272,14 @@ func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+	if s.pers == nil {
+		fmt.Fprintln(w, "persistence: disabled")
+		return
+	}
+	fmt.Fprintf(w, "persistence: %s\n", s.cfg.DataDir)
+	rec := s.recovery
+	fmt.Fprintf(w, "recovery: restored %d records (snapshot seq %d holding %d, wal replayed %d), truncated %d torn bytes\n",
+		rec.Restored, rec.SnapshotSeq, rec.SnapshotRecords, rec.Replayed, rec.TruncatedBytes)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -205,10 +298,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	appendMetric("rejected_total", c.Rejected)
 	appendMetric("stored_total", c.Stored)
 	appendMetric("aborted_total", c.Aborted)
+	appendMetric("wal_appended_total", c.WALAppended)
+	appendMetric("wal_failed_total", c.WALFailed)
 	appendMetric("bin_recomputes_total", s.binner.Recomputes())
 	appendMetric("store_records", uint64(s.store.Len()))
 	appendMetric("store_accepted_records", uint64(s.store.AcceptedLen()))
 	appendMetric("store_models", uint64(len(s.store.Models())))
+	if s.pers != nil {
+		pc := s.pers.Counters()
+		appendMetric("wal_appends_total", pc.Log.Appends)
+		appendMetric("wal_fsyncs_total", pc.Log.Fsyncs)
+		appendMetric("wal_bytes_total", pc.Log.Bytes)
+		appendMetric("wal_segments", uint64(pc.Log.Segments))
+		appendMetric("wal_last_seq", pc.Log.LastSeq)
+		appendMetric("wal_snapshots_total", pc.Snapshots)
+		appendMetric("wal_snapshot_failures_total", pc.SnapshotFailures)
+		appendMetric("wal_last_snapshot_seq", pc.LastSnapshotSeq)
+		appendMetric("wal_restored_records", uint64(s.recovery.Restored))
+		appendMetric("wal_restored_accepted_records", uint64(s.recovery.RestoredAccepted))
+		appendMetric("wal_replayed_total", uint64(s.recovery.Replayed))
+	}
 	w.Write(b)
 }
 

@@ -10,6 +10,12 @@
 // touching different models (or different devices) proceed in parallel;
 // readers take shared locks and return defensive copies, so callers never
 // observe a slice mid-append.
+//
+// The store itself is volatile; durability is layered on top by
+// internal/wal. Three hooks exist for it: PutSeq inserts a record whose
+// sequence number was already assigned at the log's commit point, Snapshot
+// iterates the whole store deterministically for checkpointing, and
+// Restore rebuilds a store from a snapshot at boot.
 package store
 
 import (
@@ -90,16 +96,24 @@ func (s *Store) shardIndex(key string) int {
 	return int(h.Sum32() % uint32(len(s.modelShards)))
 }
 
+// validate rejects records the store cannot key.
+func validate(r Record) error {
+	if r.Model == "" {
+		return fmt.Errorf("store: record without model")
+	}
+	if r.Device == "" {
+		return fmt.Errorf("store: record without device")
+	}
+	return nil
+}
+
 // Put stores a submission record, assigns its arrival sequence number and
 // returns it. A device resubmitting replaces its previous point-lookup
 // entry but still appends to the model history (the bins are computed over
 // the latest record per device).
 func (s *Store) Put(r Record) (uint64, error) {
-	if r.Model == "" {
-		return 0, fmt.Errorf("store: record without model")
-	}
-	if r.Device == "" {
-		return 0, fmt.Errorf("store: record without device")
+	if err := validate(r); err != nil {
+		return 0, err
 	}
 	// Seq is assigned under the model shard's lock so that a model's
 	// history is sorted by sequence number as well as by arrival.
@@ -109,16 +123,62 @@ func (s *Store) Put(r Record) (uint64, error) {
 	ms.models[r.Model] = append(ms.models[r.Model], r)
 	ms.mu.Unlock()
 
+	s.finishPut(r)
+	return r.Seq, nil
+}
+
+// PutSeq stores a record whose sequence number was already assigned
+// upstream — by the WAL's commit point, or by a snapshot being restored.
+// The model history stays sorted by sequence number even when concurrent
+// committers land out of order, and a device's point-lookup entry is only
+// replaced by a record with a higher sequence number, so replaying a log
+// always converges to the same state the live writes produced.
+func (s *Store) PutSeq(r Record) error {
+	if err := validate(r); err != nil {
+		return err
+	}
+	if r.Seq == 0 {
+		return fmt.Errorf("store: PutSeq needs an assigned sequence number")
+	}
+	// Raise the global high-water mark first so an interleaved Put can
+	// never hand out a duplicate.
+	for {
+		cur := s.seq.Load()
+		if r.Seq <= cur || s.seq.CompareAndSwap(cur, r.Seq) {
+			break
+		}
+	}
+	ms := &s.modelShards[s.shardIndex(r.Model)]
+	ms.mu.Lock()
+	recs := ms.models[r.Model]
+	i := len(recs)
+	for i > 0 && recs[i-1].Seq > r.Seq {
+		i--
+	}
+	recs = append(recs, Record{})
+	copy(recs[i+1:], recs[i:])
+	recs[i] = r
+	ms.models[r.Model] = recs
+	ms.mu.Unlock()
+
+	s.finishPut(r)
+	return nil
+}
+
+// finishPut updates the device stripe and the aggregate counters for a
+// record already inserted into its model history.
+func (s *Store) finishPut(r Record) {
 	ds := &s.deviceShards[s.shardIndex(r.Device)]
 	ds.mu.Lock()
-	ds.devices[r.Device] = r
+	if prev, ok := ds.devices[r.Device]; !ok || r.Seq >= prev.Seq {
+		ds.devices[r.Device] = r
+	}
 	ds.mu.Unlock()
 
 	s.total.Add(1)
 	if r.Accepted {
 		s.accepted.Add(1)
 	}
-	return r.Seq, nil
 }
 
 // Model returns a copy of every record stored for the model, in arrival
@@ -175,6 +235,37 @@ func (s *Store) Device(id string) (Record, bool) {
 	defer ds.mu.RUnlock()
 	r, ok := ds.devices[id]
 	return r, ok
+}
+
+// Snapshot returns every stored record across all models, sorted by
+// sequence number — a deterministic iteration of the whole store, the
+// serialization order the WAL snapshotter checkpoints. The slice is the
+// caller's to keep.
+func (s *Store) Snapshot() []Record {
+	out := make([]Record, 0, s.Len())
+	for i := range s.modelShards {
+		ms := &s.modelShards[i]
+		ms.mu.RLock()
+		for _, recs := range ms.models {
+			out = append(out, recs...)
+		}
+		ms.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Restore loads snapshot records into the store — the boot path, before
+// the store is shared. Records keep their sequence numbers; the device
+// stripe and counters are rebuilt as if each record had been committed
+// live.
+func (s *Store) Restore(recs []Record) error {
+	for _, r := range recs {
+		if err := s.PutSeq(r); err != nil {
+			return fmt.Errorf("store: restoring seq %d: %w", r.Seq, err)
+		}
+	}
+	return nil
 }
 
 // Len returns the total record count across all models.

@@ -183,3 +183,101 @@ func mustPut(t *testing.T, s *Store, r Record) {
 		t.Fatal(err)
 	}
 }
+
+func TestPutSeqHonorsAssignedSequence(t *testing.T) {
+	s := New(4)
+	// Out-of-order arrival — concurrent WAL committers can land 3 before 1 —
+	// must still leave the model history sorted by sequence number.
+	for _, seq := range []uint64{3, 1, 2} {
+		r := Record{Device: fmt.Sprintf("ps-%d", seq), Model: "Nexus 5", Score: float64(100 * seq), Seq: seq, Accepted: true}
+		if err := s.PutSeq(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := s.Model("Nexus 5")
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("model history out of order: %v", recs)
+		}
+	}
+	// The high-water mark moved: a live Put continues past the restored tail.
+	seq, err := s.Put(Record{Device: "live", Model: "Nexus 5", Score: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 {
+		t.Errorf("Put after PutSeq(3) assigned %d, want 4", seq)
+	}
+
+	if err := s.PutSeq(Record{Device: "d", Model: "m"}); err == nil {
+		t.Error("PutSeq accepted a record without a sequence number")
+	}
+	if err := s.PutSeq(Record{Seq: 9}); err == nil {
+		t.Error("PutSeq accepted an unkeyable record")
+	}
+}
+
+func TestPutSeqDeviceStripeKeepsNewest(t *testing.T) {
+	s := New(2)
+	// Replaying seq 5 then seq 2 for the same device (resubmissions in a
+	// log being replayed out of order) must leave the point lookup on 5.
+	if err := s.PutSeq(Record{Device: "dup", Model: "m", Score: 500, Seq: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSeq(Record{Device: "dup", Model: "m", Score: 200, Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := s.Device("dup")
+	if !ok || r.Seq != 5 || r.Score != 500 {
+		t.Errorf("Device(dup) = %+v, want the seq-5 record", r)
+	}
+}
+
+func TestSnapshotRestoreRoundtrip(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 20; i++ {
+		mustPut(t, s, Record{
+			Device:   fmt.Sprintf("sr-%02d", i),
+			Model:    fmt.Sprintf("Model %d", i%3),
+			Score:    float64(1000 + i),
+			Accepted: i%2 == 0,
+		})
+	}
+	snap := s.Snapshot()
+	if len(snap) != 20 {
+		t.Fatalf("snapshot holds %d records", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq <= snap[i-1].Seq {
+			t.Fatalf("snapshot iteration not seq-sorted at %d: %v", i, snap[i])
+		}
+	}
+
+	// Restore into a store with a different stripe width: state, counters
+	// and a follow-on snapshot must all match.
+	s2 := New(7)
+	if err := s2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != s.Len() || s2.AcceptedLen() != s.AcceptedLen() {
+		t.Fatalf("restored store counts %d/%d, want %d/%d", s2.Len(), s2.AcceptedLen(), s.Len(), s.AcceptedLen())
+	}
+	snap2 := s2.Snapshot()
+	if len(snap2) != len(snap) {
+		t.Fatalf("second-generation snapshot holds %d records", len(snap2))
+	}
+	for i := range snap {
+		if snap[i] != snap2[i] {
+			t.Fatalf("snapshot→restore→snapshot drifted at %d: %+v != %+v", i, snap[i], snap2[i])
+		}
+	}
+	// Per-device lookups survived the round trip.
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("sr-%02d", i)
+		a, aok := s.Device(id)
+		b, bok := s2.Device(id)
+		if aok != bok || a != b {
+			t.Errorf("device %s diverged: %+v vs %+v", id, a, b)
+		}
+	}
+}

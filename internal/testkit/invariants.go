@@ -228,13 +228,17 @@ func CheckEnergyMatchesTrace(t *testing.T, powerTrace []trace.Sample, start, end
 // the "ingest never drops an accepted submission" books.
 func CheckCounterFlow(t *testing.T, c ingest.Counters) {
 	t.Helper()
-	if c.Received != c.DecodeErrors+c.Aborted+c.Stored {
-		t.Errorf("testkit: counter flow broken: received %d != decode errors %d + aborted %d + stored %d",
-			c.Received, c.DecodeErrors, c.Aborted, c.Stored)
+	if c.Received != c.DecodeErrors+c.Aborted+c.Stored+c.WALFailed {
+		t.Errorf("testkit: counter flow broken: received %d != decode errors %d + aborted %d + stored %d + wal failed %d",
+			c.Received, c.DecodeErrors, c.Aborted, c.Stored, c.WALFailed)
 	}
 	if c.Stored != c.Accepted+c.Rejected {
 		t.Errorf("testkit: verdicts broken: stored %d != accepted %d + rejected %d",
 			c.Stored, c.Accepted, c.Rejected)
+	}
+	if c.WALAppended+c.WALFailed > 0 && c.Stored != c.WALAppended {
+		t.Errorf("testkit: durability broken: stored %d != wal appended %d — a record became visible without committing",
+			c.Stored, c.WALAppended)
 	}
 	if c.Aborted == 0 {
 		if c.Decoded != c.Received-c.DecodeErrors {
@@ -262,13 +266,18 @@ func CheckMetricsFlow(t *testing.T, m map[string]uint64) {
 		Rejected:         m["crowdd_rejected_total"],
 		Stored:           m["crowdd_stored_total"],
 		Aborted:          m["crowdd_aborted_total"],
+		WALAppended:      m["crowdd_wal_appended_total"],
+		WALFailed:        m["crowdd_wal_failed_total"],
 	})
-	if m["crowdd_store_records"] != m["crowdd_stored_total"] {
-		t.Errorf("testkit: store holds %d records but the pipeline stored %d",
-			m["crowdd_store_records"], m["crowdd_stored_total"])
+	// The store may hold more than this pipeline run stored: boot
+	// recovery restores records committed by previous runs, surfaced as
+	// crowdd_wal_restored_records (absent, hence zero, in-memory).
+	if m["crowdd_store_records"] != m["crowdd_stored_total"]+m["crowdd_wal_restored_records"] {
+		t.Errorf("testkit: store holds %d records but the pipeline stored %d and recovery restored %d",
+			m["crowdd_store_records"], m["crowdd_stored_total"], m["crowdd_wal_restored_records"])
 	}
-	if m["crowdd_store_accepted_records"] != m["crowdd_accepted_total"] {
-		t.Errorf("testkit: store holds %d accepted records but the pipeline accepted %d",
-			m["crowdd_store_accepted_records"], m["crowdd_accepted_total"])
+	if m["crowdd_store_accepted_records"] != m["crowdd_accepted_total"]+m["crowdd_wal_restored_accepted_records"] {
+		t.Errorf("testkit: store holds %d accepted records but the pipeline accepted %d and recovery restored %d",
+			m["crowdd_store_accepted_records"], m["crowdd_accepted_total"], m["crowdd_wal_restored_accepted_records"])
 	}
 }

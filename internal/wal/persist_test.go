@@ -1,0 +1,180 @@
+package wal
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"accubench/internal/store"
+)
+
+// record builds a storable record; every third one is rejected so the
+// accepted accounting is exercised too.
+func record(i int) store.Record {
+	r := store.Record{
+		Device:           fmt.Sprintf("pd-%03d", i),
+		Model:            "Nexus 5",
+		Score:            1000 + float64(i),
+		EstimatedAmbient: 25,
+		Accepted:         i%3 != 0,
+	}
+	if !r.Accepted {
+		r.RejectReason = "hot climate"
+	}
+	return r
+}
+
+// openPersister opens a synchronous-fsync persister over a fresh store.
+func openPersister(t *testing.T, dir string, mut ...func(*PersistConfig)) (*Persister, *store.Store, Recovery) {
+	t.Helper()
+	cfg := PersistConfig{Dir: dir}
+	for _, m := range mut {
+		m(&cfg)
+	}
+	st := store.New(4)
+	p, rec, err := Open(cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, st, rec
+}
+
+// commitN commits n records and returns the store's resulting state.
+func commitN(t *testing.T, p *Persister, st *store.Store, n int) []store.Record {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		r := record(i)
+		seq, err := p.Commit(&r)
+		if err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+		if seq == 0 || r.Seq != seq {
+			t.Fatalf("commit %d assigned seq %d, record carries %d", i, seq, r.Seq)
+		}
+	}
+	return st.Snapshot()
+}
+
+func TestCommitCrashRecover(t *testing.T) {
+	dir := t.TempDir()
+	p, st, rec := openPersister(t, dir)
+	if rec.Restored != 0 || rec.TruncatedBytes != 0 {
+		t.Fatalf("fresh directory reported recovery %+v", rec)
+	}
+	want := commitN(t, p, st, 30)
+	p.Crash() // no final flush, no snapshot — the log alone must carry it
+
+	p2, st2, rec2 := openPersister(t, dir)
+	defer p2.Close()
+	if rec2.Replayed != 30 || rec2.Restored != 30 || rec2.SnapshotRecords != 0 {
+		t.Fatalf("post-crash recovery = %+v, want 30 replayed from the log", rec2)
+	}
+	got := st2.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered store diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if st2.Len() != 30 || st2.AcceptedLen() != st.AcceptedLen() {
+		t.Fatalf("recovered store holds %d/%d, want %d/%d",
+			st2.Len(), st2.AcceptedLen(), st.Len(), st.AcceptedLen())
+	}
+	// Commits resume past the recovered tail.
+	r := record(99)
+	if seq, err := p2.Commit(&r); err != nil || seq != 31 {
+		t.Fatalf("commit after recovery = (%d, %v), want (31, nil)", seq, err)
+	}
+}
+
+func TestSnapshotCompactsAndRestores(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so compaction has something to delete.
+	p, st, _ := openPersister(t, dir, func(c *PersistConfig) { c.SegmentBytes = 256 })
+	want := commitN(t, p, st, 40)
+	before := p.Counters()
+	if before.Log.Segments < 2 {
+		t.Fatalf("40 commits over 256-byte segments left %d segments", before.Log.Segments)
+	}
+	if err := p.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	after := p.Counters()
+	if after.Snapshots != 1 || after.LastSnapshotSeq != 40 {
+		t.Fatalf("counters after snapshot = %+v", after)
+	}
+	if after.Log.Segments >= before.Log.Segments {
+		t.Fatalf("snapshot compacted nothing: %d → %d segments", before.Log.Segments, after.Log.Segments)
+	}
+	// A second snapshot with nothing new is a no-op.
+	if err := p.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if c := p.Counters(); c.Snapshots != 1 {
+		t.Fatalf("idle snapshot cut a file: %+v", c)
+	}
+	p.Crash()
+
+	// Recovery now comes from the snapshot, not replay.
+	p2, st2, rec := openPersister(t, dir, func(c *PersistConfig) { c.SegmentBytes = 256 })
+	defer p2.Close()
+	if rec.SnapshotSeq != 40 || rec.SnapshotRecords != 40 || rec.Replayed != 0 {
+		t.Fatalf("recovery = %+v, want all 40 from the snapshot", rec)
+	}
+	if got := st2.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot-restored store diverged from the committed state")
+	}
+}
+
+func TestGracefulCloseNeedsNoReplay(t *testing.T) {
+	dir := t.TempDir()
+	p, st, _ := openPersister(t, dir)
+	want := commitN(t, p, st, 12)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, st2, rec := openPersister(t, dir)
+	if rec.Replayed != 0 {
+		t.Fatalf("clean shutdown still replayed %d records", rec.Replayed)
+	}
+	if rec.SnapshotSeq != 12 || rec.Restored != 12 {
+		t.Fatalf("recovery after clean shutdown = %+v", rec)
+	}
+	if got := st2.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("store after clean shutdown diverged")
+	}
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashAfterSnapshotReplaysOnlyTail(t *testing.T) {
+	dir := t.TempDir()
+	p, st, _ := openPersister(t, dir)
+	commitN(t, p, st, 20)
+	if err := p.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Ten more commits after the checkpoint, then a hard kill.
+	for i := 20; i < 30; i++ {
+		r := record(i)
+		if _, err := p.Commit(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := st.Snapshot()
+	p.Crash()
+
+	p2, st2, rec := openPersister(t, dir)
+	defer p2.Crash()
+	if rec.SnapshotSeq != 20 || rec.SnapshotRecords != 20 || rec.Replayed != 10 || rec.Restored != 30 {
+		t.Fatalf("recovery = %+v, want snapshot 20 + replay 10", rec)
+	}
+	if got := st2.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot+tail recovery diverged from the committed state")
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, _, err := Open(PersistConfig{}, store.New(1)); err == nil {
+		t.Error("persister opened without a data directory")
+	}
+}

@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"accubench/internal/testkit"
+)
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(`[{"device":"d1","model":"Nexus 5","score":1500,"seq":7}]`)
+	path, err := WriteSnapshot(dir, 7, 1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "snap-0000000000000007.snap" {
+		t.Errorf("snapshot landed at %s", path)
+	}
+	seq, count, got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 7 || count != 1 || !bytes.Equal(got, payload) {
+		t.Fatalf("roundtrip = (seq %d, count %d, %q)", seq, count, got)
+	}
+	// No temp file left behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file survived the rename: %v", err)
+	}
+}
+
+func TestLatestSnapshotFallsBackPastCorruption(t *testing.T) {
+	dir := t.TempDir()
+	older := []byte(`["older"]`)
+	newer := []byte(`["newer"]`)
+	if _, err := WriteSnapshot(dir, 10, 1, older); err != nil {
+		t.Fatal(err)
+	}
+	newPath, err := WriteSnapshot(dir, 20, 1, newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Intact: the newest wins.
+	seq, _, payload, ok, err := LatestSnapshot(dir)
+	if err != nil || !ok || seq != 20 || !bytes.Equal(payload, newer) {
+		t.Fatalf("LatestSnapshot = (%d, %q, %v, %v)", seq, payload, ok, err)
+	}
+
+	// Flip a payload bit in the newest: it must be skipped, not fatal.
+	data, err := os.ReadFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[SnapshotHeaderSize+1] ^= 0x01
+	if err := os.WriteFile(newPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq, _, payload, ok, err = LatestSnapshot(dir)
+	if err != nil || !ok || seq != 10 || !bytes.Equal(payload, older) {
+		t.Fatalf("LatestSnapshot past corruption = (%d, %q, %v, %v), want the seq-10 fallback", seq, payload, ok, err)
+	}
+
+	// Empty directory: no snapshot, no error.
+	if _, _, _, ok, err := LatestSnapshot(t.TempDir()); ok || err != nil {
+		t.Fatalf("LatestSnapshot on empty dir = (%v, %v)", ok, err)
+	}
+}
+
+func TestReadSnapshotRejectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(`["record"]`)
+	path, err := WriteSnapshot(dir, 3, 1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damage := map[string]func([]byte) []byte{
+		"bad magic":         func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"header bit flip":   func(b []byte) []byte { b[17] ^= 0x01; return b },
+		"payload bit flip":  func(b []byte) []byte { b[SnapshotHeaderSize] ^= 0x01; return b },
+		"truncated payload": func(b []byte) []byte { return b[:len(b)-2] },
+		"truncated header":  func(b []byte) []byte { return b[:SnapshotHeaderSize-4] },
+	}
+	for name, mut := range damage {
+		t.Run(name, func(t *testing.T) {
+			broken := mut(append([]byte(nil), pristine...))
+			if err := os.WriteFile(path, broken, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, _, err := ReadSnapshot(path); err == nil {
+				t.Error("damaged snapshot read without error")
+			}
+		})
+	}
+}
+
+func TestPruneSnapshotsKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, seq := range []uint64{5, 10, 15, 20} {
+		if _, err := WriteSnapshot(dir, seq, 0, []byte("[]")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stale temp file from an interrupted write is swept too.
+	stale := filepath.Join(dir, "snap-00000000000000ff.snap.tmp")
+	if err := os.WriteFile(stale, []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := PruneSnapshots(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("prune left %d snapshots, want 2", len(paths))
+	}
+	if seq, _ := parseSnapshotName(filepath.Base(paths[0])); seq != 20 {
+		t.Errorf("newest surviving snapshot covers %d, want 20", seq)
+	}
+	if seq, _ := parseSnapshotName(filepath.Base(paths[1])); seq != 15 {
+		t.Errorf("fallback surviving snapshot covers %d, want 15", seq)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survived pruning: %v", err)
+	}
+}
+
+// TestSnapshotHeaderGolden locks the 48-byte header layout byte for byte:
+// any change to the magic, field order, widths, or checksum definition
+// shows up as golden drift and forces a deliberate version bump.
+func TestSnapshotHeaderGolden(t *testing.T) {
+	payload := []byte(`[{"device":"golden","model":"Nexus 5","score":1234,"accepted":true,"seq":3}]`)
+	hdr := EncodeSnapshotHeader(3, 1, payload)
+	if len(hdr) != SnapshotHeaderSize {
+		t.Fatalf("header is %d bytes, want %d", len(hdr), SnapshotHeaderSize)
+	}
+	testkit.Golden(t, "snapshot_header", []byte(hex.Dump(hdr)))
+}
