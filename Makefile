@@ -8,7 +8,7 @@ FUZZTIME ?= 5s
 # Minimum acceptable total statement coverage, in percent.
 COVER_FLOOR ?= 75
 
-.PHONY: build test vet race fuzz-smoke cover ci demo
+.PHONY: build test vet race fuzz-smoke cover godoc-check links-check ci demo profile
 
 build:
 	$(GO) build ./...
@@ -42,9 +42,19 @@ cover:
 		if (t + 0 < floor + 0) { printf "total coverage %.1f%% is below the %s%% floor\n", t, floor; exit 1 } \
 		printf "total coverage %.1f%% (floor %s%%)\n", t, floor }'
 
+# godoc-check enforces the documentation audit: every internal package
+# opens with a package doc comment stating its role.
+godoc-check:
+	sh scripts/check_godoc.sh
+
+# links-check asserts every relative markdown link in the top-level docs
+# resolves.
+links-check:
+	sh scripts/check_links.sh
+
 # ci is the full gate: vet, tier-1 build+test, the race pass over the
-# whole tree, then the fuzz smoke.
-ci: vet build test race fuzz-smoke
+# whole tree, the fuzz smoke, then the documentation checks.
+ci: vet build test race fuzz-smoke godoc-check links-check
 
 # demo starts crowdd, fires a 200-device load at it, prints the bins and
 # shuts the server down.
@@ -57,4 +67,25 @@ demo: build
 	/tmp/crowdload -addr http://127.0.0.1:8077 -devices 200; \
 	STATUS=$$?; \
 	kill -INT $$CROWDD_PID; wait $$CROWDD_PID; \
+	exit $$STATUS
+
+# profile captures a CPU profile of crowdd while crowdload drives it and
+# prints the hottest functions. Self-contained: `go tool pprof` fetches
+# the profile from the -debug-addr listener itself, no curl needed. The
+# raw profile lands in /tmp/crowdd-cpu.pprof for interactive digging.
+PROFILE_SECONDS ?= 8
+profile:
+	$(GO) build -o /tmp/crowdd ./cmd/crowdd
+	$(GO) build -o /tmp/crowdload ./cmd/crowdload
+	/tmp/crowdd -addr 127.0.0.1:8077 -debug-addr 127.0.0.1:6060 & \
+	CROWDD_PID=$$!; \
+	sleep 1; \
+	/tmp/crowdload -addr http://127.0.0.1:8077 -devices 2000 -concurrency 32 & \
+	LOAD_PID=$$!; \
+	$(GO) tool pprof -proto -output /tmp/crowdd-cpu.pprof -seconds $(PROFILE_SECONDS) \
+		http://127.0.0.1:6060/debug/pprof/profile; \
+	STATUS=$$?; \
+	wait $$LOAD_PID; \
+	kill -INT $$CROWDD_PID; wait $$CROWDD_PID; \
+	[ $$STATUS -eq 0 ] && $(GO) tool pprof -top -nodecount 15 /tmp/crowdd-cpu.pprof; \
 	exit $$STATUS

@@ -17,7 +17,14 @@
 // log and cuts a final snapshot, so the next boot replays nothing.
 //
 // Endpoints: POST /v1/submissions, GET /v1/bins, GET /v1/devices/{id},
-// GET /healthz, GET /metrics.
+// GET /healthz, GET /metrics (Prometheus text format; docs/METRICS.md
+// is the reference for every series).
+//
+// Observability: -trace emits one JSON span sequence per submission
+// (decode→filter→wal_append→store, correlated by trace ID) to stdout,
+// and -debug-addr serves net/http/pprof under /debug/pprof on a
+// separate listener (`make profile` captures a CPU profile under
+// crowdload).
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -71,6 +79,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 		fsyncEvery    = fs.Duration("fsync-interval", wal.DefaultFlushEvery, "WAL group-commit window; 0 fsyncs every commit synchronously")
 		snapEvery     = fs.Int("snapshot-every", wal.DefaultSnapshotEvery, "commits between background snapshots")
 		segmentBytes  = fs.Int64("segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation threshold, bytes")
+		traceSpans    = fs.Bool("trace", false, "emit one JSON span per pipeline stage per submission to stdout")
+		debugAddr     = fs.String("debug-addr", "", "serve net/http/pprof under /debug/pprof on this address; empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,7 +95,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 		return err
 	}
 
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Shards:        *shards,
 		Workers:       *workers,
 		QueueDepth:    *queue,
@@ -98,7 +108,11 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 		FsyncEvery:    *fsyncEvery,
 		SnapshotEvery: *snapEvery,
 		SegmentBytes:  *segmentBytes,
-	})
+	}
+	if *traceSpans {
+		scfg.TraceWriter = stdout
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		return err
 	}
@@ -115,6 +129,27 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
+
+	// The profiling surface lives on its own listener so /debug/pprof is
+	// never reachable through the public API address.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			httpSrv.Close()
+			srv.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: dmux}
+		go debugSrv.Serve(dln)
+		fmt.Fprintf(stdout, "crowdd: pprof on http://%s/debug/pprof\n", dln.Addr())
+	}
 	fmt.Fprintf(stdout, "crowdd: listening on %s (%d shards, %d workers/stage, queue %d, window [%v, %v])\n",
 		ln.Addr(), *shards, *workers, *queue, policy.AcceptLo, policy.AcceptHi)
 	if ready != nil {
@@ -130,6 +165,9 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 	fmt.Fprintln(stdout, "crowdd: shutting down — draining ingest")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if debugSrv != nil {
+		debugSrv.Close()
+	}
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}

@@ -109,13 +109,19 @@ func metrics(t *testing.T, base string) map[string]uint64 {
 	}
 	out := make(map[string]uint64)
 	for _, line := range strings.Split(body, "\n") {
-		name, val, ok := strings.Cut(strings.TrimSpace(line), " ")
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
 		if !ok {
 			continue
 		}
+		// Comment lines and float-valued series (histogram sums,
+		// quantiles) are skipped; the counters stay a flat map.
 		n, err := strconv.ParseUint(val, 10, 64)
 		if err != nil {
-			t.Fatalf("unparseable metric line %q", line)
+			continue
 		}
 		out[name] = n
 	}
@@ -267,6 +273,78 @@ func TestDaemonEndToEnd(t *testing.T) {
 		wantStored+uint64(len(testkit.MalformedPayloads())), wantStored, accepted, len(testkit.MalformedPayloads()))
 	if !strings.Contains(logs, wantLine) {
 		t.Errorf("drain accounting line mismatch:\nwant substring: %s\ngot logs:\n%s", wantLine, logs)
+	}
+}
+
+// TestDaemonTraceFlag boots the daemon with -trace and asserts one JSON
+// span chain per accepted submission lands on stdout, interleaved with
+// (but distinguishable from) the ordinary log lines.
+func TestDaemonTraceFlag(t *testing.T) {
+	dir := t.TempDir()
+	base, out, shutdown := startDaemon(t, "-trace", "-data-dir", dir, "-fsync-interval", "0")
+	policy := crowd.DefaultPolicy()
+	raw := testkit.AcceptedPayload(t, policy, "trace-dev", 1200, 25)
+	if code, body := post(t, base+"/v1/submissions", raw); code != http.StatusAccepted {
+		t.Fatalf("POST = %d %q", code, body)
+	}
+	waitForCounter(t, base, "crowdd_stored_total", 1)
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	type span struct {
+		Trace  string `json:"trace"`
+		Span   string `json:"span"`
+		Device string `json:"device"`
+		Seq    uint64 `json:"seq"`
+	}
+	var spans []span
+	for _, line := range strings.Split(out.String(), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue // daemon log line, not a span
+		}
+		var s span
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("span line %q is not JSON: %v", line, err)
+		}
+		spans = append(spans, s)
+	}
+	want := []string{"decode", "filter", "wal_append", "store"}
+	if len(spans) != len(want) {
+		t.Fatalf("-trace emitted %d spans for one submission, want %d:\n%s", len(spans), len(want), out.String())
+	}
+	for i, s := range spans {
+		if s.Span != want[i] || s.Trace != spans[0].Trace || s.Device != "trace-dev" {
+			t.Errorf("span %d = %+v, want stage %q on trace %q for trace-dev", i, s, want[i], spans[0].Trace)
+		}
+	}
+	if spans[2].Seq == 0 || spans[3].Seq == 0 {
+		t.Errorf("commit-side spans carry no sequence number: %+v", spans[2:])
+	}
+}
+
+// TestDaemonDebugAddr boots the daemon with -debug-addr and asserts the
+// pprof surface answers on its own listener, not on the API address.
+func TestDaemonDebugAddr(t *testing.T) {
+	base, out, shutdown := startDaemon(t, "-debug-addr", "127.0.0.1:0")
+	logs := out.String()
+	_, rest, ok := strings.Cut(logs, "crowdd: pprof on ")
+	if !ok {
+		t.Fatalf("no pprof line in boot log:\n%s", logs)
+	}
+	debugBase := strings.TrimSuffix(strings.TrimSpace(strings.SplitN(rest, "\n", 2)[0]), "/debug/pprof")
+	if code, body := get(t, debugBase+"/debug/pprof/cmdline"); code != http.StatusOK || body == "" {
+		t.Errorf("GET pprof cmdline = %d %q", code, body)
+	}
+	if code, body := get(t, debugBase+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("GET pprof index = %d, want the profile listing", code)
+	}
+	// The public API listener must NOT serve the debug surface.
+	if code, _ := get(t, base+"/debug/pprof/"); code == http.StatusOK {
+		t.Error("API listener serves /debug/pprof — the debug surface leaked onto the public address")
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 
 	"accubench/internal/accubench"
 	"accubench/internal/crowd"
+	"accubench/internal/obs"
 	"accubench/internal/store"
 	"accubench/internal/units"
 )
@@ -66,6 +67,16 @@ type Config struct {
 	// record's model — the binning loop's dirty trigger. It must be safe
 	// for concurrent use and fast (it runs on store workers).
 	OnStored func(model string)
+	// Obs is the metrics registry the pipeline's counters and per-stage
+	// latency histograms register in. Nil gets a private registry, so
+	// the pipeline is always instrumented; pass the service's registry
+	// to expose the metrics on its scrape surface.
+	Obs *obs.Registry
+	// Tracer, when non-nil and enabled, emits one span per stage per
+	// submission (decode, filter, wal_append, store), correlated by a
+	// trace ID assigned at Submit — the reconstructible per-upload
+	// timeline behind crowdd's -trace flag.
+	Tracer *obs.Tracer
 }
 
 // Committer is the durability hook the store stage calls when a WAL is
@@ -120,27 +131,66 @@ type Counters struct {
 	WALFailed uint64 `json:"wal_failed"`
 }
 
+// counters holds the pipeline's per-stage counters as registry metrics:
+// the same atomics back both the Counters() snapshot API and the
+// service's /metrics exposition, so the two views can never diverge.
 type counters struct {
-	received, decoded, decodeErrors     atomic.Uint64
-	evaluated, estimateFailures         atomic.Uint64
-	accepted, rejected, stored, aborted atomic.Uint64
-	walAppended, walFailed              atomic.Uint64
+	received, decoded, decodeErrors     *obs.Counter
+	evaluated, estimateFailures         *obs.Counter
+	accepted, rejected, stored, aborted *obs.Counter
+	walAppended, walFailed              *obs.Counter
+}
+
+// newCounters registers the pipeline's counters, preserving the metric
+// names the service has always exposed.
+func newCounters(reg *obs.Registry) counters {
+	c := func(name, help string) *obs.Counter { return reg.Counter(name, help) }
+	return counters{
+		received:         c("received_total", "uploads admitted by Submit"),
+		decoded:          c("decoded_total", "uploads that parsed and validated"),
+		decodeErrors:     c("decode_errors_total", "malformed uploads dropped at decode"),
+		evaluated:        c("evaluated_total", "submissions whose trace yielded an ambient estimate"),
+		estimateFailures: c("estimate_failures_total", "submissions with an unusable cooldown trace"),
+		accepted:         c("accepted_total", "submissions that survived the strict filters"),
+		rejected:         c("rejected_total", "submissions filtered out"),
+		stored:           c("stored_total", "records written to the store"),
+		aborted:          c("aborted_total", "in-flight submissions dropped by a hard shutdown"),
+		walAppended:      c("wal_appended_total", "records durably committed through the WAL before storing"),
+		walFailed:        c("wal_failed_total", "records dropped because their WAL commit failed"),
+	}
 }
 
 func (c *counters) snapshot() Counters {
 	return Counters{
-		Received:         c.received.Load(),
-		Decoded:          c.decoded.Load(),
-		DecodeErrors:     c.decodeErrors.Load(),
-		Evaluated:        c.evaluated.Load(),
-		EstimateFailures: c.estimateFailures.Load(),
-		Accepted:         c.accepted.Load(),
-		Rejected:         c.rejected.Load(),
-		Stored:           c.stored.Load(),
-		Aborted:          c.aborted.Load(),
-		WALAppended:      c.walAppended.Load(),
-		WALFailed:        c.walFailed.Load(),
+		Received:         c.received.Value(),
+		Decoded:          c.decoded.Value(),
+		DecodeErrors:     c.decodeErrors.Value(),
+		Evaluated:        c.evaluated.Value(),
+		EstimateFailures: c.estimateFailures.Value(),
+		Accepted:         c.accepted.Value(),
+		Rejected:         c.rejected.Value(),
+		Stored:           c.stored.Value(),
+		Aborted:          c.aborted.Value(),
+		WALAppended:      c.walAppended.Value(),
+		WALFailed:        c.walFailed.Value(),
 	}
+}
+
+// rawUpload, decodedSub and verdict are the inter-stage envelopes: the
+// payload plus the submission's trace ID (empty when tracing is off).
+type rawUpload struct {
+	raw   []byte
+	trace string
+}
+
+type decodedSub struct {
+	sub   Submission
+	trace string
+}
+
+type verdict struct {
+	rec   store.Record
+	trace string
 }
 
 // Pipeline is the staged ingestion worker pool. Create with New, launch
@@ -148,11 +198,15 @@ func (c *counters) snapshot() Counters {
 type Pipeline struct {
 	cfg Config
 
-	raw       chan []byte
-	decoded   chan Submission
-	evaluated chan store.Record
+	raw       chan rawUpload
+	decoded   chan decodedSub
+	evaluated chan verdict
 
-	ctr counters
+	ctr    counters
+	tracer *obs.Tracer
+	// Per-stage latency histograms (ingest_stage_seconds), resolved once
+	// so workers skip the vec lookup.
+	decodeDur, filterDur, walDur, storeDur *obs.Histogram
 
 	// Intake gate: Submit registers in submitters under mu; Close flips
 	// closed, waits for registered submitters to finish, then closes raw.
@@ -181,11 +235,25 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry("")
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.NewTracer(nil) // disabled
+	}
+	stageDur := cfg.Obs.HistogramVec("ingest_stage_seconds",
+		"per-stage submission latency", "stage", obs.DurationBuckets)
 	return &Pipeline{
 		cfg:       cfg,
-		raw:       make(chan []byte, cfg.QueueDepth),
-		decoded:   make(chan Submission, cfg.QueueDepth),
-		evaluated: make(chan store.Record, cfg.QueueDepth),
+		raw:       make(chan rawUpload, cfg.QueueDepth),
+		decoded:   make(chan decodedSub, cfg.QueueDepth),
+		evaluated: make(chan verdict, cfg.QueueDepth),
+		ctr:       newCounters(cfg.Obs),
+		tracer:    cfg.Tracer,
+		decodeDur: stageDur.With("decode"),
+		filterDur: stageDur.With("filter"),
+		walDur:    stageDur.With("wal_append"),
+		storeDur:  stageDur.With("store"),
 		stop:      make(chan struct{}),
 		drained:   make(chan struct{}),
 	}, nil
@@ -261,8 +329,8 @@ func (p *Pipeline) Submit(ctx context.Context, raw []byte) error {
 	defer p.submitters.Done()
 
 	select {
-	case p.raw <- raw:
-		p.ctr.received.Add(1)
+	case p.raw <- rawUpload{raw: raw, trace: p.tracer.NewTrace()}:
+		p.ctr.received.Inc()
 		return nil
 	case <-p.stop:
 		return ErrClosed
@@ -295,36 +363,45 @@ func (p *Pipeline) aborting() bool {
 }
 
 func (p *Pipeline) decodeWorker() {
-	for raw := range p.raw {
+	for item := range p.raw {
 		if p.aborting() {
-			p.ctr.aborted.Add(1)
+			p.ctr.aborted.Inc()
 			continue
 		}
-		sub, err := Decode(raw)
+		t0 := time.Now()
+		sub, err := Decode(item.raw)
+		dur := time.Since(t0)
+		p.decodeDur.Observe(dur.Seconds())
 		if err != nil {
-			p.ctr.decodeErrors.Add(1)
+			p.ctr.decodeErrors.Inc()
+			p.tracer.Emit(obs.Span{Trace: item.trace, Name: "decode", Err: err}, t0, dur)
 			continue
 		}
-		p.ctr.decoded.Add(1)
+		p.ctr.decoded.Inc()
+		p.tracer.Emit(obs.Span{Trace: item.trace, Name: "decode", Device: sub.Device, Model: sub.Model}, t0, dur)
 		select {
-		case p.decoded <- sub:
+		case p.decoded <- decodedSub{sub: sub, trace: item.trace}:
 		case <-p.stop:
-			p.ctr.aborted.Add(1)
+			p.ctr.aborted.Inc()
 		}
 	}
 }
 
 func (p *Pipeline) evaluateWorker() {
-	for sub := range p.decoded {
+	for item := range p.decoded {
 		if p.aborting() {
-			p.ctr.aborted.Add(1)
+			p.ctr.aborted.Inc()
 			continue
 		}
-		rec := p.evaluate(sub)
+		t0 := time.Now()
+		rec := p.evaluate(item.sub)
+		dur := time.Since(t0)
+		p.filterDur.Observe(dur.Seconds())
+		p.tracer.Emit(obs.Span{Trace: item.trace, Name: "filter", Device: rec.Device, Model: rec.Model}, t0, dur)
 		select {
-		case p.evaluated <- rec:
+		case p.evaluated <- verdict{rec: rec, trace: item.trace}:
 		case <-p.stop:
-			p.ctr.aborted.Add(1)
+			p.ctr.aborted.Inc()
 		}
 	}
 }
@@ -339,11 +416,11 @@ func (p *Pipeline) evaluate(sub Submission) store.Record {
 	}
 	est, accepted, err := p.cfg.Policy.Evaluate(sub.Readings())
 	if err != nil {
-		p.ctr.estimateFailures.Add(1)
+		p.ctr.estimateFailures.Inc()
 		rec.RejectReason = err.Error()
 		return rec
 	}
-	p.ctr.evaluated.Add(1)
+	p.ctr.evaluated.Inc()
 	rec.EstimatedAmbient = est
 	if !accepted {
 		rec.RejectReason = fmt.Sprintf("estimated ambient %v outside [%v, %v]",
@@ -355,36 +432,50 @@ func (p *Pipeline) evaluate(sub Submission) store.Record {
 }
 
 func (p *Pipeline) storeWorker() {
-	for rec := range p.evaluated {
+	for item := range p.evaluated {
 		if p.aborting() {
-			p.ctr.aborted.Add(1)
+			p.ctr.aborted.Inc()
 			continue
 		}
+		rec := item.rec
+		t0 := time.Now()
 		if p.cfg.WAL != nil {
 			// Append-before-store: the record is fsynced into the log —
 			// which assigns its sequence number — before it becomes
 			// visible. A failed commit drops the record (counted), never
-			// stores it: acceptance must not outrun durability.
-			if _, err := p.cfg.WAL.Commit(&rec); err != nil {
-				p.ctr.walFailed.Add(1)
+			// stores it: acceptance must not outrun durability. The
+			// wal_append span covers the whole commit (fsynced append plus
+			// the store insert it gates); the store span that follows is
+			// the visibility bookkeeping.
+			_, err := p.cfg.WAL.Commit(&rec)
+			dur := time.Since(t0)
+			p.walDur.Observe(dur.Seconds())
+			p.tracer.Emit(obs.Span{Trace: item.trace, Name: "wal_append", Device: rec.Device, Model: rec.Model, Seq: rec.Seq, Err: err}, t0, dur)
+			if err != nil {
+				p.ctr.walFailed.Inc()
 				continue
 			}
-			p.ctr.walAppended.Add(1)
+			p.ctr.walAppended.Inc()
+			t0 = time.Now()
 		} else if _, err := p.cfg.Store.Put(rec); err != nil {
 			// Validated at decode; a store rejection here is a bug, but
 			// never lose count of the submission.
-			p.ctr.aborted.Add(1)
+			p.tracer.Emit(obs.Span{Trace: item.trace, Name: "store", Device: rec.Device, Model: rec.Model, Err: err}, t0, time.Since(t0))
+			p.ctr.aborted.Inc()
 			continue
 		}
 		if rec.Accepted {
-			p.ctr.accepted.Add(1)
+			p.ctr.accepted.Inc()
 		} else {
-			p.ctr.rejected.Add(1)
+			p.ctr.rejected.Inc()
 		}
-		p.ctr.stored.Add(1)
+		p.ctr.stored.Inc()
 		if p.cfg.OnStored != nil {
 			p.cfg.OnStored(rec.Model)
 		}
+		dur := time.Since(t0)
+		p.storeDur.Observe(dur.Seconds())
+		p.tracer.Emit(obs.Span{Trace: item.trace, Name: "store", Device: rec.Device, Model: rec.Model, Seq: rec.Seq}, t0, dur)
 	}
 }
 

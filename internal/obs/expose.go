@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format, sorted by metric name (then label value), so two
+// scrapes of identical state are byte-identical. Histograms render the
+// standard cumulative `_bucket{le=...}` / `_sum` / `_count` series plus
+// derived `_p50` / `_p95` / `_p99` convenience gauges.
+func (r *Registry) WritePrometheus(w io.Writer) (int, error) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	metrics := make([]metric, len(names))
+	for i, name := range names {
+		metrics[i] = r.metrics[name]
+	}
+	r.mu.Unlock()
+
+	var b []byte
+	for i, name := range names {
+		b = metrics[i].expose(b, r.prefix+name)
+	}
+	return w.Write(b)
+}
+
+// header appends the optional HELP line and the TYPE line.
+func header(b []byte, name, help, typ string) []byte {
+	if help != "" {
+		b = append(b, "# HELP "...)
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = append(b, help...)
+		b = append(b, '\n')
+	}
+	b = append(b, "# TYPE "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, typ...)
+	b = append(b, '\n')
+	return b
+}
+
+// sample appends one `name[{labels}] value` line; labels is the
+// pre-rendered `key="value"` list or "".
+func sample(b []byte, name, labels, value string) []byte {
+	b = append(b, name...)
+	if labels != "" {
+		b = append(b, '{')
+		b = append(b, labels...)
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = append(b, value...)
+	b = append(b, '\n')
+	return b
+}
+
+// labelPair renders `key="value"` with promformat escaping.
+func labelPair(key, value string) string {
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(value)
+	return key + `="` + esc + `"`
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func (c *Counter) expose(b []byte, name string) []byte {
+	b = header(b, name, c.help, "counter")
+	return sample(b, name, "", formatUint(c.Value()))
+}
+
+func (g *Gauge) expose(b []byte, name string) []byte {
+	b = header(b, name, g.help, "gauge")
+	return sample(b, name, "", formatInt(g.Value()))
+}
+
+func (f *funcMetric) expose(b []byte, name string) []byte {
+	b = header(b, name, f.help, f.typ)
+	return sample(b, name, "", formatUint(f.fn()))
+}
+
+// exposeSeries renders one histogram's sample lines under the given
+// extra label prefix ("" or `key="value"`); the TYPE header is the
+// caller's job so vec children share one.
+func (h *Histogram) exposeSeries(b []byte, name, labels string) []byte {
+	upper, counts := h.Buckets()
+	join := func(extra string) string {
+		if labels == "" {
+			return extra
+		}
+		if extra == "" {
+			return labels
+		}
+		return labels + "," + extra
+	}
+	var cum uint64
+	for i, bound := range upper {
+		cum += counts[i]
+		b = sample(b, name+"_bucket", join(labelPair("le", formatFloat(bound))), formatUint(cum))
+	}
+	cum += counts[len(upper)]
+	b = sample(b, name+"_bucket", join(labelPair("le", "+Inf")), formatUint(cum))
+	b = sample(b, name+"_sum", labels, formatFloat(h.Sum()))
+	b = sample(b, name+"_count", labels, formatUint(cum))
+	for _, q := range [...]struct {
+		suffix string
+		p      float64
+	}{{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}} {
+		b = sample(b, name+q.suffix, labels, formatFloat(h.Quantile(q.p)))
+	}
+	return b
+}
+
+func (h *Histogram) expose(b []byte, name string) []byte {
+	b = header(b, name, h.help, "histogram")
+	return h.exposeSeries(b, name, "")
+}
+
+// sortedKeys returns the map's keys sorted — deterministic vec
+// exposition order.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (v *CounterVec) expose(b []byte, name string) []byte {
+	b = header(b, name, v.help, "counter")
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for _, val := range sortedKeys(v.children) {
+		b = sample(b, name, labelPair(v.label, val), formatUint(v.children[val].Value()))
+	}
+	return b
+}
+
+func (v *GaugeVec) expose(b []byte, name string) []byte {
+	b = header(b, name, v.help, "gauge")
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for _, val := range sortedKeys(v.children) {
+		b = sample(b, name, labelPair(v.label, val), formatInt(v.children[val].Value()))
+	}
+	return b
+}
+
+func (v *HistogramVec) expose(b []byte, name string) []byte {
+	b = header(b, name, v.help, "histogram")
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for _, val := range sortedKeys(v.children) {
+		b = v.children[val].exposeSeries(b, name, labelPair(v.label, val))
+	}
+	return b
+}

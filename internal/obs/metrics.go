@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric. All methods are
+// safe for concurrent use.
+type Counter struct {
+	help string
+	v    atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable int64 metric. All methods are safe for concurrent
+// use.
+type Gauge struct {
+	help string
+	v    atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// funcMetric is a read-at-exposition bridge for counters owned outside
+// the registry.
+type funcMetric struct {
+	help string
+	typ  string
+	fn   func() uint64
+}
+
+// DurationBuckets is the default upper-bound ladder for latency
+// histograms observed in seconds: 1 µs to 2.5 s in a 1–2.5–5 decade
+// pattern, wide enough to hold both a lock-free decode (~µs) and a
+// group-committed fsync (~ms) without rescaling.
+var DurationBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5,
+}
+
+// SizeBuckets is the default upper-bound ladder for count-valued
+// histograms (batch sizes, queue depths): powers of two from 1 to 1024.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Histogram is a fixed-bucket histogram: Observe is lock-free (one
+// atomic add per bucket plus a CAS loop for the sum), and quantiles are
+// estimated from the bucket counts. Buckets follow Prometheus
+// semantics: an observation v lands in the first bucket whose upper
+// bound is >= v, and exposition renders cumulative counts with
+// `le="bound"` labels plus an implicit +Inf overflow bucket.
+type Histogram struct {
+	help   string
+	upper  []float64       // ascending finite upper bounds
+	counts []atomic.Uint64 // len(upper)+1; last is the +Inf overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(help string, buckets []float64) *Histogram {
+	upper := append([]float64(nil), buckets...)
+	sort.Float64s(upper)
+	if len(upper) == 0 {
+		upper = append(upper, DurationBuckets...)
+	}
+	return &Histogram{
+		help:   help,
+		upper:  upper,
+		counts: make([]atomic.Uint64, len(upper)+1),
+	}
+}
+
+// NewHistogram creates a standalone histogram (unregistered — tests,
+// ad-hoc measurement). buckets are the finite upper bounds; nil selects
+// DurationBuckets.
+func NewHistogram(buckets []float64) *Histogram { return newHistogram("", buckets) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound is >= v; all above land in +Inf.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nxt := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nxt) {
+			return
+		}
+	}
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Buckets returns the finite upper bounds and a snapshot of the
+// per-bucket (non-cumulative) counts; counts has one extra entry for
+// the +Inf overflow bucket.
+func (h *Histogram) Buckets() (upper []float64, counts []uint64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.upper, counts
+}
+
+// Quantile estimates the p-quantile (0 < p <= 1) by linear
+// interpolation inside the winning bucket — the same estimate a
+// Prometheus histogram_quantile() gives. Returns 0 with no
+// observations; values in the +Inf bucket clamp to the highest finite
+// bound.
+func (h *Histogram) Quantile(p float64) float64 {
+	_, counts := h.Buckets()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := p * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(h.upper) { // +Inf bucket
+			return h.upper[len(h.upper)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.upper[i-1]
+		}
+		if c == 0 {
+			return h.upper[i]
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lo + frac*(h.upper[i]-lo)
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// CounterVec is a family of counters keyed by one label value.
+type CounterVec struct {
+	help  string
+	label string
+
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// With returns the counter for the label value, creating it on first
+// use. Resolve once and keep the handle on hot paths.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.children[value]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.children[value] = c
+	return c
+}
+
+// GaugeVec is a family of gauges keyed by one label value.
+type GaugeVec struct {
+	help  string
+	label string
+
+	mu       sync.RWMutex
+	children map[string]*Gauge
+}
+
+// With returns the gauge for the label value, creating it on first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.RLock()
+	g, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok = v.children[value]; ok {
+		return g
+	}
+	g = &Gauge{}
+	v.children[value] = g
+	return g
+}
+
+// HistogramVec is a family of histograms keyed by one label value,
+// sharing one bucket ladder.
+type HistogramVec struct {
+	help    string
+	label   string
+	buckets []float64
+
+	mu       sync.RWMutex
+	children map[string]*Histogram
+}
+
+// With returns the histogram for the label value, creating it on first
+// use. Resolve once and keep the handle on hot paths.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.children[value]; ok {
+		return h
+	}
+	h = newHistogram("", v.buckets)
+	v.children[value] = h
+	return h
+}

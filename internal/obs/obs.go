@@ -1,0 +1,158 @@
+// Package obs is the service stack's observability layer: a
+// zero-dependency typed metrics registry (atomic counters, gauges and
+// fixed-bucket latency histograms with Prometheus text-format
+// exposition), a lightweight per-submission tracing facility, and the
+// bucket math that makes p50/p95/p99 derivable from a scrape.
+//
+// The paper's core claim is metrological — ACCUBENCH is trustworthy
+// because its measurement error is quantified, not assumed — and the
+// crowd service holds itself to the same standard: the infrastructure
+// that measures devices must expose its own overhead and variability.
+// Every component of the crowd stack (ingest pipeline, sharded store,
+// WAL, HTTP layer) registers its counters and latency histograms here,
+// and GET /metrics renders the registry; internal/server wires it all
+// together and docs/METRICS.md is the reference for every name.
+//
+// Three tools live in this package:
+//
+//   - Registry — named metrics behind one exposition surface. Counters
+//     and gauges are single atomics; Func bridges pre-existing counter
+//     sources (store sizes, WAL counters) into the registry without
+//     changing their ownership; the *Vec variants add one label
+//     dimension (per-route, per-stage, per-shard).
+//   - Histogram — fixed upper-bound buckets, lock-free Observe, and
+//     Quantile estimation by linear interpolation inside the winning
+//     bucket. Exposed in Prometheus histogram text format plus derived
+//     _p50/_p95/_p99 convenience gauges (so `curl /metrics | grep p99`
+//     answers the latency question directly).
+//   - Tracer — per-submission span events as structured JSON lines,
+//     enabled by handing it a writer (crowdd's -trace flag). Disabled
+//     tracers cost one predictable branch per stage.
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry holds named metrics behind one exposition surface. Metric
+// constructors are idempotent: asking for an existing name returns the
+// existing metric, so independently initialized components can share a
+// registry without coordination. The zero value is not usable; use
+// NewRegistry.
+type Registry struct {
+	prefix string
+
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// metric is anything the registry can expose. Implementations append
+// complete exposition lines (HELP/TYPE plus samples) for their
+// fully-prefixed name.
+type metric interface {
+	expose(b []byte, name string) []byte
+}
+
+// NewRegistry creates a registry. Every registered name is exposed with
+// the prefix prepended (e.g. prefix "crowdd_" turns "received_total"
+// into "crowdd_received_total").
+func NewRegistry(prefix string) *Registry {
+	return &Registry{prefix: prefix, metrics: make(map[string]metric)}
+}
+
+// register returns the existing metric under name if its type matches,
+// stores the fallback otherwise. A name reused across metric types is a
+// programming error and panics.
+func (r *Registry) register(name string, make func() metric) metric {
+	if r == nil {
+		return make()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := make()
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the registered monotonic counter, creating it on
+// first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, func() metric { return &Counter{help: help} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T, not a Counter", name, m))
+	}
+	return c
+}
+
+// Gauge returns the registered gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, func() metric { return &Gauge{help: help} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T, not a Gauge", name, m))
+	}
+	return g
+}
+
+// Func registers an integer-valued metric whose value is read from fn
+// at exposition time — the bridge for counters owned elsewhere (store
+// sizes, WAL activity, recovery reports). typ is the exposed TYPE line:
+// "counter" or "gauge".
+func (r *Registry) Func(name, help, typ string, fn func() uint64) {
+	r.register(name, func() metric { return &funcMetric{help: help, typ: typ, fn: fn} })
+}
+
+// Histogram returns the registered histogram, creating it on first use
+// with the given upper bucket bounds (see NewHistogram).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	m := r.register(name, func() metric { return newHistogram(help, buckets) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T, not a Histogram", name, m))
+	}
+	return h
+}
+
+// CounterVec returns the registered counter family keyed by one label,
+// creating it on first use.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	m := r.register(name, func() metric {
+		return &CounterVec{help: help, label: label, children: make(map[string]*Counter)}
+	})
+	v, ok := m.(*CounterVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T, not a CounterVec", name, m))
+	}
+	return v
+}
+
+// GaugeVec returns the registered gauge family keyed by one label,
+// creating it on first use.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	m := r.register(name, func() metric {
+		return &GaugeVec{help: help, label: label, children: make(map[string]*Gauge)}
+	})
+	v, ok := m.(*GaugeVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T, not a GaugeVec", name, m))
+	}
+	return v
+}
+
+// HistogramVec returns the registered histogram family keyed by one
+// label, creating it on first use.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	m := r.register(name, func() metric {
+		return &HistogramVec{help: help, label: label, buckets: buckets, children: make(map[string]*Histogram)}
+	})
+	v, ok := m.(*HistogramVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T, not a HistogramVec", name, m))
+	}
+	return v
+}

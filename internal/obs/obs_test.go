@@ -1,0 +1,278 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"accubench/internal/obs"
+	"accubench/internal/testkit"
+)
+
+// TestCountersConcurrent hammers one counter and one gauge from many
+// goroutines; run under -race this is the data-race check, and the
+// totals pin that no increment is ever lost.
+func TestCountersConcurrent(t *testing.T) {
+	reg := obs.NewRegistry("")
+	c := reg.Counter("hits_total", "test counter")
+	g := reg.Gauge("depth", "test gauge")
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d after %d increments", got, workers*per)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d after balanced adds, want 0", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the Prometheus bucket semantics:
+// an observation equal to an upper bound lands in that bucket (le is
+// inclusive), values between bounds land in the next bucket up, and
+// values above every bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := obs.NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{1, 1.5, 2, 5, 6} {
+		h.Observe(v)
+	}
+	upper, counts := h.Buckets()
+	if want := []float64{1, 2, 5}; len(upper) != 3 || upper[0] != 1 || upper[1] != 2 || upper[2] != 5 {
+		t.Fatalf("upper bounds = %v, want %v", upper, want)
+	}
+	// 1 → le=1; 1.5 and 2 → le=2; 5 → le=5; 6 → +Inf.
+	want := []uint64{1, 2, 1, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bucket %d holds %d, want %d (counts %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 1+1.5+2+5+6.0; got != want {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+}
+
+// TestHistogramConcurrent asserts the histogram's conservation law under
+// contention: however the atomics interleave, every observation lands in
+// exactly one bucket, so the bucket counts sum to Count and the sum
+// matches the injected total.
+func TestHistogramConcurrent(t *testing.T) {
+	h := obs.NewHistogram(obs.DurationBuckets)
+	const workers, per = 8, 5_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Deterministic spread across several decades.
+				h.Observe(float64(seed+1) * 1e-6 * float64(i%1000+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	_, counts := h.Buckets()
+	var sum uint64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != h.Count() {
+		t.Errorf("bucket counts sum to %d, count says %d — an observation escaped", sum, h.Count())
+	}
+	var want float64
+	for w := 0; w < workers; w++ {
+		for i := 0; i < per; i++ {
+			want += float64(w+1) * 1e-6 * float64(i%1000+1)
+		}
+	}
+	if got := h.Sum(); got < want*0.999999 || got > want*1.000001 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+}
+
+// TestHistogramQuantile pins the estimator: linear interpolation inside
+// the winning bucket, zero with no observations, and +Inf clamping to
+// the highest finite bound.
+func TestHistogramQuantile(t *testing.T) {
+	h := obs.NewHistogram([]float64{1, 2, 4})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram p99 = %g, want 0", got)
+	}
+	// 100 observations uniformly landing in (0, 1]: the p50 estimate
+	// interpolates to the middle of the first bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	if got := h.Quantile(0.5); got != 0.5 {
+		t.Errorf("p50 of 100 first-bucket observations = %g, want 0.5", got)
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Errorf("p100 = %g, want the first bucket's bound 1", got)
+	}
+
+	over := obs.NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		over.Observe(100) // all land in +Inf
+	}
+	if got := over.Quantile(0.99); got != 4 {
+		t.Errorf("p99 of an all-overflow histogram = %g, want the highest finite bound 4", got)
+	}
+}
+
+// TestRegistryIdempotentAndTyped pins the registration contract: the
+// same name returns the same metric, and reusing a name across metric
+// types panics rather than silently splitting the series.
+func TestRegistryIdempotentAndTyped(t *testing.T) {
+	reg := obs.NewRegistry("x_")
+	a := reg.Counter("n_total", "first")
+	b := reg.Counter("n_total", "second")
+	if a != b {
+		t.Error("same-name Counter calls returned different metrics")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter name as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("n_total", "wrong type")
+}
+
+// TestVecConcurrent resolves vec children from many goroutines — half
+// hitting one shared label, half their own — and checks nothing is lost
+// or duplicated.
+func TestVecConcurrent(t *testing.T) {
+	reg := obs.NewRegistry("")
+	vec := reg.CounterVec("per_route_total", "test vec", "route")
+	const workers, per = 8, 2_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := vec.With(fmt.Sprintf("own-%d", w))
+			shared := vec.With("shared")
+			for i := 0; i < per; i++ {
+				own.Inc()
+				shared.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := vec.With("shared").Value(); got != workers*per {
+		t.Errorf("shared child = %d, want %d", got, workers*per)
+	}
+	for w := 0; w < workers; w++ {
+		if got := vec.With(fmt.Sprintf("own-%d", w)).Value(); got != per {
+			t.Errorf("own-%d child = %d, want %d", w, got, per)
+		}
+	}
+}
+
+// TestExpositionGolden pins the exposition format byte-for-byte: HELP
+// and TYPE headers, name prefixing, sorted output, cumulative histogram
+// buckets with derived quantiles, label escaping. Regenerate with
+// `go test -update` and review the diff.
+func TestExpositionGolden(t *testing.T) {
+	reg := obs.NewRegistry("t_")
+	reg.Counter("uploads_total", "uploads seen").Add(42)
+	reg.Gauge("queue_depth", "intake occupancy").Set(-3)
+	reg.Func("bridged_total", "a counter owned elsewhere", "counter", func() uint64 { return 7 })
+	cv := reg.CounterVec("per_route_total", "requests per route", "route")
+	cv.With("GET /v1/bins").Add(2)
+	cv.With(`quo"te\pa` + "\n" + `th`).Inc()
+	gv := reg.GaugeVec("shard_records", "records per shard", "shard")
+	gv.With("0").Set(5)
+	gv.With("1").Set(9)
+	h := reg.Histogram("stage_seconds", "stage latency", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 3} {
+		h.Observe(v)
+	}
+	hv := reg.HistogramVec("batch", "batch sizes", "kind", []float64{1, 10})
+	hv.With("fsync").Observe(4)
+
+	var buf bytes.Buffer
+	if _, err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	testkit.Golden(t, "exposition", buf.Bytes())
+}
+
+// TestTracer pins the span wire format and the disabled-tracer contract.
+func TestTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	if !tr.Enabled() {
+		t.Fatal("tracer over a writer reports disabled")
+	}
+	id := tr.NewTrace()
+	if id != "t-00000001" {
+		t.Errorf("first trace ID = %q, want t-00000001", id)
+	}
+	start := time.UnixMicro(1_700_000_000_000_000)
+	tr.Emit(obs.Span{Trace: id, Name: "decode", Device: "d-1", Model: "Nexus 5", Seq: 12}, start, 1500*time.Microsecond)
+	tr.Emit(obs.Span{Trace: id, Name: "filter", Err: fmt.Errorf("too hot")}, start, time.Millisecond)
+
+	var ev obs.SpanEvent
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("emitted %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	if err := json.Unmarshal(lines[0], &ev); err != nil {
+		t.Fatalf("span line is not JSON: %v", err)
+	}
+	want := obs.SpanEvent{Trace: id, Span: "decode", StartUS: start.UnixMicro(), DurUS: 1500, Device: "d-1", Model: "Nexus 5", Seq: 12}
+	if ev != want {
+		t.Errorf("span event = %+v, want %+v", ev, want)
+	}
+	if err := json.Unmarshal(lines[1], &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Err != "too hot" {
+		t.Errorf("error span carries %q, want \"too hot\"", ev.Err)
+	}
+
+	off := obs.NewTracer(nil)
+	if off.Enabled() {
+		t.Error("nil-writer tracer reports enabled")
+	}
+	if id := off.NewTrace(); id != "" {
+		t.Errorf("disabled tracer allocated trace ID %q", id)
+	}
+	off.Emit(obs.Span{Trace: "t-zombie", Name: "decode"}, time.Now(), 0) // must not panic
+}
+
+// TestExpositionHistogramInvariant runs the testkit structural checker
+// over a live registry's exposition — the same invariant the e2e suite
+// asserts against /metrics.
+func TestExpositionHistogramInvariant(t *testing.T) {
+	reg := obs.NewRegistry("inv_")
+	h := reg.Histogram("lat_seconds", "latency", obs.DurationBuckets)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) * 1e-5)
+	}
+	var buf bytes.Buffer
+	if _, err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	testkit.CheckHistogramExposition(t, buf.String())
+}

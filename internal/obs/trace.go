@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer emits per-submission span events as structured JSON lines — one
+// line per completed stage, correlated by trace ID, so a single upload's
+// decode→filter→wal_append→store timeline is reconstructible from the
+// log alone. A Tracer built over a nil writer is disabled: NewTrace
+// returns "" and Emit is a no-op, so the instrumented hot paths pay one
+// branch when tracing is off.
+type Tracer struct {
+	w   io.Writer // nil = disabled
+	mu  sync.Mutex
+	ids atomic.Uint64
+}
+
+// NewTracer creates a tracer writing JSON span lines to w; nil disables
+// it. The returned tracer serializes writes, so w need not be safe for
+// concurrent use.
+func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
+
+// Enabled reports whether spans are being emitted.
+func (t *Tracer) Enabled() bool { return t != nil && t.w != nil }
+
+// NewTrace allocates a trace ID for one submission's span chain, or ""
+// when the tracer is disabled (stages skip their spans on "").
+func (t *Tracer) NewTrace() string {
+	if !t.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("t-%08x", t.ids.Add(1))
+}
+
+// Span is one completed stage of a traced submission. Trace correlates
+// the chain; Name is the stage (decode, filter, wal_append, store);
+// Device/Model/Seq are filled in as the stages learn them; Err marks a
+// stage that dropped the submission.
+type Span struct {
+	Trace  string
+	Name   string
+	Device string
+	Model  string
+	Seq    uint64
+	Err    error
+}
+
+// SpanEvent is the JSON wire form of one emitted span. StartUS is the
+// stage's start as Unix microseconds; DurUS its duration in
+// microseconds — enough to lay the chain on one timeline.
+type SpanEvent struct {
+	Trace   string  `json:"trace"`
+	Span    string  `json:"span"`
+	StartUS int64   `json:"start_us"`
+	DurUS   float64 `json:"dur_us"`
+	Device  string  `json:"device,omitempty"`
+	Model   string  `json:"model,omitempty"`
+	Seq     uint64  `json:"seq,omitempty"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// Emit writes one span line. No-op when the tracer is disabled or the
+// submission was admitted while tracing was off (empty trace ID).
+func (t *Tracer) Emit(s Span, start time.Time, dur time.Duration) {
+	if !t.Enabled() || s.Trace == "" {
+		return
+	}
+	ev := SpanEvent{
+		Trace:   s.Trace,
+		Span:    s.Name,
+		StartUS: start.UnixMicro(),
+		DurUS:   float64(dur.Nanoseconds()) / 1e3,
+		Device:  s.Device,
+		Model:   s.Model,
+		Seq:     s.Seq,
+	}
+	if s.Err != nil {
+		ev.Err = s.Err.Error()
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return // a span is diagnostics, never worth failing the pipeline
+	}
+	line = append(line, '\n')
+	t.mu.Lock()
+	t.w.Write(line)
+	t.mu.Unlock()
+}

@@ -45,22 +45,34 @@ func drainBody(t *testing.T, resp *http.Response) string {
 	return string(b)
 }
 
-func scrapeMetrics(t *testing.T, client *http.Client, base string) map[string]uint64 {
+// scrapeText fetches the raw /metrics exposition.
+func scrapeText(t *testing.T, client *http.Client, base string) string {
 	t.Helper()
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
-	body := drainBody(t, resp)
+	return drainBody(t, resp)
+}
+
+// scrapeMetrics parses the integer-valued samples out of /metrics —
+// comment lines and float-valued series (histogram sums, quantiles) are
+// skipped, so the conservation-law counters stay a flat map.
+func scrapeMetrics(t *testing.T, client *http.Client, base string) map[string]uint64 {
+	t.Helper()
 	out := make(map[string]uint64)
-	for _, line := range strings.Split(body, "\n") {
-		name, val, ok := strings.Cut(strings.TrimSpace(line), " ")
+	for _, line := range strings.Split(scrapeText(t, client, base), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
 		if !ok {
 			continue
 		}
 		n, err := strconv.ParseUint(val, 10, 64)
 		if err != nil {
-			t.Fatalf("unparseable metric line %q", line)
+			continue
 		}
 		out[name] = n
 	}
@@ -196,6 +208,28 @@ func TestE2ESubmissionsToBins(t *testing.T) {
 	if got := m["crowdd_rejected_total"]; got != 1 {
 		t.Errorf("rejected %d, want 1", got)
 	}
+
+	// The exposition carries the observability layer's series: per-route
+	// request histograms, per-stage ingest latency, per-shard store
+	// occupancy, and derived quantiles — all structurally sound.
+	body := scrapeText(t, client, ts.URL)
+	for _, series := range []string{
+		`crowdd_http_requests_total{route="POST /v1/submissions"}`,
+		`crowdd_http_request_seconds_bucket{route="POST /v1/submissions",le="+Inf"}`,
+		`crowdd_ingest_stage_seconds_bucket{stage="decode"`,
+		`crowdd_ingest_stage_seconds_bucket{stage="filter"`,
+		`crowdd_ingest_stage_seconds_bucket{stage="store"`,
+		`crowdd_ingest_stage_seconds_p99{stage="decode"}`,
+		`crowdd_store_shard_records{shard="`,
+		`crowdd_store_shard_puts_total{shard="`,
+		`crowdd_store_lock_wait_seconds_count`,
+		`# TYPE crowdd_http_request_seconds histogram`,
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics is missing the %s series", series)
+		}
+	}
+	testkit.CheckHistogramExposition(t, body)
 
 	// Device verdict lookups.
 	resp, err = client.Get(ts.URL + "/v1/devices/e2e-hot")
@@ -440,6 +474,17 @@ func TestCrashRecoveryE2E(t *testing.T) {
 	if m["crowdd_wal_restored_records"] != uint64(wantLen) || m["crowdd_wal_replayed_total"] != uint64(wantLen) {
 		t.Errorf("restored-record metrics = %d/%d, want %d", m["crowdd_wal_restored_records"], m["crowdd_wal_replayed_total"], wantLen)
 	}
+	// A persistent server additionally exposes the WAL's latency series.
+	walBody := scrapeText(t, client2, ts2.URL)
+	for _, series := range []string{
+		`crowdd_wal_fsync_seconds_bucket{le="+Inf"}`,
+		`crowdd_wal_fsync_batch_count`,
+	} {
+		if !strings.Contains(walBody, series) {
+			t.Errorf("/metrics on a persistent server is missing the %s series", series)
+		}
+	}
+	testkit.CheckHistogramExposition(t, walBody)
 
 	// The recovered server keeps accepting: one more device, then crash
 	// again with a *torn tail* — garbage appended mid-write.
@@ -507,6 +552,81 @@ func TestCrashRecoveryE2E(t *testing.T) {
 	}
 	if err := srv4.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTraceSpansE2E pins the tracing contract: with a TraceWriter set
+// and a data dir, one accepted submission emits exactly one trace — a
+// span per pipeline stage, decode → filter → wal_append → store, all
+// carrying the same trace ID, the device, and (from the commit point
+// on) the assigned sequence number.
+func TestTraceSpansE2E(t *testing.T) {
+	var buf bytes.Buffer
+	srv, err := server.New(server.Config{
+		DataDir:     t.TempDir(),
+		BinDebounce: time.Millisecond,
+		TraceWriter: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+	policy := crowd.DefaultPolicy()
+
+	raw := testkit.AcceptedPayload(t, policy, "trace-dev", 1200, 25)
+	resp := postSubmission(t, client, ts.URL, raw)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST = %d (%s)", resp.StatusCode, drainBody(t, resp))
+	}
+	drainBody(t, resp)
+	srv.Close() // drain: every span is flushed before the buffer is read
+	ts.Close()
+
+	type span struct {
+		Trace  string  `json:"trace"`
+		Span   string  `json:"span"`
+		Device string  `json:"device"`
+		Seq    uint64  `json:"seq"`
+		DurUS  float64 `json:"dur_us"`
+		Err    string  `json:"err"`
+	}
+	var spans []span
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var s span
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("trace output line %q is not a JSON span: %v", line, err)
+		}
+		spans = append(spans, s)
+	}
+
+	wantChain := []string{"decode", "filter", "wal_append", "store"}
+	if len(spans) != len(wantChain) {
+		t.Fatalf("one submission emitted %d spans, want %d:\n%s", len(spans), len(wantChain), buf.String())
+	}
+	for i, s := range spans {
+		if s.Span != wantChain[i] {
+			t.Errorf("span %d = %q, want %q", i, s.Span, wantChain[i])
+		}
+		if s.Trace == "" || s.Trace != spans[0].Trace {
+			t.Errorf("span %q trace ID %q breaks the chain (first span has %q)", s.Span, s.Trace, spans[0].Trace)
+		}
+		if s.Device != "trace-dev" {
+			t.Errorf("span %q carries device %q, want trace-dev", s.Span, s.Device)
+		}
+		if s.Err != "" {
+			t.Errorf("span %q carries error %q on the happy path", s.Span, s.Err)
+		}
+		if s.DurUS < 0 {
+			t.Errorf("span %q has negative duration %f", s.Span, s.DurUS)
+		}
+		if (s.Span == "wal_append" || s.Span == "store") && s.Seq == 0 {
+			t.Errorf("span %q has no sequence number after the commit point", s.Span)
+		}
 	}
 }
 

@@ -10,7 +10,11 @@
 //	GET  /v1/bins            — cached per-model bins (never recomputes)
 //	GET  /v1/devices/{id}    — one device's latest verdict
 //	GET  /healthz            — liveness + persistence/recovery status
-//	GET  /metrics            — plain-text counters (pipeline, store, WAL)
+//	GET  /metrics            — Prometheus text exposition: the pipeline,
+//	                           store, binning and WAL counters plus
+//	                           per-route, per-stage, fsync and lock-wait
+//	                           latency histograms (internal/obs;
+//	                           reference in docs/METRICS.md)
 //
 // Uploads flow through the ingest pipeline (bounded, staged worker pool),
 // land in the sharded store, and mark their model dirty for the debounced
@@ -37,6 +41,7 @@ import (
 
 	"accubench/internal/crowd"
 	"accubench/internal/ingest"
+	"accubench/internal/obs"
 	"accubench/internal/store"
 	"accubench/internal/wal"
 )
@@ -76,6 +81,11 @@ type Config struct {
 	// SegmentBytes is the WAL's segment-rotation threshold
 	// (wal.DefaultSegmentBytes if <= 0).
 	SegmentBytes int64
+	// TraceWriter, when non-nil, enables per-submission tracing: every
+	// accepted upload emits one JSON span per pipeline stage
+	// (decode→filter→wal_append→store) to this writer, correlated by a
+	// trace ID — crowdd's -trace flag wires it to stdout.
+	TraceWriter io.Writer
 }
 
 // Server owns the store, the ingest pipeline and the binning loop, and
@@ -88,6 +98,10 @@ type Server struct {
 	mux      *http.ServeMux
 	pers     *wal.Persister // nil when DataDir is empty
 	recovery wal.Recovery
+
+	reg      *obs.Registry
+	httpReqs *obs.CounterVec
+	httpDur  *obs.HistogramVec
 }
 
 // New assembles the backend. Call Start before serving, Close to shut
@@ -102,7 +116,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	// One registry for the whole stack: every component registers its
+	// counters and histograms here, and GET /metrics renders it. The
+	// store is instrumented before the WAL opens so boot recovery's
+	// restores already move the shard gauges.
+	reg := obs.NewRegistry("crowdd_")
 	st := store.New(cfg.Shards)
+	st.Instrument(reg)
 	var pers *wal.Persister
 	var recovery wal.Recovery
 	if cfg.DataDir != "" {
@@ -112,6 +132,7 @@ func New(cfg Config) (*Server, error) {
 			SegmentBytes:  cfg.SegmentBytes,
 			FlushEvery:    cfg.FsyncEvery,
 			SnapshotEvery: cfg.SnapshotEvery,
+			Obs:           reg,
 		}, st)
 		if err != nil {
 			return nil, err
@@ -128,6 +149,8 @@ func New(cfg Config) (*Server, error) {
 		Policy:     cfg.Policy,
 		Store:      st,
 		OnStored:   binner.MarkDirty,
+		Obs:        reg,
+		Tracer:     obs.NewTracer(cfg.TraceWriter),
 	}
 	if pers != nil {
 		icfg.WAL = pers
@@ -139,13 +162,71 @@ func New(cfg Config) (*Server, error) {
 		}
 		return nil, err
 	}
-	s := &Server{cfg: cfg, store: st, pipe: pipe, binner: binner, mux: http.NewServeMux(), pers: pers, recovery: recovery}
-	s.mux.HandleFunc("POST /v1/submissions", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/bins", s.handleBins)
-	s.mux.HandleFunc("GET /v1/devices/{id}", s.handleDevice)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s := &Server{cfg: cfg, store: st, pipe: pipe, binner: binner, mux: http.NewServeMux(), pers: pers, recovery: recovery, reg: reg}
+	s.registerGauges()
+	s.httpReqs = reg.CounterVec("http_requests_total", "requests served per route", "route")
+	s.httpDur = reg.HistogramVec("http_request_seconds", "request latency per route", "route", obs.DurationBuckets)
+	s.route("POST /v1/submissions", s.handleSubmit)
+	s.route("GET /v1/bins", s.handleBins)
+	s.route("GET /v1/devices/{id}", s.handleDevice)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
 	return s, nil
+}
+
+// route mounts a handler behind the per-route middleware: a request
+// counter and a duration histogram, labeled by the route pattern.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	reqs := s.httpReqs.With(pattern)
+	dur := s.httpDur.With(pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		dur.Observe(time.Since(t0).Seconds())
+		reqs.Inc()
+	})
+}
+
+// registerGauges bridges the counters owned outside the registry — the
+// binning loop, the store's aggregates, the WAL's activity and the boot
+// recovery report — preserving every metric name the service has
+// exposed since it first served /metrics.
+func (s *Server) registerGauges() {
+	s.reg.Func("bin_recomputes_total", "per-model bin recomputes", "counter", s.binner.Recomputes)
+	s.reg.Func("store_records", "records held across all models", "gauge",
+		func() uint64 { return uint64(s.store.Len()) })
+	s.reg.Func("store_accepted_records", "stored records that survived the filters", "gauge",
+		func() uint64 { return uint64(s.store.AcceptedLen()) })
+	s.reg.Func("store_models", "distinct models with at least one record", "gauge",
+		func() uint64 { return uint64(len(s.store.Models())) })
+	if s.pers == nil {
+		return
+	}
+	pc := func(read func(wal.PersistCounters) uint64) func() uint64 {
+		return func() uint64 { return read(s.pers.Counters()) }
+	}
+	s.reg.Func("wal_appends_total", "records appended to the log this session", "counter",
+		pc(func(c wal.PersistCounters) uint64 { return c.Log.Appends }))
+	s.reg.Func("wal_fsyncs_total", "fsync calls (group commit batches appends)", "counter",
+		pc(func(c wal.PersistCounters) uint64 { return c.Log.Fsyncs }))
+	s.reg.Func("wal_bytes_total", "bytes appended, framing included", "counter",
+		pc(func(c wal.PersistCounters) uint64 { return c.Log.Bytes }))
+	s.reg.Func("wal_segments", "live segment files", "gauge",
+		pc(func(c wal.PersistCounters) uint64 { return uint64(c.Log.Segments) }))
+	s.reg.Func("wal_last_seq", "highest sequence number appended", "gauge",
+		pc(func(c wal.PersistCounters) uint64 { return c.Log.LastSeq }))
+	s.reg.Func("wal_snapshots_total", "snapshots cut this session", "counter",
+		pc(func(c wal.PersistCounters) uint64 { return c.Snapshots }))
+	s.reg.Func("wal_snapshot_failures_total", "background snapshot attempts that failed", "counter",
+		pc(func(c wal.PersistCounters) uint64 { return c.SnapshotFailures }))
+	s.reg.Func("wal_last_snapshot_seq", "sequence number the newest snapshot covers", "gauge",
+		pc(func(c wal.PersistCounters) uint64 { return c.LastSnapshotSeq }))
+	s.reg.Func("wal_restored_records", "records rebuilt by boot recovery", "gauge",
+		func() uint64 { return uint64(s.recovery.Restored) })
+	s.reg.Func("wal_restored_accepted_records", "restored records carrying an accepted verdict", "gauge",
+		func() uint64 { return uint64(s.recovery.RestoredAccepted) })
+	s.reg.Func("wal_replayed_total", "log-tail records replayed after the snapshot", "gauge",
+		func() uint64 { return uint64(s.recovery.Replayed) })
 }
 
 // Start launches the ingest workers and the binning loop, and re-primes
@@ -209,6 +290,9 @@ func (s *Server) Store() *store.Store { return s.store }
 
 // Counters exposes the ingest pipeline's counters.
 func (s *Server) Counters() ingest.Counters { return s.pipe.Counters() }
+
+// Registry exposes the metrics registry backing GET /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Binner exposes the binning loop.
 func (s *Server) Binner() *Binner { return s.binner }
@@ -283,42 +367,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	c := s.pipe.Counters()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	var b []byte
-	appendMetric := func(name string, v uint64) {
-		b = fmt.Appendf(b, "crowdd_%s %d\n", name, v)
-	}
-	appendMetric("received_total", c.Received)
-	appendMetric("decoded_total", c.Decoded)
-	appendMetric("decode_errors_total", c.DecodeErrors)
-	appendMetric("evaluated_total", c.Evaluated)
-	appendMetric("estimate_failures_total", c.EstimateFailures)
-	appendMetric("accepted_total", c.Accepted)
-	appendMetric("rejected_total", c.Rejected)
-	appendMetric("stored_total", c.Stored)
-	appendMetric("aborted_total", c.Aborted)
-	appendMetric("wal_appended_total", c.WALAppended)
-	appendMetric("wal_failed_total", c.WALFailed)
-	appendMetric("bin_recomputes_total", s.binner.Recomputes())
-	appendMetric("store_records", uint64(s.store.Len()))
-	appendMetric("store_accepted_records", uint64(s.store.AcceptedLen()))
-	appendMetric("store_models", uint64(len(s.store.Models())))
-	if s.pers != nil {
-		pc := s.pers.Counters()
-		appendMetric("wal_appends_total", pc.Log.Appends)
-		appendMetric("wal_fsyncs_total", pc.Log.Fsyncs)
-		appendMetric("wal_bytes_total", pc.Log.Bytes)
-		appendMetric("wal_segments", uint64(pc.Log.Segments))
-		appendMetric("wal_last_seq", pc.Log.LastSeq)
-		appendMetric("wal_snapshots_total", pc.Snapshots)
-		appendMetric("wal_snapshot_failures_total", pc.SnapshotFailures)
-		appendMetric("wal_last_snapshot_seq", pc.LastSnapshotSeq)
-		appendMetric("wal_restored_records", uint64(s.recovery.Restored))
-		appendMetric("wal_restored_accepted_records", uint64(s.recovery.RestoredAccepted))
-		appendMetric("wal_replayed_total", uint64(s.recovery.Replayed))
-	}
-	w.Write(b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -22,9 +22,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"accubench/internal/obs"
 	"accubench/internal/units"
 )
 
@@ -56,6 +59,13 @@ type Store struct {
 	seq          atomic.Uint64
 	total        atomic.Int64
 	accepted     atomic.Int64
+
+	// Observability hooks, nil until Instrument: per-shard occupancy
+	// gauges and put counters (write-skew visibility), plus a lock-wait
+	// histogram (stripe contention).
+	shardOcc  []*obs.Gauge
+	shardPuts []*obs.Counter
+	lockWait  *obs.Histogram
 }
 
 type modelShard struct {
@@ -90,6 +100,51 @@ func New(n int) *Store {
 // Shards returns the stripe width.
 func (s *Store) Shards() int { return len(s.modelShards) }
 
+// Instrument registers the store's observability metrics: a
+// store_shard_records occupancy gauge and a store_shard_puts_total
+// counter per model shard (the write-skew view — a hot model shows up
+// as one shard's counters running away), and a store_lock_wait_seconds
+// histogram measuring how long writers wait for a stripe lock (the
+// contention view). Call it before the store is shared; instrumentation
+// is all-or-nothing and adds one gauge update plus two clock reads per
+// put.
+func (s *Store) Instrument(reg *obs.Registry) {
+	occ := reg.GaugeVec("store_shard_records",
+		"records held per model shard — stripe occupancy", "shard")
+	puts := reg.CounterVec("store_shard_puts_total",
+		"records inserted per model shard — write skew", "shard")
+	s.shardOcc = make([]*obs.Gauge, len(s.modelShards))
+	s.shardPuts = make([]*obs.Counter, len(s.modelShards))
+	for i := range s.modelShards {
+		label := strconv.Itoa(i)
+		s.shardOcc[i] = occ.With(label)
+		s.shardPuts[i] = puts.With(label)
+	}
+	s.lockWait = reg.Histogram("store_lock_wait_seconds",
+		"time writers wait to acquire a model-shard lock — stripe contention", obs.DurationBuckets)
+}
+
+// lockShard acquires the model shard's write lock, observing the wait
+// when instrumented.
+func (s *Store) lockShard(ms *modelShard) {
+	if s.lockWait == nil {
+		ms.mu.Lock()
+		return
+	}
+	t0 := time.Now()
+	ms.mu.Lock()
+	s.lockWait.Observe(time.Since(t0).Seconds())
+}
+
+// noteInsert updates the shard's observability counters after an
+// insert.
+func (s *Store) noteInsert(idx int) {
+	if s.shardOcc != nil {
+		s.shardOcc[idx].Add(1)
+		s.shardPuts[idx].Inc()
+	}
+}
+
 func (s *Store) shardIndex(key string) int {
 	h := fnv.New32a()
 	h.Write([]byte(key))
@@ -117,12 +172,14 @@ func (s *Store) Put(r Record) (uint64, error) {
 	}
 	// Seq is assigned under the model shard's lock so that a model's
 	// history is sorted by sequence number as well as by arrival.
-	ms := &s.modelShards[s.shardIndex(r.Model)]
-	ms.mu.Lock()
+	idx := s.shardIndex(r.Model)
+	ms := &s.modelShards[idx]
+	s.lockShard(ms)
 	r.Seq = s.seq.Add(1)
 	ms.models[r.Model] = append(ms.models[r.Model], r)
 	ms.mu.Unlock()
 
+	s.noteInsert(idx)
 	s.finishPut(r)
 	return r.Seq, nil
 }
@@ -148,8 +205,9 @@ func (s *Store) PutSeq(r Record) error {
 			break
 		}
 	}
-	ms := &s.modelShards[s.shardIndex(r.Model)]
-	ms.mu.Lock()
+	idx := s.shardIndex(r.Model)
+	ms := &s.modelShards[idx]
+	s.lockShard(ms)
 	recs := ms.models[r.Model]
 	i := len(recs)
 	for i > 0 && recs[i-1].Seq > r.Seq {
@@ -161,6 +219,7 @@ func (s *Store) PutSeq(r Record) error {
 	ms.models[r.Model] = recs
 	ms.mu.Unlock()
 
+	s.noteInsert(idx)
 	s.finishPut(r)
 	return nil
 }

@@ -1,6 +1,8 @@
 package testkit
 
 import (
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -247,6 +249,93 @@ func CheckCounterFlow(t *testing.T, c ingest.Counters) {
 		if c.Evaluated+c.EstimateFailures != c.Decoded {
 			t.Errorf("testkit: evaluated %d + estimate failures %d != decoded %d",
 				c.Evaluated, c.EstimateFailures, c.Decoded)
+		}
+	}
+}
+
+// CheckHistogramExposition asserts the structural laws every histogram
+// in a Prometheus text exposition must obey: within a series the
+// cumulative bucket counts are non-decreasing in le order, and the
+// +Inf bucket equals the series' _count — i.e. every observation landed
+// in exactly one bucket and the buckets sum to the total. Label values
+// must not contain commas (none of crowdd's do).
+func CheckHistogramExposition(t *testing.T, exposition string) {
+	t.Helper()
+	type series struct {
+		prev   uint64 // cumulative count of the previous bucket line
+		inf    uint64
+		hasInf bool
+	}
+	hists := make(map[string]*series)
+	counts := make(map[string]uint64)
+	for _, line := range strings.Split(exposition, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value follows the LAST space: label values may hold spaces
+		// (route="POST /v1/submissions").
+		cut := strings.LastIndex(line, " ")
+		if cut < 0 {
+			continue
+		}
+		id, val := line[:cut], line[cut+1:]
+		name, labels, _ := strings.Cut(id, "{")
+		labels = strings.TrimSuffix(labels, "}")
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				t.Errorf("testkit: bucket line %q has a non-integer count", line)
+				continue
+			}
+			// The series key is the name plus the labels minus le.
+			var le string
+			var rest []string
+			for _, kv := range strings.Split(labels, ",") {
+				if v, found := strings.CutPrefix(kv, `le="`); found {
+					le = strings.TrimSuffix(v, `"`)
+				} else if kv != "" {
+					rest = append(rest, kv)
+				}
+			}
+			key := strings.TrimSuffix(name, "_bucket") + "{" + strings.Join(rest, ",") + "}"
+			s := hists[key]
+			if s == nil {
+				s = &series{}
+				hists[key] = s
+			}
+			if n < s.prev {
+				t.Errorf("testkit: %s bucket le=%q count %d below the previous bucket's %d — cumulative counts must not decrease",
+					key, le, n, s.prev)
+			}
+			s.prev = n
+			if le == "+Inf" {
+				s.inf, s.hasInf = n, true
+			}
+		case strings.HasSuffix(name, "_count"):
+			if n, err := strconv.ParseUint(val, 10, 64); err == nil {
+				key := strings.TrimSuffix(name, "_count") + "{" + labels + "}"
+				counts[key] = n
+			}
+		}
+	}
+	if len(hists) == 0 {
+		t.Error("testkit: exposition holds no histogram series")
+	}
+	for key, s := range hists {
+		if !s.hasInf {
+			t.Errorf("testkit: histogram %s has no +Inf bucket", key)
+			continue
+		}
+		total, ok := counts[key]
+		if !ok {
+			t.Errorf("testkit: histogram %s has buckets but no _count line", key)
+			continue
+		}
+		if s.inf != total {
+			t.Errorf("testkit: histogram %s buckets sum to %d but _count says %d — an observation escaped the buckets",
+				key, s.inf, total)
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accubench/internal/obs"
 	"accubench/internal/store"
 )
 
@@ -31,6 +32,9 @@ type PersistConfig struct {
 	// SnapshotEvery is how many commits trigger a background snapshot
 	// (DefaultSnapshotEvery if <= 0).
 	SnapshotEvery int
+	// Obs, when non-nil, registers the log's fsync latency and
+	// group-commit batch-size histograms (see Config.Obs).
+	Obs *obs.Registry
 }
 
 // Recovery reports what Open found and rebuilt from the data directory.
@@ -137,6 +141,7 @@ func Open(cfg PersistConfig, st *store.Store) (*Persister, Recovery, error) {
 		SegmentBytes: cfg.SegmentBytes,
 		FlushEvery:   cfg.FlushEvery,
 		StartSeq:     snapSeq,
+		Obs:          cfg.Obs,
 	})
 	if err != nil {
 		return nil, rec, err

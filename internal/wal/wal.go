@@ -31,6 +31,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"accubench/internal/obs"
 )
 
 // ErrClosed is returned by Append after Close (or Crash).
@@ -62,6 +64,12 @@ type Config struct {
 	// (the covering snapshot). When the directory holds no segments, the
 	// first append is assigned StartSeq+1.
 	StartSeq uint64
+	// Obs, when non-nil, registers the log's latency instrumentation:
+	// a wal_fsync_seconds histogram (how long each fsync takes — the
+	// durability tax every commit pays) and a wal_fsync_batch histogram
+	// (how many appends each fsync covered — the group-commit
+	// amortization factor).
+	Obs *obs.Registry
 }
 
 // Counters is a snapshot of the log's activity counters.
@@ -107,6 +115,10 @@ type Log struct {
 
 	appends, fsyncs, bytes uint64
 	truncated              int64
+
+	// fsyncDur and fsyncBatch are nil unless Config.Obs was set.
+	fsyncDur   *obs.Histogram
+	fsyncBatch *obs.Histogram
 
 	flushStop chan struct{}
 	flushDone chan struct{}
@@ -196,6 +208,12 @@ func OpenLog(cfg Config) (*Log, error) {
 	}
 	l := &Log{cfg: cfg, lastSeq: cfg.StartSeq}
 	l.commit = sync.NewCond(&l.mu)
+	if cfg.Obs != nil {
+		l.fsyncDur = cfg.Obs.Histogram("wal_fsync_seconds",
+			"WAL fsync latency — the durability tax every commit pays", obs.DurationBuckets)
+		l.fsyncBatch = cfg.Obs.Histogram("wal_fsync_batch",
+			"appends covered per fsync — the group-commit amortization factor", obs.SizeBuckets)
+	}
 	if len(segs) == 0 {
 		if err := l.openSegmentLocked(cfg.StartSeq + 1); err != nil {
 			return nil, err
@@ -319,9 +337,20 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 // syncLocked fsyncs the active segment and wakes the appenders it made
 // durable.
 func (l *Log) syncLocked() error {
+	batch := l.lastSeq - l.syncedSeq
+	var t0 time.Time
+	if l.fsyncDur != nil {
+		t0 = time.Now()
+	}
 	if err := l.f.Sync(); err != nil {
 		l.failLocked(err)
 		return err
+	}
+	if l.fsyncDur != nil {
+		l.fsyncDur.Observe(time.Since(t0).Seconds())
+		if batch > 0 {
+			l.fsyncBatch.Observe(float64(batch))
+		}
 	}
 	l.fsyncs++
 	l.syncedSeq = l.lastSeq

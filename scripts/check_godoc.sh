@@ -1,0 +1,20 @@
+#!/bin/sh
+# check_godoc.sh — every internal package must open with a package doc
+# comment ("// Package <name> ...") stating its paper section or design
+# role. Run from the repo root; `make godoc-check` wires it into ci.
+set -eu
+
+fail=0
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    # Skip directories without Go sources (none today, but cheap).
+    ls "$dir"*.go >/dev/null 2>&1 || continue
+    if ! grep -l "^// Package $pkg " "$dir"*.go >/dev/null 2>&1; then
+        echo "godoc-check: $dir has no '// Package $pkg ...' doc comment" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -eq 0 ]; then
+    echo "godoc-check: every internal package documents its role"
+fi
+exit "$fail"

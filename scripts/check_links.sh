@@ -1,0 +1,30 @@
+#!/bin/sh
+# check_links.sh — every relative markdown link in the top-level docs
+# must resolve to a file or directory in the tree. External (http),
+# anchor-only and mailto links are skipped. Run from the repo root;
+# `make links-check` wires it into ci.
+set -eu
+
+fail=0
+# PAPERS.md is excluded: it is retrieved related-work text whose figure
+# references never shipped with it.
+for f in README.md EXPERIMENTS.md DESIGN.md ROADMAP.md docs/*.md; do
+    [ -f "$f" ] || continue
+    dir=$(dirname "$f")
+    # Pull out every ](target) — our links never contain spaces.
+    for link in $(grep -o '](\([^)]*\))' "$f" | sed 's/^](//; s/)$//'); do
+        case "$link" in
+        http://* | https://* | mailto:* | \#*) continue ;;
+        esac
+        target=${link%%#*}
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "links-check: $f links to missing $link" >&2
+            fail=1
+        fi
+    done
+done
+if [ "$fail" -eq 0 ]; then
+    echo "links-check: all relative markdown links resolve"
+fi
+exit "$fail"
