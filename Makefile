@@ -8,7 +8,7 @@ FUZZTIME ?= 5s
 # Minimum acceptable total statement coverage, in percent.
 COVER_FLOOR ?= 75
 
-.PHONY: build test vet race fuzz-smoke cover godoc-check links-check ci demo profile
+.PHONY: build test vet race fuzz-smoke cover godoc-check links-check bench bench-diff bench-smoke ci demo profile
 
 build:
 	$(GO) build ./...
@@ -52,9 +52,31 @@ godoc-check:
 links-check:
 	sh scripts/check_links.sh
 
+# bench runs the headline hot-path benchmarks (device step, thermal
+# step, Table II regeneration), prints benchstat-comparable output and
+# refreshes BENCH_5.json with the measured ns/op and allocs/op. See
+# docs/PERFORMANCE.md for the hot-path map behind these numbers.
+bench:
+	sh scripts/bench_run.sh
+
+# bench-diff re-measures and fails if any headline benchmark regressed
+# more than 10% in ns/op against the committed BENCH_5.json.
+bench-diff:
+	sh scripts/bench_diff.sh
+
+# bench-smoke is the quick ci gate: a handful of iterations per headline
+# benchmark, enough to prove the hot paths still run (and that the
+# zero-alloc pins in the test suite have benchmarks to back them) without
+# the noise-sensitive regression comparison.
+bench-smoke:
+	$(GO) test -run '^$$' \
+		-bench '^(BenchmarkDeviceStep|BenchmarkThermalStep|BenchmarkTableII)$$' \
+		-benchmem -benchtime 10x .
+
 # ci is the full gate: vet, tier-1 build+test, the race pass over the
-# whole tree, the fuzz smoke, then the documentation checks.
-ci: vet build test race fuzz-smoke godoc-check links-check
+# whole tree, the fuzz smoke, the bench smoke, then the documentation
+# checks.
+ci: vet build test race fuzz-smoke bench-smoke godoc-check links-check
 
 # demo starts crowdd, fires a 200-device load at it, prints the bins and
 # shuts the server down.

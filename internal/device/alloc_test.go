@@ -1,0 +1,65 @@
+// Allocation-regression pins for the device inner loop. This lives in an
+// external test package because it imports testkit (for the -race guard),
+// and testkit transitively imports device.
+package device_test
+
+import (
+	"testing"
+	"time"
+
+	"accubench/internal/device"
+	"accubench/internal/silicon"
+	"accubench/internal/soc"
+	"accubench/internal/testkit"
+)
+
+func steadyDevice(t *testing.T, modelName string) *device.Device {
+	t.Helper()
+	model, err := soc.ModelByName(modelName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := device.New(device.Config{
+		Name:    "alloc-" + modelName,
+		Model:   model,
+		Corner:  silicon.ProcessCorner{Bin: 0, Leakage: 1.1},
+		Ambient: 26,
+		Seed:    42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AcquireWakelock()
+	d.StartWorkload()
+	// Warm-up: seals the thermal network, fills the voltage memo, and
+	// grows the trace series past their first chunk so steady state is
+	// what AllocsPerRun sees.
+	if err := d.Run(5*time.Second, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDeviceStepZeroAllocs pins Device.Step at exactly zero steady-state
+// allocations per step: the thermal scratch, the core-state slices, the
+// trace series handles and the voltage memo together must leave nothing
+// for the garbage collector. Trace storage growth is amortized over 1024+
+// appends, which AllocsPerRun's integer averaging absorbs.
+func TestDeviceStepZeroAllocs(t *testing.T) {
+	if testkit.RaceEnabled {
+		t.Skip("race runtime instruments allocations; exact-zero assertion only holds without -race")
+	}
+	for _, modelName := range []string{"Nexus 5", "Google Pixel"} {
+		t.Run(modelName, func(t *testing.T) {
+			d := steadyDevice(t, modelName)
+			allocs := testing.AllocsPerRun(200, func() {
+				if err := d.Step(100 * time.Millisecond); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s: Device.Step allocates %v objects per step, want 0", modelName, allocs)
+			}
+		})
+	}
+}

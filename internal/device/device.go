@@ -73,7 +73,44 @@ type Device struct {
 	profile workload.Profile
 
 	rec *trace.Recorder
+
+	// Step scratch and caches. Step runs ten times per simulated second for
+	// every device in a fleet, so its per-step garbage and repeated lookups
+	// are hoisted here: the core-state slices are reused across steps, the
+	// trace series handles are resolved once in New (in the same creation
+	// order Step used to create them lazily, so CSV column order is
+	// unchanged), and the rail-voltage resolution is memoized per cluster.
+	bigStates    []power.CoreState
+	littleStates []power.CoreState
+
+	sDie, sCase, sFreqBig, sFreqLittle, sPower, sCores *trace.Series
+
+	// voltTempInvariant is true when the model's voltage scheme declares it
+	// ignores die temperature (static tables); the memo key then collapses
+	// the temperature dimension. Temperature-sensitive schemes (RBCPR) keep
+	// the exact float64 temperature in the key — never a quantized one, which
+	// would change which voltage a given step sees and break bit-identity
+	// with the unmemoized path.
+	voltTempInvariant bool
+	bigVMemo          voltMemo
+	littleVMemo       voltMemo
 }
+
+// voltMemo is a single-entry memo of VoltageScheme.Voltage for one cluster.
+// One entry suffices: within a thermal plateau the (frequency, temperature)
+// operating point repeats for many consecutive steps, and the memoized
+// value is exactly the value the scheme would return (same pure function,
+// same arguments), so memoization cannot perturb the simulation.
+type voltMemo struct {
+	valid bool
+	freq  units.MegaHertz
+	temp  units.Celsius
+	volts units.Volts
+}
+
+// tempInvariant is implemented by voltage schemes whose output does not
+// depend on die temperature (soc.StaticTable).
+type tempInvariant interface{ TempInvariant() bool }
 
 // Config bundles what varies between devices of the same model.
 type Config struct {
@@ -150,7 +187,45 @@ func New(cfg Config) (*Device, error) {
 		d.pm.CeffLittle = l.Ceff
 		d.littleCounters = workload.NewGroup(l.Cores, l.CyclesPerIteration)
 	}
+	d.bigStates = make([]power.CoreState, cfg.Model.SoC.Big.Cores)
+	// Series handles, created in the exact order Step appends so the CSV
+	// column order is identical to the historical lazy creation.
+	d.sDie = d.rec.Series("die", "C")
+	d.sCase = d.rec.Series("case", "C")
+	d.sFreqBig = d.rec.Series("freq.big", "MHz")
+	if l := cfg.Model.SoC.Little; l != nil {
+		d.littleStates = make([]power.CoreState, l.Cores)
+		d.sFreqLittle = d.rec.Series("freq.little", "MHz")
+	}
+	d.sPower = d.rec.Series("power", "W")
+	d.sCores = d.rec.Series("cores.online", "n")
+	if ti, ok := cfg.Model.SoC.Voltages.(tempInvariant); ok && ti.TempInvariant() {
+		d.voltTempInvariant = true
+	}
 	return d, nil
+}
+
+// railVoltage resolves the rail voltage for one cluster through the
+// per-cluster memo. The returned voltage is bit-identical to calling the
+// scheme directly: on a miss the scheme is invoked with the unmodified
+// arguments, and a hit only ever returns a value the scheme itself
+// produced for the same (frequency, temperature) pair — temperature
+// compared on exact float64 bits unless the scheme declares itself
+// temperature-invariant.
+func (d *Device) railVoltage(m *voltMemo, f units.MegaHertz, die units.Celsius) (units.Volts, error) {
+	key := die
+	if d.voltTempInvariant {
+		key = 0
+	}
+	if m.valid && m.freq == f && m.temp == key {
+		return m.volts, nil
+	}
+	v, err := d.model.SoC.Voltages.Voltage(d.corner, f, die)
+	if err != nil {
+		return 0, err
+	}
+	*m = voltMemo{valid: true, freq: f, temp: key, volts: v}
+	return v, nil
 }
 
 // Name returns the unit name, e.g. "device-363".
@@ -337,14 +412,15 @@ func (d *Device) Step(dt time.Duration) error {
 		}
 	}
 
-	// 3. Rail voltages for the current operating point.
-	bigV, err := s.Voltages.Voltage(d.corner, bigF, die)
+	// 3. Rail voltages for the current operating point (memoized — see
+	// railVoltage for why this cannot change the resolved voltage).
+	bigV, err := d.railVoltage(&d.bigVMemo, bigF, die)
 	if err != nil {
 		return fmt.Errorf("device: %s: %w", d.name, err)
 	}
 	var littleV units.Volts
 	if s.Little != nil {
-		littleV, err = s.Voltages.Voltage(d.corner, littleF, die)
+		littleV, err = d.railVoltage(&d.littleVMemo, littleF, die)
 		if err != nil {
 			return fmt.Errorf("device: %s: %w", d.name, err)
 		}
@@ -362,7 +438,7 @@ func (d *Device) Step(dt time.Duration) error {
 		util = d.utilLevel * d.profile.PowerFactor
 	}
 	offline := d.engine.OfflineBigCores()
-	bigStates := make([]power.CoreState, s.Big.Cores)
+	bigStates := d.bigStates // reused scratch; every element is overwritten below
 	for i := range bigStates {
 		online := i >= offline
 		// cpuidle: an idle device power-collapses all but one core, which
@@ -378,9 +454,8 @@ func (d *Device) Step(dt time.Duration) error {
 			Utilization: util,
 		}
 	}
-	var littleStates []power.CoreState
+	littleStates := d.littleStates // nil on homogeneous quads
 	if s.Little != nil {
-		littleStates = make([]power.CoreState, s.Little.Cores)
 		for i := range littleStates {
 			littleStates[i] = power.CoreState{Online: d.busy, Freq: littleF, Voltage: littleV, Utilization: util}
 		}
@@ -417,14 +492,14 @@ func (d *Device) Step(dt time.Duration) error {
 	d.source.Drain(total.Over(dt))
 	d.lastPower = total
 	d.lastBigF = bigF
-	d.rec.Series("die", "C").Append(d.elapsed, float64(die))
-	d.rec.Series("case", "C").Append(d.elapsed, float64(d.CaseTemperature()))
-	d.rec.Series("freq.big", "MHz").Append(d.elapsed, float64(bigF))
+	d.sDie.Append(d.elapsed, float64(die))
+	d.sCase.Append(d.elapsed, float64(d.CaseTemperature()))
+	d.sFreqBig.Append(d.elapsed, float64(bigF))
 	if s.Little != nil {
-		d.rec.Series("freq.little", "MHz").Append(d.elapsed, float64(littleF))
+		d.sFreqLittle.Append(d.elapsed, float64(littleF))
 	}
-	d.rec.Series("power", "W").Append(d.elapsed, float64(total))
-	d.rec.Series("cores.online", "n").Append(d.elapsed, float64(d.OnlineBigCores()))
+	d.sPower.Append(d.elapsed, float64(total))
+	d.sCores.Append(d.elapsed, float64(d.OnlineBigCores()))
 	return nil
 }
 

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"sync"
+
+	"accubench/internal/units"
+)
+
+// The study cache memoizes ModelStudy computations per fully-normalized
+// Options. A full regeneration (cmd/experiments -run all, the benchmark
+// suite) needs the same model's study for Table II, Figures 6–9 and
+// Figure 13; without the cache each consumer recomputes minutes of
+// simulation that is — by construction and by test — bit-identical every
+// time. Studies are pure functions of (model, Quick, seed, ambient), so
+// caching cannot change any result, only how often it is computed.
+
+// studyKey is the normalized identity of one study computation. Zero-value
+// Options fields are resolved (seed 0 → 1, ambient 0 → 26 °C) before
+// keying, so Options{} and Options{Seed: 1, Ambient: 26} share an entry,
+// exactly as they share results.
+type studyKey struct {
+	model   string
+	quick   bool
+	seed    int64
+	ambient units.Celsius
+}
+
+// studyEntry is one computation slot. The sync.Once lets concurrent
+// consumers of the same key (Table II's callers, parallel benchmarks)
+// block on a single computation instead of racing duplicates.
+type studyEntry struct {
+	once  sync.Once
+	study ModelStudy
+	err   error
+}
+
+// studyCacheCap bounds retained entries. The full fleet is five models;
+// 32 leaves generous room for mixed seeds/options in one process while
+// keeping worst-case retention (each study holds per-unit traces) small.
+// Eviction is FIFO: regeneration workloads touch each key in a burst and
+// never loop back over evicted ones.
+const studyCacheCap = 32
+
+type studyCache struct {
+	mu      sync.Mutex
+	entries map[studyKey]*studyEntry
+	order   []studyKey
+	hits    int
+	misses  int
+}
+
+var sharedStudyCache = &studyCache{entries: make(map[studyKey]*studyEntry)}
+
+func (c *studyCache) get(modelName string, o Options) (ModelStudy, error) {
+	key := studyKey{model: modelName, quick: o.Quick, seed: o.seed(), ambient: o.ambient()}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+		e = &studyEntry{}
+		c.entries[key] = e
+		c.order = append(c.order, key)
+		if len(c.order) > studyCacheCap {
+			evict := c.order[0]
+			c.order = c.order[1:]
+			// In-flight waiters hold their own *studyEntry; eviction only
+			// forgets the key for future lookups.
+			delete(c.entries, evict)
+		}
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		// The parallel runner computes the entry; it is asserted
+		// bit-identical to the serial one by TestStudyParallelMatchesSerial.
+		e.study, e.err = studyParallel(modelName, o)
+	})
+	if e.err != nil {
+		return ModelStudy{}, e.err
+	}
+	return e.study.shallowCopy(), nil
+}
+
+func (c *studyCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[studyKey]*studyEntry)
+	c.order = nil
+	c.hits = 0
+	c.misses = 0
+}
+
+func (c *studyCache) stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// shallowCopy returns a ModelStudy whose Perf/Energy slices are fresh, so
+// a caller sorting or appending cannot corrupt the cached copy. The
+// DeviceOutcome values themselves (and the accubench.Result data inside)
+// are shared and treated as read-only by every consumer.
+func (s ModelStudy) shallowCopy() ModelStudy {
+	return ModelStudy{
+		Model:  s.Model,
+		Perf:   append([]DeviceOutcome(nil), s.Perf...),
+		Energy: append([]DeviceOutcome(nil), s.Energy...),
+	}
+}
+
+// ResetStudyCache drops every memoized study. Tests that must observe a
+// fresh computation (determinism and parallel-equivalence checks exercise
+// the uncached internals directly, but benchmarks measuring cold cost use
+// this) call it between runs.
+func ResetStudyCache() { sharedStudyCache.reset() }
+
+// StudyCacheStats reports cumulative cache hits and misses since process
+// start or the last ResetStudyCache.
+func StudyCacheStats() (hits, misses int) { return sharedStudyCache.stats() }

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStudyCacheHitIsBitIdentical checks the memo against a fresh
+// uncached computation: serving from cache must be invisible to results.
+func TestStudyCacheHitIsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two studies")
+	}
+	ResetStudyCache()
+	opts := Options{Quick: true, Seed: 31}
+	cached, err := Study("Nexus 5", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Study("Nexus 5", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := StudyCacheStats(); h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d after two identical calls, want 1/1", h, m)
+	}
+	fresh, err := studyParallel("Nexus 5", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh.Perf {
+		if cached.Perf[i].Result.MeanScore() != fresh.Perf[i].Result.MeanScore() ||
+			again.Perf[i].Result.MeanScore() != fresh.Perf[i].Result.MeanScore() {
+			t.Errorf("unit %d: cached study differs from fresh computation", i)
+		}
+		if cached.Energy[i].Result.MeanEnergy() != fresh.Energy[i].Result.MeanEnergy() {
+			t.Errorf("unit %d: cached energy differs from fresh computation", i)
+		}
+	}
+}
+
+// TestStudyCacheKeyNormalization ensures zero-value Options share an
+// entry with their explicit equivalents, mirroring how the runners
+// normalize them.
+func TestStudyCacheKeyNormalization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("one study")
+	}
+	ResetStudyCache()
+	if _, err := Study("Nexus 5", Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Study("Nexus 5", Options{Quick: true, Seed: 1, Ambient: 26}); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := StudyCacheStats(); h != 1 || m != 1 {
+		t.Errorf("hits=%d misses=%d: normalized-equal options did not share an entry", h, m)
+	}
+}
+
+// TestStudyCacheDistinctOptionsMiss ensures genuinely different options
+// never collide.
+func TestStudyCacheDistinctOptionsMiss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two studies")
+	}
+	ResetStudyCache()
+	a, err := Study("Nexus 5", Options{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Study("Nexus 5", Options{Quick: true, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, m := StudyCacheStats(); m != 2 {
+		t.Errorf("misses=%d for two distinct seeds, want 2", m)
+	}
+	if a.Perf[0].Result.MeanScore() == b.Perf[0].Result.MeanScore() {
+		t.Error("different seeds returned identical scores — key collision?")
+	}
+}
+
+// TestStudyCacheConcurrentSingleFlight spins many goroutines at one key:
+// exactly one computation may run, everyone gets the same study.
+func TestStudyCacheConcurrentSingleFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("one study")
+	}
+	ResetStudyCache()
+	const callers = 8
+	var wg sync.WaitGroup
+	scores := make([]float64, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := Study("Nexus 5", Options{Quick: true, Seed: 11})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			scores[i] = st.Perf[0].Result.MeanScore()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if scores[i] != scores[0] {
+			t.Errorf("caller %d saw score %v, caller 0 saw %v", i, scores[i], scores[0])
+		}
+	}
+	if _, m := StudyCacheStats(); m != 1 {
+		t.Errorf("misses=%d for %d concurrent identical calls, want 1", m, callers)
+	}
+}
+
+// TestStudyCacheCallerCannotCorrupt mutates the returned slices and
+// re-reads the cache: the shallow copy must isolate the cached study.
+func TestStudyCacheCallerCannotCorrupt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("one study")
+	}
+	ResetStudyCache()
+	opts := Options{Quick: true, Seed: 13}
+	first, err := Study("Nexus 5", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(first.Perf)
+	first.Perf = first.Perf[:0]
+	first.Energy = append(first.Energy, DeviceOutcome{})
+	second, err := Study("Nexus 5", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.Perf) != want || len(second.Energy) != want {
+		t.Errorf("cached study corrupted by caller mutation: %d perf / %d energy outcomes, want %d",
+			len(second.Perf), len(second.Energy), want)
+	}
+}

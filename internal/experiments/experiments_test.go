@@ -292,11 +292,13 @@ func TestStudyDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two studies")
 	}
-	a, err := Study("Nexus 6", Options{Quick: true, Seed: 9})
+	// Call the uncached compute path directly: through the public Study
+	// the second call would be a cache hit and prove nothing.
+	a, err := studySerial("Nexus 6", Options{Quick: true, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Study("Nexus 6", Options{Quick: true, Seed: 9})
+	b, err := studySerial("Nexus 6", Options{Quick: true, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -84,8 +84,26 @@ func (s ModelStudy) FixedFreqPerfRSD() float64 {
 	return sum / float64(n)
 }
 
-// Study runs both ACCUBENCH modes over every unit of one model.
+// Study returns both ACCUBENCH modes run over every unit of one model.
+// Results are memoized per normalized Options (see cache.go): the first
+// call computes the study via the parallel runner, repeats are served
+// from the cache. Studies are deterministic pure functions of their
+// options, so the cached copy is the computed one.
 func Study(modelName string, o Options) (ModelStudy, error) {
+	return sharedStudyCache.get(modelName, o)
+}
+
+// StudyParallel is an alias of Study retained for its historical name;
+// both consult the shared cache and compute, on a miss, with one
+// goroutine per (unit, mode) bench.
+func StudyParallel(modelName string, o Options) (ModelStudy, error) {
+	return sharedStudyCache.get(modelName, o)
+}
+
+// studySerial is the uncached serial reference runner. The cache always
+// computes through studyParallel; this exists as the arbiter the
+// parallel-equivalence test compares against.
+func studySerial(modelName string, o Options) (ModelStudy, error) {
 	units, err := fleet.UnitsFor(modelName)
 	if err != nil {
 		return ModelStudy{}, err
@@ -225,11 +243,12 @@ func (s ModelStudy) BestWorstSignificant() bool {
 	return stats.SignificantlyDifferent(best, worst)
 }
 
-// StudyParallel runs the same study as Study with one goroutine per
-// (unit, mode) bench. Every bench owns its device, chamber and monitor and
-// is seeded independently, so the results are bit-identical to the serial
-// runner — asserted by tests — while the full fleet uses all cores.
-func StudyParallel(modelName string, o Options) (ModelStudy, error) {
+// studyParallel is the uncached compute path behind the study cache: one
+// goroutine per (unit, mode) bench. Every bench owns its device, chamber
+// and monitor and is seeded independently, so the results are
+// bit-identical to the serial runner — asserted by tests — while the full
+// fleet uses all cores.
+func studyParallel(modelName string, o Options) (ModelStudy, error) {
 	units, err := fleet.UnitsFor(modelName)
 	if err != nil {
 		return ModelStudy{}, err

@@ -65,6 +65,11 @@ func (r RBCPR) Voltage(corner silicon.ProcessCorner, f units.MegaHertz, t units.
 // ExposesBins reports false: CPR-era parts hide binning from userspace.
 func (r RBCPR) ExposesBins() bool { return false }
 
+// TempInvariant reports false: the CPR trim is a continuous function of die
+// temperature, so any cache of Voltage results must key on the exact
+// temperature — coarsening the key would alter resolved voltages.
+func (r RBCPR) TempInvariant() bool { return false }
+
 // vf is a catalog helper building a VoltagePoint list from (MHz, mV) pairs.
 func vf(pairs ...float64) []silicon.VoltagePoint {
 	if len(pairs)%2 != 0 {

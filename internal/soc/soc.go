@@ -121,6 +121,11 @@ func (s StaticTable) Voltage(corner silicon.ProcessCorner, f units.MegaHertz, _ 
 // ExposesBins reports true: the table is readable from kernel sources.
 func (s StaticTable) ExposesBins() bool { return true }
 
+// TempInvariant reports true: a static table resolves voltage from bin and
+// frequency alone, so callers may cache lookups without keying on die
+// temperature.
+func (s StaticTable) TempInvariant() bool { return true }
+
 // SoC is one chip generation.
 type SoC struct {
 	// Name is e.g. "SD-800".

@@ -1,0 +1,7 @@
+//go:build !race
+
+package testkit
+
+// RaceEnabled reports whether the binary was built with -race. See the
+// race-tagged twin for why alloc assertions consult it.
+const RaceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package testkit
+
+// RaceEnabled reports whether the binary was built with -race. The race
+// runtime instruments allocations, so exact-zero allocs/op assertions are
+// only meaningful without it; alloc-regression tests consult this to skip
+// the exact assertion under `make race`.
+const RaceEnabled = true

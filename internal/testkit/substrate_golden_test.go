@@ -1,0 +1,144 @@
+package testkit
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"time"
+
+	"accubench/internal/device"
+	"accubench/internal/monsoon"
+	"accubench/internal/silicon"
+	"accubench/internal/soc"
+)
+
+// Before/after equivalence goldens for the simulation substrate. The
+// device inner loop (thermal integration, voltage resolution, power
+// evaluation, trace recording) is performance-optimized over time —
+// precomputed integrator state, scratch reuse, memoized lookups — and
+// every one of those optimizations must be bit-identical to the naive
+// arithmetic. These goldens pin a fixed-seed five-minute device run:
+// the full CSV trace rendering is hashed (byte identity) and summarized
+// at full float precision (reviewability). They were generated from the
+// unoptimized reference implementation and are never regenerated as part
+// of an optimization change — a diff here means the optimization changed
+// the physics.
+
+// traceDigest is the golden projection of one device run: a SHA-256 over
+// the exact CSV bytes plus a human-reviewable per-series summary.
+type traceDigest struct {
+	Model    string         `json:"model"`
+	CSVSHA   string         `json:"csv_sha256"`
+	CSVBytes int            `json:"csv_bytes"`
+	Series   []seriesDigest `json:"series"`
+}
+
+type seriesDigest struct {
+	Name    string  `json:"name"`
+	Unit    string  `json:"unit"`
+	Samples int     `json:"samples"`
+	First   float64 `json:"first"`
+	Last    float64 `json:"last"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+}
+
+// runSubstrate drives one simulated handset for five minutes of 100 ms
+// control steps: four minutes under full load (throttling, hotplug, and
+// on the Pixel the RBCPR temperature-dependent voltage path) and one
+// minute idle (cpuidle core collapse, floor OPP). Everything derives
+// from the fixed seed, so the same binary always produces the same
+// bytes.
+func runSubstrate(t *testing.T, modelName string, seed int64) traceDigest {
+	t.Helper()
+	model, err := soc.ModelByName(modelName)
+	if err != nil {
+		t.Fatalf("testkit: %v", err)
+	}
+	// Leakiest representable bin: RBCPR-era parts expose a single bin.
+	bin := silicon.Bin(0)
+	if model.SoC.Bins > 2 {
+		bin = 2
+	}
+	mon := monsoon.New(model.Battery.Nominal)
+	dev, err := device.New(device.Config{
+		Name:    "golden-" + modelName,
+		Model:   model,
+		Corner:  silicon.ProcessCorner{Bin: bin, Leakage: 1.25},
+		Ambient: 26,
+		Seed:    seed,
+		Source:  mon.Supply(),
+	})
+	if err != nil {
+		t.Fatalf("testkit: building device: %v", err)
+	}
+	dev.AcquireWakelock()
+	dev.StartWorkload()
+	if err := dev.Run(4*time.Minute, 100*time.Millisecond); err != nil {
+		t.Fatalf("testkit: busy phase: %v", err)
+	}
+	dev.StopWorkload()
+	dev.ReleaseWakelock()
+	if err := dev.Run(time.Minute, 100*time.Millisecond); err != nil {
+		t.Fatalf("testkit: idle phase: %v", err)
+	}
+
+	var csv bytes.Buffer
+	if err := dev.Trace().WriteCSV(&csv); err != nil {
+		t.Fatalf("testkit: rendering CSV: %v", err)
+	}
+	sum := sha256.Sum256(csv.Bytes())
+	d := traceDigest{
+		Model:    modelName,
+		CSVSHA:   hex.EncodeToString(sum[:]),
+		CSVBytes: csv.Len(),
+	}
+	for _, name := range dev.Trace().Names() {
+		s, ok := dev.Trace().Lookup(name)
+		if !ok {
+			t.Fatalf("testkit: series %q vanished", name)
+		}
+		first := s.Samples()[0]
+		last, _ := s.Last()
+		d.Series = append(d.Series, seriesDigest{
+			Name:    s.Name(),
+			Unit:    s.Unit(),
+			Samples: s.Len(),
+			First:   first.Value,
+			Last:    last.Value,
+			Min:     s.Min(),
+			Max:     s.Max(),
+		})
+	}
+	return d
+}
+
+// TestGoldenSubstrateNexus5 pins the static-voltage-table generation:
+// Table-I lookups, msm_thermal frequency capping and the 80 °C core
+// hotplug all in play.
+func TestGoldenSubstrateNexus5(t *testing.T) {
+	GoldenJSON(t, "substrate_nexus5_5min", runSubstrate(t, "Nexus 5", 1234))
+}
+
+// TestGoldenSubstratePixel pins the RBCPR generation: the voltage is a
+// continuous function of die temperature (so any memoization that
+// coarsens the temperature key shows up here), plus the LITTLE cluster
+// path.
+func TestGoldenSubstratePixel(t *testing.T) {
+	GoldenJSON(t, "substrate_pixel_5min", runSubstrate(t, "Google Pixel", 1234))
+}
+
+// TestSubstrateRunTwiceIdentical complements the goldens platform-
+// independently: two identical runs in one process must agree byte for
+// byte, which catches optimization state leaking across device
+// instances (shared scratch buffers, stale memo entries) even on an
+// architecture whose floats differ from the golden's.
+func TestSubstrateRunTwiceIdentical(t *testing.T) {
+	a := runSubstrate(t, "Nexus 5", 77)
+	b := runSubstrate(t, "Nexus 5", 77)
+	if a.CSVSHA != b.CSVSHA || a.CSVBytes != b.CSVBytes {
+		t.Fatalf("same seed, different trace bytes: %s (%d B) vs %s (%d B)",
+			a.CSVSHA, a.CSVBytes, b.CSVSHA, b.CSVBytes)
+	}
+}

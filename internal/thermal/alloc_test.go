@@ -1,0 +1,78 @@
+package thermal_test
+
+import (
+	"testing"
+	"time"
+
+	"accubench/internal/testkit"
+	"accubench/internal/thermal"
+	"accubench/internal/units"
+)
+
+// TestNetworkStepZeroAllocs pins the integrator's steady-state allocation
+// count at exactly zero: after the first Step seals the topology, every
+// further Step must run entirely on the precomputed substep and the
+// reusable flow scratch. A regression here (a new per-step make, a
+// closure capture, an interface box) turns the innermost simulation
+// kernel back into a garbage factory, which is precisely what this PR's
+// optimization removed.
+func TestNetworkStepZeroAllocs(t *testing.T) {
+	if testkit.RaceEnabled {
+		t.Skip("race runtime instruments allocations; exact-zero assertion only holds without -race")
+	}
+	nw, die, _, err := thermal.PhoneBody{
+		DieCapacitance: 3, CaseCapacitance: 60,
+		DieToCase: 1.2, CaseToAmbient: 0.9,
+	}.Build(26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: the first Step seals (computes the substep, sizes the
+	// scratch); only the steady state is pinned.
+	nw.Inject(die, 5)
+	nw.Step(100 * time.Millisecond)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		nw.Inject(die, 5)
+		nw.Step(100 * time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Errorf("sealed Network.Step allocates %v objects per step, want 0", allocs)
+	}
+}
+
+// TestGridStepZeroAllocs pins the floorplan integrator the same way; its
+// topology is fixed at construction so no warm-up step is needed, but one
+// is taken anyway to mirror real use.
+func TestGridStepZeroAllocs(t *testing.T) {
+	if testkit.RaceEnabled {
+		t.Skip("race runtime instruments allocations; exact-zero assertion only holds without -race")
+	}
+	g, err := thermal.NewGrid(thermal.GridConfig{
+		W: 16, H: 16,
+		Body: thermal.PhoneBody{
+			DieCapacitance: 3, CaseCapacitance: 60,
+			DieToCase: 1.2, CaseToAmbient: 0.9,
+		},
+		LateralG: 0.5,
+		Ambient:  26,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inject := func() {
+		if err := g.Inject(0, 0, 8, 6, units.Watts(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inject()
+	g.Step(100 * time.Millisecond)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		inject()
+		g.Step(100 * time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Errorf("Grid.Step allocates %v objects per step, want 0", allocs)
+	}
+}

@@ -1,0 +1,258 @@
+package thermal
+
+import (
+	"testing"
+	"time"
+
+	"accubench/internal/units"
+)
+
+// refNetwork is a frozen copy of the pre-optimization integrator: the
+// generic per-substep link loop with per-call allocations and no fast
+// path. The optimized Network must match it bit for bit — not "close",
+// identical — because the repository's goldens (experiments, accubench,
+// crowd, testkit substrate) were all recorded through this arithmetic.
+type refNetwork struct {
+	temps   []units.Celsius
+	caps    []float64
+	links   []link
+	ambient units.Celsius
+	inject  []units.Watts
+}
+
+func newRef(nw *Network) *refNetwork {
+	r := &refNetwork{ambient: nw.ambient}
+	for _, n := range nw.nodes {
+		r.temps = append(r.temps, n.temperature)
+		r.caps = append(r.caps, n.Capacitance)
+	}
+	r.links = append(r.links, nw.links...)
+	r.inject = make([]units.Watts, len(r.temps))
+	return r
+}
+
+func (r *refNetwork) maxStableStep() time.Duration {
+	worst := 0.0
+	totalG := make([]float64, len(r.temps))
+	for _, l := range r.links {
+		totalG[l.a] += l.conductance
+		if l.b != ambientIndex {
+			totalG[l.b] += l.conductance
+		}
+	}
+	for i, c := range r.caps {
+		if totalG[i] == 0 {
+			continue
+		}
+		if rate := totalG[i] / c; rate > worst {
+			worst = rate
+		}
+	}
+	if worst == 0 {
+		return time.Hour
+	}
+	return time.Duration(0.5 / worst * float64(time.Second))
+}
+
+func (r *refNetwork) step(dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	sub := r.maxStableStep()
+	remaining := dt
+	for remaining > 0 {
+		h := sub
+		if remaining < h {
+			h = remaining
+		}
+		sec := h.Seconds()
+		flows := make([]float64, len(r.temps))
+		for i, p := range r.inject {
+			flows[i] += float64(p)
+		}
+		for _, l := range r.links {
+			ta := float64(r.temps[l.a])
+			var tb float64
+			if l.b == ambientIndex {
+				tb = float64(r.ambient)
+			} else {
+				tb = float64(r.temps[l.b])
+			}
+			q := l.conductance * (ta - tb)
+			flows[l.a] -= q
+			if l.b != ambientIndex {
+				flows[l.b] += q
+			}
+		}
+		for i := range r.temps {
+			r.temps[i] += units.Celsius(flows[i] * sec / r.caps[i])
+		}
+		remaining -= h
+	}
+	for i := range r.inject {
+		r.inject[i] = 0
+	}
+}
+
+// TestTwoNodeFastPathBitIdentical drives the optimized PhoneBody network
+// and the reference integrator through an aggressive heat/cool schedule
+// and demands exact float equality at every control step.
+func TestTwoNodeFastPathBitIdentical(t *testing.T) {
+	nw, die, cs, err := body().Build(26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRef(nw)
+	if !func() bool { nw.Seal(); return nw.twoNode }() {
+		t.Fatal("PhoneBody network did not take the two-node fast path")
+	}
+	power := []units.Watts{0, 7, 7, 3.2, 12, 0.25, 5, 0}
+	for i := 0; i < 4000; i++ {
+		p := power[i%len(power)]
+		if err := nw.Inject(die, p); err != nil {
+			t.Fatal(err)
+		}
+		ref.inject[die] += p
+		if i%500 == 0 { // ambient moves like a regulated chamber
+			amb := units.Celsius(26 + float64(i%3))
+			nw.SetAmbient(amb)
+			ref.ambient = amb
+		}
+		nw.Step(100 * time.Millisecond)
+		ref.step(100 * time.Millisecond)
+		gotDie, _ := nw.Temperature(die)
+		gotCase, _ := nw.Temperature(cs)
+		if gotDie != ref.temps[die] || gotCase != ref.temps[cs] {
+			t.Fatalf("step %d: fast path diverged: die %v vs %v, case %v vs %v",
+				i, gotDie, ref.temps[die], gotCase, ref.temps[cs])
+		}
+	}
+}
+
+// TestGenericPathBitIdentical covers the sealed generic loop (scratch
+// reuse, precomputed substep) on a topology the fast path rejects: a
+// three-node die→spreader→case chain.
+func TestGenericPathBitIdentical(t *testing.T) {
+	nw := NewNetwork(25)
+	die, _ := nw.AddNode("die", 2.5, 25)
+	spr, _ := nw.AddNode("spreader", 9, 25)
+	cs, _ := nw.AddNode("case", 70, 25)
+	if err := nw.Connect(die, spr, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Connect(spr, cs, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.ConnectAmbient(cs, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	ref := newRef(nw)
+	nw.Seal()
+	if nw.twoNode {
+		t.Fatal("three-node chain took the two-node fast path")
+	}
+	for i := 0; i < 2000; i++ {
+		p := units.Watts(float64(i%11) * 0.9)
+		nw.Inject(die, p)
+		ref.inject[die] += p
+		nw.Step(100 * time.Millisecond)
+		ref.step(100 * time.Millisecond)
+		for n := 0; n < 3; n++ {
+			got, _ := nw.Temperature(n)
+			if got != ref.temps[n] {
+				t.Fatalf("step %d node %d: %v vs reference %v", i, n, got, ref.temps[n])
+			}
+		}
+	}
+}
+
+// TestInjectRetainedAcrossNoopStep pins the accumulation contract: a
+// non-positive Step consumes nothing, so injected power survives it and
+// the next positive step integrates exactly what a direct step would
+// have.
+func TestInjectRetainedAcrossNoopStep(t *testing.T) {
+	build := func() (*Network, int) {
+		nw, die, _, err := body().Build(26)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw, die
+	}
+	direct, die := build()
+	direct.Inject(die, 6)
+	direct.Step(100 * time.Millisecond)
+
+	held, die2 := build()
+	held.Inject(die2, 6)
+	held.Step(0)
+	held.Step(-time.Second)
+	heldT, _ := held.Temperature(die2)
+	if heldT != 26 {
+		t.Fatalf("no-op step moved the die to %v", heldT)
+	}
+	held.Step(100 * time.Millisecond)
+
+	directT, _ := direct.Temperature(die)
+	heldT, _ = held.Temperature(die2)
+	if directT != heldT {
+		t.Errorf("power injected before a no-op step integrated to %v, direct step gives %v", heldT, directT)
+	}
+	if heldT <= 26 {
+		t.Errorf("retained power was dropped: die still at %v", heldT)
+	}
+
+	// And it is consumed exactly once: a further step with no injection
+	// must match a control network stepped the same way.
+	control, die3 := build()
+	control.Inject(die3, 6)
+	control.Step(100 * time.Millisecond)
+	control.Step(100 * time.Millisecond)
+	held.Step(100 * time.Millisecond)
+	controlT, _ := control.Temperature(die3)
+	heldT, _ = held.Temperature(die2)
+	if controlT != heldT {
+		t.Errorf("retained power double-consumed: %v vs control %v", heldT, controlT)
+	}
+}
+
+// TestTopologyEditUnseals ensures precomputed state never goes stale: a
+// node or link added after the network has stepped must be reflected in
+// the next step and in MaxStableStep.
+func TestTopologyEditUnseals(t *testing.T) {
+	nw, die, cs, err := body().Build(26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Inject(die, 4)
+	nw.Step(100 * time.Millisecond)
+	before := nw.MaxStableStep()
+
+	// Bolt a tightly coupled heat spreader onto the die.
+	spr, err := nw.AddNode("spreader", 0.5, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Connect(die, spr, 5); err != nil {
+		t.Fatal(err)
+	}
+	after := nw.MaxStableStep()
+	if after >= before {
+		t.Errorf("stable step %v did not shrink after adding a stiff link (was %v)", after, before)
+	}
+	// The next step must integrate the new node without stale-scratch
+	// panics and keep the integration stable.
+	nw.Inject(die, 4)
+	nw.Step(100 * time.Millisecond)
+	sprT, err := nw.Temperature(spr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sprT <= 26 || sprT > 100 {
+		t.Errorf("spreader at %v after a heated step — new node not integrated", sprT)
+	}
+	dieT, _ := nw.Temperature(die)
+	caseT, _ := nw.Temperature(cs)
+	if dieT <= caseT {
+		t.Errorf("die %v not above case %v under load", dieT, caseT)
+	}
+}

@@ -37,6 +37,12 @@ type Grid struct {
 	ambient  units.Celsius
 
 	inject []float64 // W per cell, consumed by Step
+
+	// Unlike Network, a Grid's topology is fixed at construction, so the
+	// stable substep and the per-substep flow scratch are computed once in
+	// NewGrid rather than behind a seal flag.
+	sub   time.Duration
+	flows []float64
 }
 
 // GridConfig sizes a Grid to aggregate to a lumped PhoneBody: the cell
@@ -80,10 +86,12 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 		caseG:     cfg.Body.CaseToAmbient,
 		ambient:   cfg.Ambient,
 		inject:    make([]float64, n),
+		flows:     make([]float64, n),
 	}
 	for i := range g.cells {
 		g.cells[i] = cfg.Ambient
 	}
+	g.sub = g.maxStable()
 	return g, nil
 }
 
@@ -141,7 +149,7 @@ func (g *Grid) Step(dt time.Duration) {
 	if dt <= 0 {
 		return
 	}
-	sub := g.maxStable()
+	sub := g.sub
 	for remaining := dt; remaining > 0; {
 		h := sub
 		if remaining < h {
@@ -157,7 +165,10 @@ func (g *Grid) Step(dt time.Duration) {
 
 func (g *Grid) step(dt time.Duration) {
 	sec := dt.Seconds()
-	flows := make([]float64, len(g.cells))
+	flows := g.flows
+	for i := range flows {
+		flows[i] = 0
+	}
 	var toCase float64
 	for y := 0; y < g.h; y++ {
 		for x := 0; x < g.w; x++ {

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAppendChunkedGrowth pins the storage-growth policy: capacity jumps
+// straight to the chunk floor and doubles from there, so a long 10 Hz run
+// reallocates only a handful of times instead of following the runtime's
+// default append schedule.
+func TestAppendChunkedGrowth(t *testing.T) {
+	s := NewSeries("x", "u")
+	grows := 0
+	lastCap := cap(s.samples)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		s.Append(time.Duration(i)*time.Millisecond, float64(i))
+		if c := cap(s.samples); c != lastCap {
+			grows++
+			lastCap = c
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	if cap(s.samples) < appendChunk {
+		t.Errorf("capacity %d below chunk floor %d", cap(s.samples), appendChunk)
+	}
+	// 1024 → 2048 → 4096 → 8192 → 16384: five growths for 10k samples.
+	if grows > 5 {
+		t.Errorf("%d samples took %d regrowths, want ≤ 5", n, grows)
+	}
+	// Integrity across regrowth copies.
+	for i, smp := range s.Samples() {
+		if smp.Value != float64(i) {
+			t.Fatalf("sample %d = %v after regrowth", i, smp.Value)
+		}
+	}
+}

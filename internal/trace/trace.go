@@ -41,10 +41,27 @@ func (s *Series) Name() string { return s.name }
 // Unit returns the unit label.
 func (s *Series) Unit() string { return s.unit }
 
+// appendChunk is the minimum capacity Append grows a series to. A 10 Hz
+// simulation trace accumulates thousands of samples per series; growing in
+// large doubling chunks instead of the runtime's default schedule keeps
+// regrowth copies rare enough that the simulation inner loop is
+// allocation-free in the amortized sense (at most one growth per 1024+
+// appends).
+const appendChunk = 1024
+
 // Append records a sample. It panics if at precedes the last recorded time.
 func (s *Series) Append(at time.Duration, v float64) {
 	if n := len(s.samples); n > 0 && at < s.samples[n-1].At {
 		panic(fmt.Sprintf("trace: out-of-order sample at %v after %v in %q", at, s.samples[n-1].At, s.name))
+	}
+	if len(s.samples) == cap(s.samples) {
+		next := 2 * cap(s.samples)
+		if next < appendChunk {
+			next = appendChunk
+		}
+		grown := make([]Sample, len(s.samples), next)
+		copy(grown, s.samples)
+		s.samples = grown
 	}
 	s.samples = append(s.samples, Sample{At: at, Value: v})
 }

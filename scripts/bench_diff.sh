@@ -1,0 +1,60 @@
+#!/bin/sh
+# bench_diff.sh — re-run the headline benchmarks and fail if any
+# regresses more than $BENCH_TOLERANCE_PCT (default 10) percent in
+# ns/op against the committed baseline (BENCH_5.json, or $1). A new
+# benchmark missing from the baseline is reported but not fatal;
+# a baseline benchmark missing from the current run is fatal.
+set -eu
+cd "$(dirname "$0")/.."
+
+base=${1:-BENCH_5.json}
+tol=${BENCH_TOLERANCE_PCT:-10}
+
+if [ ! -f "$base" ]; then
+    echo "bench_diff: no baseline $base — run 'make bench' and commit it" >&2
+    exit 1
+fi
+
+cur=$(mktemp)
+trap 'rm -f "$cur"' EXIT
+BENCH_OUT=$cur sh scripts/bench_run.sh >/dev/null
+
+awk -v tol="$tol" '
+function grab(line, key,    v) {
+    if (match(line, "\"" key "\": [0-9.eE+-]+")) {
+        v = substr(line, RSTART, RLENGTH)
+        sub(".*: ", "", v)
+        return v
+    }
+    return ""
+}
+{
+    if (match($0, /"name": "[^"]*"/)) {
+        name = substr($0, RSTART + 9, RLENGTH - 10)
+        if (FNR == NR) base[name] = grab($0, "ns_per_op")
+        else           cur[name]  = grab($0, "ns_per_op")
+    }
+}
+END {
+    fail = 0
+    for (n in base) {
+        if (!(n in cur)) {
+            printf "bench_diff: %s in baseline but not in current run\n", n
+            fail = 1
+            continue
+        }
+        pct = (cur[n] / base[n] - 1) * 100
+        if (pct > tol) {
+            printf "bench_diff: %s regressed: %.6g ns/op vs baseline %.6g (%+.1f%% > %s%% tolerance)\n", \
+                n, cur[n], base[n], pct, tol
+            fail = 1
+        } else {
+            printf "bench_diff: %s ok: %.6g ns/op vs baseline %.6g (%+.1f%%)\n", \
+                n, cur[n], base[n], pct
+        }
+    }
+    for (n in cur) if (!(n in base)) \
+        printf "bench_diff: %s is new (no baseline entry)\n", n
+    exit fail
+}
+' "$base" "$cur"

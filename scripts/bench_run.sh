@@ -1,0 +1,52 @@
+#!/bin/sh
+# bench_run.sh — run the headline hot-path benchmarks and record the
+# numbers as BENCH_5.json (or $BENCH_OUT). The raw `go test -bench`
+# output goes to stdout in benchstat-comparable form; pipe it to a file
+# and feed two such files to benchstat for a before/after comparison.
+# `make bench` wires this in.
+#
+#   BENCH_OUT    destination JSON (default BENCH_5.json)
+#   BENCH_COUNT  -count passed to go test (default 1; with >1 the JSON
+#                records the last run of each benchmark)
+#   BENCH_TIME   -benchtime (default 100000x: enough iterations for
+#                stable numbers while bounding the trace memory the
+#                device benchmark accumulates)
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${BENCH_OUT:-BENCH_5.json}
+count=${BENCH_COUNT:-1}
+benchtime=${BENCH_TIME:-100000x}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' \
+    -bench '^(BenchmarkDeviceStep|BenchmarkThermalStep|BenchmarkTableII)$' \
+    -benchmem -count "$count" -benchtime "$benchtime" . | tee "$tmp"
+
+# One JSON line per benchmark so bench_diff.sh can parse it with awk —
+# no jq in the toolchain.
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns[name] = $(i - 1)
+        if ($i == "allocs/op") al[name] = $(i - 1)
+    }
+}
+END {
+    if (n == 0) { print "bench_run: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, ns[name], al[name], (i < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+}
+' "$tmp" >"$out"
+
+echo "bench_run: wrote $out"
