@@ -8,7 +8,7 @@ FUZZTIME ?= 5s
 # Minimum acceptable total statement coverage, in percent.
 COVER_FLOOR ?= 75
 
-.PHONY: build test vet race fuzz-smoke cover godoc-check links-check bench bench-diff bench-smoke ci demo profile
+.PHONY: build test vet race race-repl fuzz-smoke cover godoc-check links-check bench bench-diff bench-smoke ci demo cluster-demo profile
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# race-repl re-runs the replication stack uncached under the race
+# detector: the clock, the replicator's shippers and anti-entropy loop,
+# and the multi-node cluster e2e — the most concurrency-dense code in
+# the tree gets a fresh pass every ci run.
+race-repl:
+	$(GO) test -race -count=1 ./internal/hlc ./internal/replication
+	$(GO) test -race -count=1 -run '^TestCluster' ./internal/server
+
 # fuzz-smoke runs each fuzz target briefly — enough to catch regressions
 # on the corpus plus a short random walk. -run '^$' skips the unit tests
 # around them.
@@ -31,6 +39,7 @@ fuzz-smoke:
 	$(GO) test ./internal/soc -run '^$$' -fuzz '^FuzzModelCodec$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ingest -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzWALRecordDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/hlc -run '^$$' -fuzz '^FuzzCodec$$' -fuzztime $(FUZZTIME)
 
 # cover prints the per-package function coverage report and enforces the
 # total floor.
@@ -76,7 +85,7 @@ bench-smoke:
 # ci is the full gate: vet, tier-1 build+test, the race pass over the
 # whole tree, the fuzz smoke, the bench smoke, then the documentation
 # checks.
-ci: vet build test race fuzz-smoke bench-smoke godoc-check links-check
+ci: vet build test race race-repl fuzz-smoke bench-smoke godoc-check links-check
 
 # demo starts crowdd, fires a 200-device load at it, prints the bins and
 # shuts the server down.
@@ -90,6 +99,12 @@ demo: build
 	STATUS=$$?; \
 	kill -INT $$CROWDD_PID; wait $$CROWDD_PID; \
 	exit $$STATUS
+
+# cluster-demo boots a 3-node replicated cluster, sprays a fleet across
+# it, SIGKILLs one node mid-run and requires the survivors to converge
+# with zero acknowledged-submission loss (docs/CLUSTER.md).
+cluster-demo:
+	sh scripts/cluster_demo.sh
 
 # profile captures a CPU profile of crowdd while crowdload drives it and
 # prints the hottest functions. Self-contained: `go tool pprof` fetches

@@ -16,9 +16,17 @@
 // serving. A graceful SIGTERM drains the ingest pipeline, flushes the
 // log and cuts a final snapshot, so the next boot replays nothing.
 //
+// With -node-id and -peers the process joins a replicated, sharded
+// cluster (docs/CLUSTER.md): submissions are HLC-stamped, routed to
+// their model's shard primary, acknowledged only after a durable local
+// commit plus one replica acknowledgement, and kept converged by a
+// periodic anti-entropy digest exchange; -max-staleness bounds how old
+// a served bins entry may be.
+//
 // Endpoints: POST /v1/submissions, GET /v1/bins, GET /v1/devices/{id},
 // GET /healthz, GET /metrics (Prometheus text format; docs/METRICS.md
-// is the reference for every series).
+// is the reference for every series). Cluster nodes add
+// POST+GET /v1/replicate and GET /v1/digest for their peers.
 //
 // Observability: -trace emits one JSON span sequence per submission
 // (decode→filter→wal_append→store, correlated by trace ID) to stdout,
@@ -38,6 +46,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -81,6 +90,16 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 		segmentBytes  = fs.Int64("segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation threshold, bytes")
 		traceSpans    = fs.Bool("trace", false, "emit one JSON span per pipeline stage per submission to stdout")
 		debugAddr     = fs.String("debug-addr", "", "serve net/http/pprof under /debug/pprof on this address; empty disables")
+
+		// Cluster mode (docs/CLUSTER.md): set -node-id and -peers to run
+		// this process as one member of a replicated, sharded cluster.
+		nodeID       = fs.String("node-id", "", "cluster node ID; empty runs standalone")
+		peers        = fs.String("peers", "", "comma-separated id=url peer list, e.g. n2=http://127.0.0.1:8078,n3=http://127.0.0.1:8079")
+		replicas     = fs.Int("replicas", 0, "replica-set size per model, primary included; 0 replicates everywhere")
+		maxStaleness = fs.Duration("max-staleness", 0, "bound on how old a served GET /v1/bins entry may be; 0 disables")
+		routeMode    = fs.String("route-mode", server.RouteProxy, "non-primary submission handling: proxy or redirect")
+		reconcile    = fs.Duration("reconcile-interval", time.Second, "anti-entropy digest-exchange cadence")
+		ackTimeout   = fs.Duration("ack-timeout", 3*time.Second, "how long a submission waits for one replica acknowledgement")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,6 +130,26 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 	}
 	if *traceSpans {
 		scfg.TraceWriter = stdout
+	}
+	if *nodeID != "" {
+		peerMap, err := parsePeers(*peers)
+		if err != nil {
+			return err
+		}
+		if *routeMode != server.RouteProxy && *routeMode != server.RouteRedirect {
+			return fmt.Errorf("-route-mode must be %q or %q", server.RouteProxy, server.RouteRedirect)
+		}
+		scfg.Cluster = &server.ClusterConfig{
+			NodeID:            *nodeID,
+			Peers:             peerMap,
+			Replicas:          *replicas,
+			RouteMode:         *routeMode,
+			AckTimeout:        *ackTimeout,
+			ReconcileInterval: *reconcile,
+			MaxStaleness:      *maxStaleness,
+		}
+	} else if *peers != "" {
+		return fmt.Errorf("-peers needs -node-id")
 	}
 	srv, err := server.New(scfg)
 	if err != nil {
@@ -152,6 +191,10 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 	}
 	fmt.Fprintf(stdout, "crowdd: listening on %s (%d shards, %d workers/stage, queue %d, window [%v, %v])\n",
 		ln.Addr(), *shards, *workers, *queue, policy.AcceptLo, policy.AcceptHi)
+	if scfg.Cluster != nil {
+		fmt.Fprintf(stdout, "crowdd: cluster node %s with %d peers (%s routing, reconcile every %v, bins staleness bound %v)\n",
+			scfg.Cluster.NodeID, len(scfg.Cluster.Peers), scfg.Cluster.RouteMode, *reconcile, *maxStaleness)
+	}
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
@@ -184,4 +227,23 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 			pc.Log.Appends, pc.Log.Fsyncs, pc.Log.Bytes, pc.Log.Segments, pc.LastSnapshotSeq)
 	}
 	return nil
+}
+
+// parsePeers parses the -peers flag: comma-separated id=url pairs.
+func parsePeers(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	if s == "" {
+		return out, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		id, u, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || id == "" || u == "" {
+			return nil, fmt.Errorf("malformed -peers entry %q, want id=url", pair)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("duplicate peer ID %q in -peers", id)
+		}
+		out[id] = strings.TrimRight(u, "/")
+	}
+	return out, nil
 }

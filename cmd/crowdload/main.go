@@ -7,6 +7,12 @@
 //
 //	crowdd -addr :8077 &
 //	crowdload -addr http://127.0.0.1:8077 -devices 200
+//
+// Against a cluster (docs/CLUSTER.md), -peers lists the other nodes:
+// uploads are sprayed across all of them, and after the run the tool
+// verifies the cluster-level contract — converged digests, every
+// acknowledged submission present on every live node, bit-identical
+// bins — exiting non-zero on any miss, even if a node died mid-run.
 package main
 
 import (
@@ -16,7 +22,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
+	"reflect"
 	"strconv"
 	"strings"
 	"sync"
@@ -55,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sigma       = fs.Float64("sigma", 0.55, "population leakage log-normal sigma")
 		binNoise    = fs.Float64("bin-noise", 0.35, "fab binning-measurement noise")
 		retries     = fs.Int("retries", 50, "max retries per upload on backpressure")
+		peersFlag   = fs.String("peers", "", "comma-separated additional crowdd base URLs; uploads are sprayed across -addr plus these, and after the run every acknowledged submission is verified present on every node with bit-identical bins")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +80,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	model, err := soc.ModelByName(*modelName)
 	if err != nil {
 		return err
+	}
+	nodes := []string{strings.TrimRight(*addr, "/")}
+	if *peersFlag != "" {
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+				nodes = append(nodes, p)
+			}
+		}
 	}
 
 	// Draw the population: one silicon-lottery draw per device, one wild
@@ -91,30 +108,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	fmt.Fprintf(stdout, "crowdload: %d %s devices → %s (%d workers)\n", *devices, model.Name, *addr, *concurrency)
+	if len(nodes) == 1 {
+		fmt.Fprintf(stdout, "crowdload: %d %s devices → %s (%d workers)\n", *devices, model.Name, *addr, *concurrency)
+	} else {
+		fmt.Fprintf(stdout, "crowdload: %d %s devices sprayed across %d nodes (%d workers)\n", *devices, model.Name, len(nodes), *concurrency)
+	}
 	transport := http.DefaultTransport.(*http.Transport).Clone()
 	// The default transport keeps only 2 idle conns per host; with more
 	// workers than that, every third POST would pay a fresh TCP handshake.
 	transport.MaxIdleConnsPerHost = *concurrency
 	client := &http.Client{Timeout: 30 * time.Second, Transport: transport}
 
-	// Snapshot the counters first: the server may already hold records, so
+	// Snapshot the counters first: the servers may already hold records, so
 	// every accounting figure below is a delta against this baseline.
-	base, err := fetchMetrics(client, *addr)
+	base, err := fetchClusterMetrics(client, nodes)
 	if err != nil {
 		return err
 	}
 
 	var sent, retried, failed atomic.Uint64
 	var simNanos, postNanos atomic.Int64
+	var ackedMu sync.Mutex
+	var acked []string // device IDs whose upload was acknowledged
 	start := time.Now()
 	var wg sync.WaitGroup
-	work := make(chan crowd.WildDevice)
+	type job struct {
+		dev  crowd.WildDevice
+		node string
+	}
+	work := make(chan job)
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for dev := range work {
+			for j := range work {
+				dev := j.dev
 				t0 := time.Now()
 				sub, err := dev.Benchmark()
 				if err != nil {
@@ -130,18 +158,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 				}
 				t1 := time.Now()
 				simNanos.Add(t1.Sub(t0).Nanoseconds())
-				if err := upload(client, *addr, raw, *retries, &retried); err != nil {
+				err = upload(client, j.node, raw, *retries, &retried)
+				if err != nil && len(nodes) > 1 {
+					// A node dying mid-run must not lose the device: fail
+					// over to the other nodes before giving up.
+					for _, alt := range nodes {
+						if alt == j.node {
+							continue
+						}
+						if err = upload(client, alt, raw, *retries, &retried); err == nil {
+							break
+						}
+					}
+				}
+				if err != nil {
 					fmt.Fprintf(stderr, "crowdload: %s: %v\n", dev.Unit.Name, err)
 					failed.Add(1)
 					continue
 				}
 				postNanos.Add(time.Since(t1).Nanoseconds())
 				sent.Add(1)
+				ackedMu.Lock()
+				acked = append(acked, sub.Device)
+				ackedMu.Unlock()
 			}
 		}()
 	}
-	for _, dev := range wild {
-		work <- dev
+	for i, dev := range wild {
+		work <- job{dev: dev, node: nodes[i%len(nodes)]}
 	}
 	close(work)
 	wg.Wait()
@@ -151,52 +195,259 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%d submissions failed", failed.Load())
 	}
 
-	// Wait for the server to drain: stored must reach sent.
-	var metrics map[string]uint64
-	settled := func(name string) uint64 { return metrics[name] - base[name] }
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		metrics, err = fetchMetrics(client, *addr)
-		if err != nil {
-			return err
-		}
-		if settled("crowdd_stored_total")+settled("crowdd_decode_errors_total")+settled("crowdd_aborted_total") >= sent.Load() {
-			break
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("server did not drain: metrics %v after %d sent", metrics, sent.Load())
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-
-	stored := settled("crowdd_stored_total")
-	accepted := settled("crowdd_accepted_total")
-	dropped := int64(sent.Load()) - int64(stored)
 	fmt.Fprintf(stdout, "\nuploaded %d submissions in %v (%.1f sub/s end to end, %d backpressure retries)\n",
 		sent.Load(), elapsed.Round(time.Millisecond), float64(sent.Load())/elapsed.Seconds(), retried.Load())
 	fmt.Fprintf(stdout, "device-sim time %v total, post time %v total across %d workers\n",
 		time.Duration(simNanos.Load()).Round(time.Millisecond),
 		time.Duration(postNanos.Load()).Round(time.Millisecond), *concurrency)
-	fmt.Fprintf(stdout, "server stored %d (accepted %d, rejected %d) — %.1f%% acceptance, %d dropped\n",
+
+	// settled sums a counter's delta across every node still answering
+	// /metrics. In cluster mode a dead node's local-ingest counts drop out
+	// of the sum; the convergence check below is what proves nothing was
+	// lost.
+	var metrics []map[string]uint64
+	settled := func(name string) uint64 {
+		var sum uint64
+		for i, m := range metrics {
+			if m != nil {
+				sum += m[name] - base[i][name]
+			}
+		}
+		return sum
+	}
+	var binsNode string
+	if len(nodes) == 1 {
+		// Standalone: wait for the server to drain — stored must reach
+		// sent, and any shortfall is a dropped submission, a hard failure.
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if metrics, err = fetchClusterMetrics(client, nodes); err != nil {
+				return err
+			}
+			if settled("crowdd_stored_total")+settled("crowdd_decode_errors_total")+settled("crowdd_aborted_total") >= sent.Load() {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("server did not drain: %d stored of %d sent", settled("crowdd_stored_total"), sent.Load())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		binsNode = nodes[0]
+	} else {
+		// Cluster: a 202 already implied a durable local commit plus one
+		// replica acknowledgement, so there is nothing left in flight once
+		// every upload is acknowledged. Verify the cluster-level contract
+		// instead: converged digests, every acknowledged submission present
+		// on every live node, bit-identical bins.
+		live, err := verifyCluster(client, stdout, nodes, model.Name, acked)
+		if err != nil {
+			return err
+		}
+		if metrics, err = fetchClusterMetrics(client, nodes); err != nil {
+			return err
+		}
+		binsNode = live[0]
+	}
+
+	stored := settled("crowdd_stored_total")
+	accepted := settled("crowdd_accepted_total")
+	fmt.Fprintf(stdout, "servers stored %d (accepted %d, rejected %d) — %.1f%% acceptance\n",
 		stored, accepted, settled("crowdd_rejected_total"),
-		100*float64(accepted)/float64(stored), dropped)
-	if _, ok := metrics["crowdd_wal_appends_total"]; ok {
-		fmt.Fprintf(stdout, "server persistence: wal appended %d this run (%d fsyncs, %d bytes, %d segments live), last snapshot seq %d\n",
+		100*float64(accepted)/float64(stored))
+	if first := metrics[0]; first != nil && first["crowdd_wal_segments"] > 0 {
+		fmt.Fprintf(stdout, "server persistence: wal appended %d this run (%d fsyncs, %d bytes), node 0 last snapshot seq %d\n",
 			settled("crowdd_wal_appended_total"), settled("crowdd_wal_fsyncs_total"),
-			settled("crowdd_wal_bytes_total"), metrics["crowdd_wal_segments"],
-			metrics["crowdd_wal_last_snapshot_seq"])
+			settled("crowdd_wal_bytes_total"), first["crowdd_wal_last_snapshot_seq"])
 	} else {
 		fmt.Fprintln(stdout, "server persistence: disabled (in-memory store)")
 	}
 
-	if err := printBins(client, stdout, *addr, model.Name, int(accepted)); err != nil {
+	if err := printBins(client, stdout, binsNode, model.Name, int(accepted)); err != nil {
 		return err
 	}
-	if dropped > 0 {
-		return fmt.Errorf("%d submissions dropped", dropped)
+	if len(nodes) == 1 {
+		if dropped := int64(sent.Load()) - int64(stored); dropped > 0 {
+			return fmt.Errorf("%d submissions dropped", dropped)
+		}
 	}
 	fmt.Fprintln(stdout, "zero dropped submissions ✓")
 	return nil
+}
+
+// verifyCluster is the cluster-mode acceptance gate: every node that is
+// still alive must converge to the same per-model digests, hold every
+// acknowledged submission, and serve bit-identical bins. Any
+// acknowledged upload missing anywhere is a replication bug and fails
+// the run. Returns the live node set.
+func verifyCluster(client *http.Client, stdout io.Writer, nodes []string, model string, acked []string) ([]string, error) {
+	live, err := waitDigestsConverge(client, nodes, 60*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if len(live) < 1 {
+		return nil, fmt.Errorf("no live nodes to verify against")
+	}
+	fmt.Fprintf(stdout, "cluster converged: %d/%d nodes agree on digests\n", len(live), len(nodes))
+
+	missing := 0
+	for _, dev := range acked {
+		for _, node := range live {
+			resp, err := client.Get(node + "/v1/devices/" + dev)
+			if err != nil {
+				return nil, fmt.Errorf("checking %s on %s: %w", dev, node, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fmt.Fprintf(stdout, "MISSING: acknowledged submission %s absent from %s (HTTP %d)\n", dev, node, resp.StatusCode)
+				missing++
+			}
+		}
+	}
+	if missing > 0 {
+		return nil, fmt.Errorf("%d acknowledged submissions missing from converged nodes", missing)
+	}
+	fmt.Fprintf(stdout, "all %d acknowledged submissions present on every live node ✓\n", len(acked))
+
+	if err := waitBinsIdentical(client, live, model, 30*time.Second); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stdout, "bins bit-identical across %d nodes ✓\n", len(live))
+	return live, nil
+}
+
+// waitDigestsConverge polls every node's /v1/digest until all reachable
+// nodes report the same map, returning the reachable set. Nodes that
+// stay unreachable for the whole window are treated as dead and
+// excluded; at least one node must answer.
+func waitDigestsConverge(client *http.Client, nodes []string, window time.Duration) ([]string, error) {
+	type digest struct {
+		Records int    `json:"records"`
+		Digest  uint64 `json:"digest"`
+		MaxWall int64  `json:"max_hlc_wall"`
+	}
+	deadline := time.Now().Add(window)
+	for {
+		var live []string
+		var digests []map[string]digest
+		for _, node := range nodes {
+			resp, err := client.Get(node + "/v1/digest")
+			if err != nil {
+				continue // dead node: the survivors must still converge
+			}
+			var d map[string]digest
+			err = json.NewDecoder(resp.Body).Decode(&d)
+			resp.Body.Close()
+			if err != nil {
+				continue
+			}
+			live = append(live, node)
+			digests = append(digests, d)
+		}
+		converged := len(live) > 0
+		for i := 1; i < len(digests); i++ {
+			if !reflect.DeepEqual(digests[0], digests[i]) {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return live, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("digests did not converge across %d live nodes within %v", len(live), window)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// waitBinsIdentical polls every node's bins for the model until all
+// report the same population, centroids and sizes — bit-identical
+// binning, the replicated read contract.
+func waitBinsIdentical(client *http.Client, nodes []string, model string, window time.Duration) error {
+	type bins struct {
+		Submissions int       `json:"submissions"`
+		Accepted    int       `json:"accepted"`
+		BinCount    int       `json:"bin_count"`
+		Centroids   []float64 `json:"centroids"`
+		Sizes       []int     `json:"sizes"`
+		Slope       float64   `json:"ambient_slope_per_c"`
+	}
+	fetch := func(node string) (*bins, error) {
+		resp, err := client.Get(node + "/v1/bins?model=" + url.QueryEscape(model))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			return nil, nil
+		}
+		var out struct {
+			Models []bins `json:"models"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, err
+		}
+		if len(out.Models) == 0 {
+			return nil, nil
+		}
+		return &out.Models[0], nil
+	}
+	deadline := time.Now().Add(window)
+	for {
+		all := make([]*bins, 0, len(nodes))
+		ok := true
+		for _, node := range nodes {
+			b, err := fetch(node)
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				ok = false
+				break
+			}
+			all = append(all, b)
+		}
+		if ok {
+			for i := 1; i < len(all); i++ {
+				if !reflect.DeepEqual(all[0], all[i]) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bins did not become identical across %d nodes within %v", len(nodes), window)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// fetchClusterMetrics snapshots every node's /metrics; a dead node's
+// entry is nil.
+func fetchClusterMetrics(client *http.Client, nodes []string) ([]map[string]uint64, error) {
+	out := make([]map[string]uint64, len(nodes))
+	var firstErr error
+	live := 0
+	for i, node := range nodes {
+		m, err := fetchMetrics(client, node)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out[i] = m
+		live++
+	}
+	if live == 0 {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // upload POSTs one payload, retrying on 503 backpressure with linear

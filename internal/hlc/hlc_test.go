@@ -1,0 +1,217 @@
+package hlc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeNow is a settable physical clock for driving skew scenarios.
+type fakeNow struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeNow) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeNow) set(t time.Time) {
+	f.mu.Lock()
+	f.t = t
+	f.mu.Unlock()
+}
+
+func TestNowStrictlyMonotonicWithinMillisecond(t *testing.T) {
+	phys := &fakeNow{t: time.UnixMilli(1_000_000)}
+	c := NewClock(phys.now, 0)
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		next := c.Now()
+		if !prev.Before(next) {
+			t.Fatalf("stamp %d: %v not strictly after %v", i, next, prev)
+		}
+		if next.Wall != 1_000_000 {
+			t.Fatalf("stamp %d left the frozen millisecond: %v", i, next)
+		}
+		prev = next
+	}
+}
+
+func TestNowSurvivesPhysicalRegression(t *testing.T) {
+	phys := &fakeNow{t: time.UnixMilli(5_000_000)}
+	c := NewClock(phys.now, 0)
+	before := c.Now()
+	// NTP steps the wall clock back a full minute.
+	phys.set(time.UnixMilli(5_000_000 - 60_000))
+	after := c.Now()
+	if !before.Before(after) {
+		t.Fatalf("regressed wall clock broke monotonicity: %v then %v", before, after)
+	}
+	if after.Wall != before.Wall {
+		t.Fatalf("regressed clock changed the wall component: %v -> %v", before, after)
+	}
+	// Once physical time catches back up, stamps track it again.
+	phys.set(time.UnixMilli(5_000_100))
+	caught := c.Now()
+	if caught.Wall != 5_000_100 || caught.Logical != 0 {
+		t.Fatalf("clock did not rejoin physical time: %v", caught)
+	}
+}
+
+func TestUpdateMergesRemoteStamp(t *testing.T) {
+	phys := &fakeNow{t: time.UnixMilli(2_000_000)}
+	c := NewClock(phys.now, time.Hour)
+	remote := Timestamp{Wall: 2_000_050, Logical: 7}
+	got := c.Update(remote)
+	if !remote.Before(got) {
+		t.Fatalf("Update(%v) = %v, not strictly after the remote stamp", remote, got)
+	}
+	if got.Wall != remote.Wall || got.Logical != 8 {
+		t.Fatalf("Update(%v) = %v, want logical bump within the remote millisecond", remote, got)
+	}
+	// Local sends keep ordering after the merge.
+	next := c.Now()
+	if !got.Before(next) {
+		t.Fatalf("Now after Update: %v not after %v", next, got)
+	}
+}
+
+func TestUpdateClampsRunawayRemote(t *testing.T) {
+	phys := &fakeNow{t: time.UnixMilli(3_000_000)}
+	c := NewClock(phys.now, 500*time.Millisecond)
+	remote := Timestamp{Wall: 3_000_000 + 3_600_000, Logical: 0} // one hour ahead
+	got := c.Update(remote)
+	limit := int64(3_000_000 + 500)
+	if got.Wall > limit+1 {
+		t.Fatalf("Update let a runaway remote pull the clock to %v (drift limit wall %d)", got, limit)
+	}
+	if c.Clamped() != 1 {
+		t.Fatalf("Clamped() = %d, want 1", c.Clamped())
+	}
+	// A remote inside the drift bound is not clamped.
+	c.Update(Timestamp{Wall: 3_000_100, Logical: 0})
+	if c.Clamped() != 1 {
+		t.Fatalf("Clamped() = %d after an in-bound remote, want 1", c.Clamped())
+	}
+}
+
+func TestLogicalOverflowRollsWallForward(t *testing.T) {
+	phys := &fakeNow{t: time.UnixMilli(4_000_000)}
+	c := NewClock(phys.now, 0)
+	got := c.Update(Timestamp{Wall: 4_000_000, Logical: MaxLogical})
+	if got.Wall != 4_000_001 || got.Logical != 0 {
+		t.Fatalf("logical overflow produced %v, want wall rolled to 4000001.0", got)
+	}
+}
+
+func TestConcurrentStampsAreUnique(t *testing.T) {
+	c := NewClock(nil, 0)
+	const goroutines, per = 8, 500
+	stamps := make([][]Timestamp, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]Timestamp, per)
+			for i := range out {
+				out[i] = c.Now()
+			}
+			stamps[g] = out
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[Timestamp]bool, goroutines*per)
+	for _, batch := range stamps {
+		prev := Timestamp{}
+		for _, ts := range batch {
+			if ts.IsZero() {
+				t.Fatal("clock issued the unstamped sentinel")
+			}
+			if seen[ts] {
+				t.Fatalf("duplicate stamp %v", ts)
+			}
+			seen[ts] = true
+			if !prev.Before(ts) {
+				t.Fatalf("per-goroutine order violated: %v then %v", prev, ts)
+			}
+			prev = ts
+		}
+	}
+}
+
+func TestPackOrderMatchesCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10_000; i++ {
+		a := Timestamp{Wall: rng.Int63n(MaxWall + 1), Logical: uint16(rng.Intn(MaxLogical + 1))}
+		b := Timestamp{Wall: rng.Int63n(MaxWall + 1), Logical: uint16(rng.Intn(MaxLogical + 1))}
+		packOrder := 0
+		switch {
+		case a.Pack() < b.Pack():
+			packOrder = -1
+		case a.Pack() > b.Pack():
+			packOrder = 1
+		}
+		if packOrder != a.Compare(b) {
+			t.Fatalf("pack order %d != Compare %d for %v vs %v", packOrder, a.Compare(b), a, b)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, ts := range []Timestamp{
+		{},
+		{Wall: 1, Logical: 0},
+		{Wall: 0, Logical: 1},
+		{Wall: MaxWall, Logical: MaxLogical},
+		{Wall: time.Now().UnixMilli(), Logical: 42},
+	} {
+		b := ts.AppendEncode(nil)
+		if len(b) != EncodedSize {
+			t.Fatalf("encoded %v into %d bytes, want %d", ts, len(b), EncodedSize)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", ts, err)
+		}
+		if got != ts {
+			t.Fatalf("round trip %v -> %v", ts, got)
+		}
+	}
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("Decode of a short buffer did not fail")
+	}
+}
+
+// FuzzCodec asserts the wire codec is a bijection on the packed domain:
+// any 8 bytes decode to a stamp that re-encodes to the same bytes, and
+// encode/decode round-trips every stamp. Wired into `make fuzz-smoke`.
+func FuzzCodec(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1) << 16)
+	f.Add(^uint64(0))
+	f.Add(uint64(time.Now().UnixMilli()) << 16)
+	f.Fuzz(func(t *testing.T, packed uint64) {
+		ts := Unpack(packed)
+		if ts.Pack() != packed {
+			t.Fatalf("Unpack(%d).Pack() = %d", packed, ts.Pack())
+		}
+		b := ts.AppendEncode(nil)
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ts {
+			t.Fatalf("wire round trip %v -> %v", ts, got)
+		}
+		// Order preservation: the packed integer order is the stamp order.
+		other := Unpack(packed ^ 0xff)
+		if (ts.Pack() < other.Pack()) != ts.Before(other) {
+			t.Fatalf("pack order diverges from Compare for %v vs %v", ts, other)
+		}
+	})
+}

@@ -45,6 +45,10 @@ import (
 // cancellation) has stopped intake.
 var ErrClosed = errors.New("ingest: pipeline closed")
 
+// ErrBadPayload wraps decode failures surfaced by SubmitWait, so callers
+// can tell a malformed upload (client error) from a commit failure.
+var ErrBadPayload = errors.New("ingest: bad payload")
+
 // Config parameterizes a Pipeline.
 type Config struct {
 	// Workers is the per-stage worker count (DefaultWorkers if <= 0).
@@ -177,20 +181,40 @@ func (c *counters) snapshot() Counters {
 }
 
 // rawUpload, decodedSub and verdict are the inter-stage envelopes: the
-// payload plus the submission's trace ID (empty when tracing is off).
+// payload plus the submission's trace ID (empty when tracing is off) and,
+// for SubmitWait uploads, the completion channel every terminal path must
+// resolve.
 type rawUpload struct {
 	raw   []byte
 	trace string
+	done  chan<- submitResult
 }
 
 type decodedSub struct {
 	sub   Submission
 	trace string
+	done  chan<- submitResult
 }
 
 type verdict struct {
 	rec   store.Record
 	trace string
+	done  chan<- submitResult
+}
+
+// submitResult is what a SubmitWait upload resolves to: the committed
+// record (local sequence number assigned) or the error that dropped it.
+type submitResult struct {
+	rec store.Record
+	err error
+}
+
+// resolve completes a SubmitWait upload. The channel is buffered and
+// receives exactly one send, so this never blocks a worker.
+func resolve(done chan<- submitResult, rec store.Record, err error) {
+	if done != nil {
+		done <- submitResult{rec: rec, err: err}
+	}
 }
 
 // Pipeline is the staged ingestion worker pool. Create with New, launch
@@ -339,6 +363,43 @@ func (p *Pipeline) Submit(ctx context.Context, raw []byte) error {
 	}
 }
 
+// SubmitWait feeds one raw upload into the pipeline and blocks until the
+// submission reaches a terminal state: durably committed (the record is
+// returned with its local sequence number), rejected at decode
+// (ErrBadPayload), or dropped by a failed commit or shutdown. This is the
+// cluster ingest path: a node must not acknowledge a submission it could
+// still lose, so the 202 waits for the commit instead of the enqueue.
+func (p *Pipeline) SubmitWait(ctx context.Context, raw []byte) (store.Record, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return store.Record{}, ErrClosed
+	}
+	p.submitters.Add(1)
+	p.mu.Unlock()
+	defer p.submitters.Done()
+
+	done := make(chan submitResult, 1)
+	select {
+	case p.raw <- rawUpload{raw: raw, trace: p.tracer.NewTrace(), done: done}:
+		p.ctr.received.Inc()
+	case <-p.stop:
+		return store.Record{}, ErrClosed
+	case <-ctx.Done():
+		return store.Record{}, ctx.Err()
+	}
+	select {
+	case res := <-done:
+		return res.rec, res.err
+	case <-ctx.Done():
+		// The upload keeps flowing and will commit or drop on its own;
+		// the caller just stops waiting.
+		return store.Record{}, ctx.Err()
+	case <-p.stop:
+		return store.Record{}, ErrClosed
+	}
+}
+
 // Close gracefully shuts the pipeline down: intake stops (Submit returns
 // ErrClosed), every enqueued submission drains through all stages, then
 // workers exit. Safe to call more than once.
@@ -366,6 +427,7 @@ func (p *Pipeline) decodeWorker() {
 	for item := range p.raw {
 		if p.aborting() {
 			p.ctr.aborted.Inc()
+			resolve(item.done, store.Record{}, ErrClosed)
 			continue
 		}
 		t0 := time.Now()
@@ -375,14 +437,16 @@ func (p *Pipeline) decodeWorker() {
 		if err != nil {
 			p.ctr.decodeErrors.Inc()
 			p.tracer.Emit(obs.Span{Trace: item.trace, Name: "decode", Err: err}, t0, dur)
+			resolve(item.done, store.Record{}, fmt.Errorf("%w: %v", ErrBadPayload, err))
 			continue
 		}
 		p.ctr.decoded.Inc()
 		p.tracer.Emit(obs.Span{Trace: item.trace, Name: "decode", Device: sub.Device, Model: sub.Model}, t0, dur)
 		select {
-		case p.decoded <- decodedSub{sub: sub, trace: item.trace}:
+		case p.decoded <- decodedSub{sub: sub, trace: item.trace, done: item.done}:
 		case <-p.stop:
 			p.ctr.aborted.Inc()
+			resolve(item.done, store.Record{}, ErrClosed)
 		}
 	}
 }
@@ -391,6 +455,7 @@ func (p *Pipeline) evaluateWorker() {
 	for item := range p.decoded {
 		if p.aborting() {
 			p.ctr.aborted.Inc()
+			resolve(item.done, store.Record{}, ErrClosed)
 			continue
 		}
 		t0 := time.Now()
@@ -399,9 +464,10 @@ func (p *Pipeline) evaluateWorker() {
 		p.filterDur.Observe(dur.Seconds())
 		p.tracer.Emit(obs.Span{Trace: item.trace, Name: "filter", Device: rec.Device, Model: rec.Model}, t0, dur)
 		select {
-		case p.evaluated <- verdict{rec: rec, trace: item.trace}:
+		case p.evaluated <- verdict{rec: rec, trace: item.trace, done: item.done}:
 		case <-p.stop:
 			p.ctr.aborted.Inc()
+			resolve(item.done, store.Record{}, ErrClosed)
 		}
 	}
 }
@@ -435,6 +501,7 @@ func (p *Pipeline) storeWorker() {
 	for item := range p.evaluated {
 		if p.aborting() {
 			p.ctr.aborted.Inc()
+			resolve(item.done, store.Record{}, ErrClosed)
 			continue
 		}
 		rec := item.rec
@@ -453,16 +520,20 @@ func (p *Pipeline) storeWorker() {
 			p.tracer.Emit(obs.Span{Trace: item.trace, Name: "wal_append", Device: rec.Device, Model: rec.Model, Seq: rec.Seq, Err: err}, t0, dur)
 			if err != nil {
 				p.ctr.walFailed.Inc()
+				resolve(item.done, store.Record{}, err)
 				continue
 			}
 			p.ctr.walAppended.Inc()
 			t0 = time.Now()
-		} else if _, err := p.cfg.Store.Put(rec); err != nil {
+		} else if seq, err := p.cfg.Store.Put(rec); err != nil {
 			// Validated at decode; a store rejection here is a bug, but
 			// never lose count of the submission.
 			p.tracer.Emit(obs.Span{Trace: item.trace, Name: "store", Device: rec.Device, Model: rec.Model, Err: err}, t0, time.Since(t0))
 			p.ctr.aborted.Inc()
+			resolve(item.done, store.Record{}, err)
 			continue
+		} else {
+			rec.Seq = seq
 		}
 		if rec.Accepted {
 			p.ctr.accepted.Inc()
@@ -476,6 +547,7 @@ func (p *Pipeline) storeWorker() {
 		dur := time.Since(t0)
 		p.storeDur.Observe(dur.Seconds())
 		p.tracer.Emit(obs.Span{Trace: item.trace, Name: "store", Device: rec.Device, Model: rec.Model, Seq: rec.Seq}, t0, dur)
+		resolve(item.done, rec, nil)
 	}
 }
 

@@ -1,0 +1,538 @@
+package replication
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"accubench/internal/hlc"
+	"accubench/internal/obs"
+	"accubench/internal/store"
+)
+
+// Defaults for the knobs a Config may leave zero.
+const (
+	// DefaultAckTimeout bounds how long a commit waits for one replica
+	// acknowledgement before the submission is failed back to the client.
+	DefaultAckTimeout = 3 * time.Second
+	// DefaultShipInterval is the batching window: a committed record
+	// waits at most this long before its batch is POSTed.
+	DefaultShipInterval = 5 * time.Millisecond
+	// DefaultReconcileInterval is the anti-entropy cadence.
+	DefaultReconcileInterval = time.Second
+	// DefaultSnapshotGap is the repair size at which a reconcile pull is
+	// counted as snapshot-shipping catch-up rather than incremental
+	// repair.
+	DefaultSnapshotGap = 64
+	// maxQueue bounds each peer's ship queue; overflow drops the newest
+	// record (counted) and leaves the repair to anti-entropy.
+	maxQueue = 4096
+	// batchMax bounds how many records one replication POST carries.
+	batchMax = 256
+	// shipRetries is how many times a failed batch POST is retried
+	// before its records are abandoned to anti-entropy.
+	shipRetries = 3
+)
+
+// ErrNoAck is returned by ShipWait when no replica acknowledged the
+// record within the ack timeout.
+var ErrNoAck = errors.New("replication: no replica acknowledged within the ack timeout")
+
+// Batch is the wire form of one /v1/replicate POST: records shipped
+// from one node to a peer.
+type Batch struct {
+	// From is the shipping node's ID.
+	From string `json:"from"`
+	// Records are the stamped records, local sequence numbers included
+	// (the receiver discards them and assigns its own).
+	Records []store.Record `json:"records"`
+}
+
+// ApplyResult is the receiver's answer to a Batch.
+type ApplyResult struct {
+	// Applied is how many records the receiver committed.
+	Applied int `json:"applied"`
+	// Dups is how many it already held.
+	Dups int `json:"dups"`
+}
+
+// Config wires a Replicator into one node.
+type Config struct {
+	// NodeID is this node's identity — the Origin stamped into records
+	// it ingests and its name on every ring.
+	NodeID string
+	// Peers maps every *other* node's ID to its base URL
+	// (http://host:port). The ring is NodeID plus these keys.
+	Peers map[string]string
+	// Replicas is each model's replica-set size, primary included.
+	// 0 (or anything beyond the membership) means full replication:
+	// every node holds every model and any node's bins are complete.
+	Replicas int
+	// VNodes is the ring's virtual-node count per node (DefaultVNodes
+	// when 0).
+	VNodes int
+	// Clock is the node's hybrid logical clock.
+	Clock *hlc.Clock
+	// Store is the node's record store, used for digests and reconcile
+	// pulls.
+	Store *store.Store
+	// Apply durably commits one remote record locally — the node's
+	// WAL-backed commit path. It must assign the local sequence number.
+	Apply func(*store.Record) error
+	// OnApplied is called once per model after remote records land, so
+	// the server can mark bins dirty. May be nil.
+	OnApplied func(model string)
+	// AckTimeout, ShipInterval, ReconcileInterval, SnapshotGap override
+	// the defaults when positive.
+	AckTimeout        time.Duration
+	ShipInterval      time.Duration
+	ReconcileInterval time.Duration
+	SnapshotGap       int
+	// Metrics receives the replication series. May be nil (a throwaway
+	// registry is used).
+	Metrics *obs.ReplicationMetrics
+	// Client is the HTTP client for peer traffic (a 5s-timeout client
+	// when nil).
+	Client *http.Client
+}
+
+// Replicator runs one node's half of the cluster protocol: stamping,
+// shipping committed records to the replica set, applying peers'
+// batches, and the anti-entropy reconcile loop.
+type Replicator struct {
+	cfg      Config
+	ring     *Ring
+	met      *obs.ReplicationMetrics
+	client   *http.Client
+	shippers map[string]*shipper
+
+	mu        sync.Mutex
+	applyGate sync.Mutex // serializes ApplyRemote vs reconcile pulls
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// New builds a Replicator. It does not start background work; call
+// Start.
+func New(cfg Config) (*Replicator, error) {
+	if cfg.NodeID == "" {
+		return nil, errors.New("replication: NodeID required")
+	}
+	if cfg.Clock == nil || cfg.Store == nil || cfg.Apply == nil {
+		return nil, errors.New("replication: Clock, Store and Apply required")
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = DefaultAckTimeout
+	}
+	if cfg.ShipInterval <= 0 {
+		cfg.ShipInterval = DefaultShipInterval
+	}
+	if cfg.ReconcileInterval <= 0 {
+		cfg.ReconcileInterval = DefaultReconcileInterval
+	}
+	if cfg.SnapshotGap <= 0 {
+		cfg.SnapshotGap = DefaultSnapshotGap
+	}
+	met := cfg.Metrics
+	if met == nil {
+		met = obs.NewReplicationMetrics(obs.NewRegistry(""))
+	}
+	nodes := make([]string, 0, len(cfg.Peers)+1)
+	nodes = append(nodes, cfg.NodeID)
+	for id := range cfg.Peers {
+		nodes = append(nodes, id)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	r := &Replicator{
+		cfg:      cfg,
+		ring:     NewRing(nodes, cfg.VNodes),
+		met:      met,
+		client:   client,
+		shippers: make(map[string]*shipper, len(cfg.Peers)),
+		stop:     make(chan struct{}),
+	}
+	for id, base := range cfg.Peers {
+		r.shippers[id] = newShipper(r, id, base)
+	}
+	return r, nil
+}
+
+// Start launches the per-peer shippers and the reconcile loop.
+func (r *Replicator) Start() {
+	for _, sh := range r.shippers {
+		r.wg.Add(1)
+		go sh.loop()
+	}
+	r.wg.Add(1)
+	go r.reconcileLoop()
+}
+
+// Close stops background work and waits for it.
+func (r *Replicator) Close() {
+	r.once.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// NodeID returns this node's identity.
+func (r *Replicator) NodeID() string { return r.cfg.NodeID }
+
+// Ring returns the cluster's hash ring.
+func (r *Replicator) Ring() *Ring { return r.ring }
+
+// Primary returns the node owning model's shard.
+func (r *Replicator) Primary(model string) string { return r.ring.Owner(model) }
+
+// IsPrimary reports whether this node is model's shard primary.
+func (r *Replicator) IsPrimary(model string) bool { return r.ring.Owner(model) == r.cfg.NodeID }
+
+// PeerURL returns a peer's base URL.
+func (r *Replicator) PeerURL(node string) (string, bool) {
+	u, ok := r.cfg.Peers[node]
+	return u, ok
+}
+
+// Stamp assigns rec a fresh HLC stamp under this node's identity. Call
+// it exactly once, on the node that first ingests the submission.
+func (r *Replicator) Stamp(rec *store.Record) {
+	rec.SetStamp(r.cfg.NodeID, r.cfg.Clock.Now())
+}
+
+// replicaTargets returns the peers (self excluded) in model's replica
+// set.
+func (r *Replicator) replicaTargets(model string) []*shipper {
+	set := r.ring.ReplicaSet(model, r.cfg.Replicas)
+	out := make([]*shipper, 0, len(set))
+	for _, node := range set {
+		if sh, ok := r.shippers[node]; ok {
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+// Ship enqueues a committed record to its replica set without waiting
+// for acknowledgement.
+func (r *Replicator) Ship(rec store.Record) {
+	for _, sh := range r.replicaTargets(rec.Model) {
+		sh.enqueue(rec, nil)
+	}
+}
+
+// ShipWait enqueues a committed record to its replica set and blocks
+// until at least one replica acknowledges it or the ack timeout runs
+// out (ErrNoAck). With no replica targets — a single-node cluster —
+// it returns nil at once: local durability is the whole story.
+func (r *Replicator) ShipWait(rec store.Record) error {
+	targets := r.replicaTargets(rec.Model)
+	if len(targets) == 0 {
+		return nil
+	}
+	start := time.Now()
+	ack := make(chan struct{}, len(targets))
+	for _, sh := range targets {
+		sh.enqueue(rec, ack)
+	}
+	timer := time.NewTimer(r.cfg.AckTimeout)
+	defer timer.Stop()
+	select {
+	case <-ack:
+		r.met.AckWait.Observe(time.Since(start).Seconds())
+		return nil
+	case <-timer.C:
+		r.met.AckTimeouts.Inc()
+		return ErrNoAck
+	case <-r.stop:
+		return ErrNoAck
+	}
+}
+
+// ApplyRemote merges a peer's records into this node: each stamp is
+// folded into the local clock, each record is claimed exactly once
+// (Reserve) and committed through the local durable path with a fresh
+// local sequence number. Safe to call with records this node already
+// holds — replays and reconcile races collapse into dups.
+func (r *Replicator) ApplyRemote(recs []store.Record) (ApplyResult, error) {
+	r.applyGate.Lock()
+	defer r.applyGate.Unlock()
+	var res ApplyResult
+	dirty := make(map[string]struct{})
+	for _, rec := range recs {
+		key, ok := rec.Key()
+		if !ok {
+			// Unstamped records cannot be identified across nodes;
+			// refuse rather than double-apply.
+			return res, fmt.Errorf("replication: unstamped record for device %q", rec.Device)
+		}
+		r.cfg.Clock.Update(rec.Stamp())
+		if !r.cfg.Store.Reserve(rec.Model, key) {
+			res.Dups++
+			r.met.ApplyDups.Inc()
+			continue
+		}
+		rec.Seq = 0
+		if err := r.cfg.Apply(&rec); err != nil {
+			r.cfg.Store.Release(rec.Model, key)
+			return res, err
+		}
+		res.Applied++
+		r.met.Applied.Inc()
+		dirty[rec.Model] = struct{}{}
+	}
+	if r.cfg.OnApplied != nil {
+		for model := range dirty {
+			r.cfg.OnApplied(model)
+		}
+	}
+	return res, nil
+}
+
+// ReconcileNow runs one full anti-entropy round against every peer and
+// returns the first error (the round still visits all peers).
+func (r *Replicator) ReconcileNow() error {
+	r.met.ReconcileRounds.Inc()
+	var firstErr error
+	for id, base := range r.cfg.Peers {
+		if err := r.reconcilePeer(id, base); err != nil {
+			r.met.ReconcileErrors.Inc()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("peer %s: %w", id, err)
+			}
+		}
+	}
+	return firstErr
+}
+
+func (r *Replicator) reconcileLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.ReconcileInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			_ = r.ReconcileNow() // peer-down errors are counted, not fatal
+		}
+	}
+}
+
+// reconcilePeer compares digests with one peer and pulls every model
+// that diverged. Pull-only repair: this node fetches what it might be
+// missing, the peer's own loop fetches the reverse direction, and both
+// sides converge without any push coordination.
+func (r *Replicator) reconcilePeer(id, base string) error {
+	var remote map[string]store.ModelDigest
+	if err := r.getJSON(base+"/v1/digest", &remote); err != nil {
+		return err
+	}
+	local := r.cfg.Store.DigestAll()
+	for model, rd := range remote {
+		if rd.Records == 0 {
+			continue
+		}
+		ld, ok := local[model]
+		if ok && ld.Digest == rd.Digest && ld.Records == rd.Records {
+			continue
+		}
+		pulled, err := r.pullModel(base, model)
+		if err != nil {
+			return err
+		}
+		if pulled == 0 {
+			continue // divergence was local surplus; the peer pulls from us
+		}
+		r.met.ReconcileRepairs.Inc()
+		r.met.ReconcilePulled.Add(uint64(pulled))
+		if pulled >= r.cfg.SnapshotGap {
+			r.met.SnapshotCatchups.Inc()
+		}
+	}
+	return nil
+}
+
+// pullModel fetches a peer's full state for one model — snapshot
+// shipping — and merges it, returning how many records were new here.
+func (r *Replicator) pullModel(base, model string) (int, error) {
+	var batch Batch
+	if err := r.getJSON(base+"/v1/replicate?model="+url.QueryEscape(model), &batch); err != nil {
+		return 0, err
+	}
+	res, err := r.ApplyRemote(batch.Records)
+	return res.Applied, err
+}
+
+func (r *Replicator) getJSON(u string, out any) error {
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// shipItem is one queued record plus an optional shared ack channel.
+type shipItem struct {
+	rec store.Record
+	ack chan<- struct{}
+	enq time.Time
+}
+
+// shipper owns one peer's outbound replication stream: a bounded
+// buffer drained in batches, with capped retries and lag gauges.
+type shipper struct {
+	r      *Replicator
+	peerID string
+	base   string
+
+	mu     sync.Mutex
+	buf    []shipItem
+	notify chan struct{}
+
+	pending *obs.Gauge
+	lagMS   *obs.Gauge
+}
+
+func newShipper(r *Replicator, peerID, base string) *shipper {
+	return &shipper{
+		r:       r,
+		peerID:  peerID,
+		base:    base,
+		notify:  make(chan struct{}, 1),
+		pending: r.met.PeerPending.With(peerID),
+		lagMS:   r.met.PeerLagMS.With(peerID),
+	}
+}
+
+func (s *shipper) enqueue(rec store.Record, ack chan<- struct{}) {
+	s.mu.Lock()
+	if len(s.buf) >= maxQueue {
+		s.mu.Unlock()
+		// A peer this far behind is anti-entropy's problem, not the
+		// ingest path's: drop and count.
+		s.r.met.ShipDropped.Inc()
+		return
+	}
+	s.buf = append(s.buf, shipItem{rec: rec, ack: ack, enq: time.Now()})
+	s.pending.Set(int64(len(s.buf)))
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// take removes up to batchMax queued items.
+func (s *shipper) take() []shipItem {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.buf)
+	if n == 0 {
+		s.lagMS.Set(0)
+		s.pending.Set(0)
+		return nil
+	}
+	if n > batchMax {
+		n = batchMax
+	}
+	batch := make([]shipItem, n)
+	copy(batch, s.buf)
+	s.buf = append(s.buf[:0], s.buf[n:]...)
+	s.pending.Set(int64(len(s.buf)))
+	s.lagMS.Set(time.Since(batch[0].enq).Milliseconds())
+	return batch
+}
+
+func (s *shipper) loop() {
+	defer s.r.wg.Done()
+	t := time.NewTicker(s.r.cfg.ShipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.r.stop:
+			return
+		case <-s.notify:
+		case <-t.C:
+		}
+		for {
+			batch := s.take()
+			if len(batch) == 0 {
+				break
+			}
+			s.ship(batch)
+		}
+	}
+}
+
+// ship POSTs one batch, retrying a few times; exhausted retries abandon
+// the records to anti-entropy.
+func (s *shipper) ship(batch []shipItem) {
+	recs := make([]store.Record, len(batch))
+	for i, it := range batch {
+		recs[i] = it.rec
+	}
+	body, err := json.Marshal(Batch{From: s.r.cfg.NodeID, Records: recs})
+	if err != nil {
+		s.r.met.ShipErrors.Inc()
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		err = s.post(body)
+		if err == nil {
+			s.r.met.ShipBatches.Inc()
+			s.r.met.ShipRecords.Add(uint64(len(batch)))
+			for _, it := range batch {
+				if it.ack != nil {
+					select {
+					case it.ack <- struct{}{}:
+					default: // waiter already satisfied or gone
+					}
+				}
+			}
+			return
+		}
+		s.r.met.ShipErrors.Inc()
+		if attempt >= shipRetries {
+			s.r.met.ShipDropped.Add(uint64(len(batch)))
+			s.lagMS.Set(time.Since(batch[0].enq).Milliseconds())
+			return
+		}
+		backoff := time.Duration(50<<attempt) * time.Millisecond
+		select {
+		case <-s.r.stop:
+			return
+		case <-time.After(backoff):
+		}
+	}
+}
+
+func (s *shipper) post(body []byte) error {
+	resp, err := s.r.client.Post(s.base+"/v1/replicate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s/v1/replicate: %s", s.base, resp.Status)
+	}
+	return nil
+}

@@ -36,6 +36,14 @@ type ModelBins struct {
 	Sizes []int `json:"sizes,omitempty"`
 	// Revision increments every recompute of this model.
 	Revision uint64 `json:"revision"`
+	// AgeMS is how old this binning is at serve time — milliseconds since
+	// the recompute that produced it. Set by the HTTP layer; also exposed
+	// as the X-Bins-Staleness-Ms response header.
+	AgeMS int64 `json:"age_ms"`
+
+	// refreshedAt is when the recompute ran; AgeMS is derived from it at
+	// serve time.
+	refreshedAt time.Time
 }
 
 // minClusterPop is the smallest accepted population worth clustering,
@@ -158,6 +166,25 @@ func (b *Binner) ModelBins(model string) (ModelBins, bool) {
 // that serving GET /v1/bins does not trigger clustering.
 func (b *Binner) Recomputes() uint64 { return b.recomputes.Load() }
 
+// RefreshedAt returns when a model's cached bins were last recomputed.
+func (b *Binner) RefreshedAt(model string) (time.Time, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	mb, ok := b.bins[model]
+	return mb.refreshedAt, ok
+}
+
+// Refresh recomputes one model's bins synchronously — the staleness
+// escape hatch: a replica serving bins under a max-staleness bound calls
+// this when the cache has aged past the bound, instead of waiting for
+// the debounced loop. Safe concurrently with the loop; the two
+// recomputes just race benignly to publish equivalent results.
+func (b *Binner) Refresh(model string) ModelBins {
+	b.recompute(model)
+	mb, _ := b.ModelBins(model)
+	return mb
+}
+
 // loop debounces dirty marks and recomputes bins for quiet models.
 func (b *Binner) loop() {
 	defer close(b.done)
@@ -262,6 +289,7 @@ func (b *Binner) recompute(model string) {
 	}
 
 	mb.Revision = b.revision.Add(1)
+	mb.refreshedAt = time.Now()
 	b.recomputes.Add(1)
 	b.mu.Lock()
 	b.bins[model] = mb

@@ -37,11 +37,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"accubench/internal/crowd"
+	"accubench/internal/hlc"
 	"accubench/internal/ingest"
 	"accubench/internal/obs"
+	"accubench/internal/replication"
 	"accubench/internal/store"
 	"accubench/internal/wal"
 )
@@ -86,6 +89,12 @@ type Config struct {
 	// (decode→filter→wal_append→store) to this writer, correlated by a
 	// trace ID — crowdd's -trace flag wires it to stdout.
 	TraceWriter io.Writer
+	// Cluster, when non-nil, runs this node as one member of a
+	// replicated, sharded cluster: submissions are HLC-stamped and
+	// routed to their model's shard primary, commits wait for a replica
+	// acknowledgement, and an anti-entropy loop keeps the nodes
+	// converged (docs/CLUSTER.md).
+	Cluster *ClusterConfig
 }
 
 // Server owns the store, the ingest pipeline and the binning loop, and
@@ -98,6 +107,13 @@ type Server struct {
 	mux      *http.ServeMux
 	pers     *wal.Persister // nil when DataDir is empty
 	recovery wal.Recovery
+
+	// Cluster-mode members, all nil on a standalone node.
+	clock      *hlc.Clock
+	repl       *replication.Replicator
+	rmet       *obs.ReplicationMetrics
+	committer  *clusterCommitter
+	peerClient *http.Client
 
 	reg      *obs.Registry
 	httpReqs *obs.CounterVec
@@ -143,6 +159,7 @@ func New(cfg Config) (*Server, error) {
 		MaxK:     cfg.MaxK,
 		Debounce: cfg.BinDebounce,
 	})
+	s := &Server{cfg: cfg, store: st, binner: binner, mux: http.NewServeMux(), pers: pers, recovery: recovery, reg: reg}
 	icfg := ingest.Config{
 		Workers:    cfg.Workers,
 		QueueDepth: cfg.QueueDepth,
@@ -155,6 +172,18 @@ func New(cfg Config) (*Server, error) {
 	if pers != nil {
 		icfg.WAL = pers
 	}
+	if cfg.Cluster != nil {
+		// The cluster committer wraps the WAL (or the bare store) with
+		// HLC stamping; the pipeline commits through it so every record
+		// carries its cluster-wide identity before it is durable.
+		if err := s.initCluster(); err != nil {
+			if pers != nil {
+				pers.Close()
+			}
+			return nil, err
+		}
+		icfg.WAL = s.committer
+	}
 	pipe, err := ingest.New(icfg)
 	if err != nil {
 		if pers != nil {
@@ -162,7 +191,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		return nil, err
 	}
-	s := &Server{cfg: cfg, store: st, pipe: pipe, binner: binner, mux: http.NewServeMux(), pers: pers, recovery: recovery, reg: reg}
+	s.pipe = pipe
 	s.registerGauges()
 	s.httpReqs = reg.CounterVec("http_requests_total", "requests served per route", "route")
 	s.httpDur = reg.HistogramVec("http_request_seconds", "request latency per route", "route", obs.DurationBuckets)
@@ -171,6 +200,9 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /v1/devices/{id}", s.handleDevice)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
+	if cfg.Cluster != nil {
+		s.registerClusterRoutes()
+	}
 	return s, nil
 }
 
@@ -199,6 +231,10 @@ func (s *Server) registerGauges() {
 		func() uint64 { return uint64(s.store.AcceptedLen()) })
 	s.reg.Func("store_models", "distinct models with at least one record", "gauge",
 		func() uint64 { return uint64(len(s.store.Models())) })
+	if s.clock != nil {
+		s.reg.Func("hlc_clamped_total", "remote HLC stamps truncated by the drift clamp", "counter",
+			s.clock.Clamped)
+	}
 	if s.pers == nil {
 		return
 	}
@@ -235,6 +271,9 @@ func (s *Server) registerGauges() {
 func (s *Server) Start(ctx context.Context) {
 	s.pipe.Start(ctx)
 	s.binner.Start()
+	if s.repl != nil {
+		s.repl.Start()
+	}
 	if s.pers != nil {
 		for _, model := range s.store.Models() {
 			s.binner.MarkDirty(model)
@@ -248,6 +287,12 @@ func (s *Server) Start(ctx context.Context) {
 // needs replay on the next boot.
 func (s *Server) Close() error {
 	s.pipe.Close()
+	if s.repl != nil {
+		// After the drain: stop shipping and reconciling. Whatever a
+		// peer has not received yet is repaired by its anti-entropy
+		// pull on our next boot.
+		s.repl.Close()
+	}
 	s.binner.Stop()
 	if s.pers != nil {
 		return s.pers.Close()
@@ -262,6 +307,9 @@ func (s *Server) Close() error {
 // pipeline by cancelling the Start context.
 func (s *Server) Crash() {
 	s.binner.Stop()
+	if s.repl != nil {
+		s.repl.Close()
+	}
 	if s.pers != nil {
 		s.pers.Crash()
 	}
@@ -309,6 +357,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusRequestEntityTooLarge, submitResponse{Status: "rejected", Error: "body too large"})
 		return
 	}
+	if s.repl != nil {
+		s.handleClusterSubmit(w, r, body)
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SubmitTimeout)
 	defer cancel()
 	switch err := s.pipe.Submit(ctx, body); {
@@ -340,6 +392,8 @@ func (s *Server) handleBins(w http.ResponseWriter, r *http.Request) {
 		}
 		bins = []ModelBins{mb}
 	}
+	maxAge := s.stampBinAges(bins)
+	w.Header().Set(staleHeader, strconv.FormatInt(maxAge, 10))
 	writeJSON(w, http.StatusOK, binsResponse{Models: bins})
 }
 

@@ -16,17 +16,30 @@
 // sequence number was already assigned at the log's commit point, Snapshot
 // iterates the whole store deterministically for checkpointing, and
 // Restore rebuilds a store from a snapshot at boot.
+//
+// Replication (internal/replication) layers on a second identity: records
+// ingested by a cluster node carry a hybrid-logical-clock stamp plus the
+// origin node's ID, which together form a globally unique Key. The store
+// tracks every key it holds (Reserve is the idempotence gate replicated
+// applies go through), folds each model's records into an
+// order-independent Digest for anti-entropy comparison, and resolves
+// per-device "latest" by stamp rather than node-local sequence number so
+// every replica converges to the same bins.
 package store
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"math"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"accubench/internal/hlc"
 	"accubench/internal/obs"
 	"accubench/internal/units"
 )
@@ -48,7 +61,67 @@ type Record struct {
 	// RejectReason says why a rejected submission was rejected.
 	RejectReason string `json:"reject_reason,omitempty"`
 	// Seq is the store's global arrival sequence number, assigned by Put.
+	// It is node-local: the same record replicated to another node gets
+	// that node's next sequence number there.
 	Seq uint64 `json:"seq"`
+	// HLCWall and HLCLogical are the hybrid-logical-clock stamp assigned
+	// once, by the node that first ingested the submission; they travel
+	// with the record through the WAL and replication unchanged. Zero on
+	// records from a single-node (non-cluster) deployment.
+	HLCWall    int64  `json:"hlc_wall,omitempty"`
+	HLCLogical uint16 `json:"hlc_logical,omitempty"`
+	// Origin is the node ID that ingested the submission; with the stamp
+	// it forms the record's globally unique replication identity.
+	Origin string `json:"origin,omitempty"`
+}
+
+// Stamp returns the record's hybrid-logical-clock stamp (zero when the
+// record was ingested outside a cluster).
+func (r Record) Stamp() hlc.Timestamp {
+	return hlc.Timestamp{Wall: r.HLCWall, Logical: r.HLCLogical}
+}
+
+// SetStamp stamps the record with its replication identity.
+func (r *Record) SetStamp(origin string, ts hlc.Timestamp) {
+	r.Origin = origin
+	r.HLCWall = ts.Wall
+	r.HLCLogical = ts.Logical
+}
+
+// Key is a record's globally unique replication identity: the HLC stamp
+// plus the node that issued it. Two nodes can never mint the same key —
+// stamps are unique per clock and Origin separates clocks — which is
+// what makes replicated applies idempotent.
+type Key struct {
+	Origin  string
+	Wall    int64
+	Logical uint16
+}
+
+// Key returns the record's replication identity; ok is false for
+// unstamped (single-node) records, which have no cross-node identity.
+func (r Record) Key() (Key, bool) {
+	if r.Origin == "" || r.Stamp().IsZero() {
+		return Key{}, false
+	}
+	return Key{Origin: r.Origin, Wall: r.HLCWall, Logical: r.HLCLogical}, true
+}
+
+// after reports whether r supersedes o as a device's latest record: by
+// HLC stamp when either carries one (origin breaks exact-stamp ties),
+// by node-local sequence number otherwise. This is the ordering every
+// replica agrees on, so converged stores bin identically.
+func (r Record) after(o Record) bool {
+	a, b := r.Stamp(), o.Stamp()
+	if !a.IsZero() || !b.IsZero() {
+		if c := a.Compare(b); c != 0 {
+			return c > 0
+		}
+		if r.Origin != o.Origin {
+			return r.Origin > o.Origin
+		}
+	}
+	return r.Seq > o.Seq
 }
 
 // Store is the sharded submission store. The zero value is not usable; use
@@ -71,6 +144,10 @@ type Store struct {
 type modelShard struct {
 	mu     sync.RWMutex
 	models map[string][]Record
+	// seen tracks the replication identity of every stamped record in
+	// this shard (plus in-flight reservations) — the idempotence gate for
+	// replicated applies.
+	seen map[Key]struct{}
 }
 
 type deviceShard struct {
@@ -92,6 +169,7 @@ func New(n int) *Store {
 	}
 	for i := range s.modelShards {
 		s.modelShards[i].models = make(map[string][]Record)
+		s.modelShards[i].seen = make(map[Key]struct{})
 		s.deviceShards[i].devices = make(map[string]Record)
 	}
 	return s
@@ -177,6 +255,9 @@ func (s *Store) Put(r Record) (uint64, error) {
 	s.lockShard(ms)
 	r.Seq = s.seq.Add(1)
 	ms.models[r.Model] = append(ms.models[r.Model], r)
+	if k, ok := r.Key(); ok {
+		ms.seen[k] = struct{}{}
+	}
 	ms.mu.Unlock()
 
 	s.noteInsert(idx)
@@ -217,6 +298,9 @@ func (s *Store) PutSeq(r Record) error {
 	copy(recs[i+1:], recs[i:])
 	recs[i] = r
 	ms.models[r.Model] = recs
+	if k, ok := r.Key(); ok {
+		ms.seen[k] = struct{}{}
+	}
 	ms.mu.Unlock()
 
 	s.noteInsert(idx)
@@ -229,7 +313,7 @@ func (s *Store) PutSeq(r Record) error {
 func (s *Store) finishPut(r Record) {
 	ds := &s.deviceShards[s.shardIndex(r.Device)]
 	ds.mu.Lock()
-	if prev, ok := ds.devices[r.Device]; !ok || r.Seq >= prev.Seq {
+	if prev, ok := ds.devices[r.Device]; !ok || !prev.after(r) {
 		ds.devices[r.Device] = r
 	}
 	ds.mu.Unlock()
@@ -255,19 +339,37 @@ func (s *Store) Model(model string) []Record {
 	return out
 }
 
-// Latest returns the latest record per device for the model, in first-seen
-// device order — the population the binning loop clusters.
+// Latest returns the latest record per device for the model — the
+// population the binning loop clusters. "Latest" is by HLC stamp for
+// cluster-ingested records, by arrival for single-node ones. When every
+// winner carries a stamp the result is returned in canonical stamp
+// order, which is identical on every converged replica (the binner's
+// float accumulations then run in the same order everywhere, keeping
+// bins bit-identical across the cluster); otherwise it keeps the
+// first-seen device order single-node callers have always observed.
 func (s *Store) Latest(model string) []Record {
 	recs := s.Model(model)
 	idx := make(map[string]int, len(recs))
 	var out []Record
 	for _, r := range recs {
 		if i, ok := idx[r.Device]; ok {
-			out[i] = r
+			if r.after(out[i]) {
+				out[i] = r
+			}
 			continue
 		}
 		idx[r.Device] = len(out)
 		out = append(out, r)
+	}
+	stamped := len(out) > 0
+	for _, r := range out {
+		if _, ok := r.Key(); !ok {
+			stamped = false
+			break
+		}
+	}
+	if stamped {
+		sort.Slice(out, func(i, j int) bool { return out[j].after(out[i]) })
 	}
 	return out
 }
@@ -332,3 +434,121 @@ func (s *Store) Len() int { return int(s.total.Load()) }
 
 // AcceptedLen returns how many stored records survived the filters.
 func (s *Store) AcceptedLen() int { return int(s.accepted.Load()) }
+
+// Reserve atomically claims a replication key under the model's shard:
+// it returns true exactly once per key, false for a key the store
+// already holds (or has an in-flight reservation for). Replicated
+// applies reserve before committing through the WAL so the same record
+// arriving twice — live ship racing an anti-entropy pull — commits once.
+func (s *Store) Reserve(model string, k Key) bool {
+	ms := &s.modelShards[s.shardIndex(model)]
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if _, ok := ms.seen[k]; ok {
+		return false
+	}
+	ms.seen[k] = struct{}{}
+	return true
+}
+
+// Release returns a reserved key — the failure path of a replicated
+// apply whose local commit failed, so a later retry can reserve again.
+func (s *Store) Release(model string, k Key) {
+	ms := &s.modelShards[s.shardIndex(model)]
+	ms.mu.Lock()
+	delete(ms.seen, k)
+	ms.mu.Unlock()
+}
+
+// HasKey reports whether the store holds (or has reserved) the
+// replication key.
+func (s *Store) HasKey(model string, k Key) bool {
+	ms := &s.modelShards[s.shardIndex(model)]
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	_, ok := ms.seen[k]
+	return ok
+}
+
+// ModelDigest summarizes one model's records for anti-entropy
+// comparison: two stores hold the same record set for a model iff their
+// digests (and counts) match.
+type ModelDigest struct {
+	// Records counts every stored record for the model.
+	Records int `json:"records"`
+	// Digest is the order-independent fold of every record's content
+	// hash — insertion order, node-local sequence numbers and shard
+	// layout do not affect it.
+	Digest uint64 `json:"digest"`
+	// MaxWall is the largest HLC wall component among the model's
+	// records (0 when none are stamped) — the freshness horizon the
+	// replication-lag gauges read.
+	MaxWall int64 `json:"max_hlc_wall"`
+}
+
+// recordHash folds a record's replicated content — everything except the
+// node-local sequence number — into one 64-bit hash.
+func recordHash(r Record) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	io.WriteString(h, r.Device)
+	h.Write([]byte{0})
+	io.WriteString(h, r.Origin)
+	h.Write([]byte{0})
+	binary.LittleEndian.PutUint64(buf[:], uint64(r.HLCWall))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(r.HLCLogical))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(r.Score))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(float64(r.EstimatedAmbient)))
+	h.Write(buf[:])
+	if r.Accepted {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	io.WriteString(h, r.RejectReason)
+	return h.Sum64()
+}
+
+// digestLocked folds one model's records; the caller holds the shard
+// lock.
+func digestLocked(recs []Record) ModelDigest {
+	d := ModelDigest{Records: len(recs)}
+	for _, r := range recs {
+		d.Digest ^= recordHash(r)
+		if r.HLCWall > d.MaxWall {
+			d.MaxWall = r.HLCWall
+		}
+	}
+	return d
+}
+
+// Digest returns the model's anti-entropy digest; ok is false when the
+// store holds no records for it.
+func (s *Store) Digest(model string) (ModelDigest, bool) {
+	ms := &s.modelShards[s.shardIndex(model)]
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	recs, ok := ms.models[model]
+	if !ok {
+		return ModelDigest{}, false
+	}
+	return digestLocked(recs), true
+}
+
+// DigestAll returns the digest of every model the store holds — the
+// payload of GET /v1/digest, what reconcile rounds compare.
+func (s *Store) DigestAll() map[string]ModelDigest {
+	out := make(map[string]ModelDigest)
+	for i := range s.modelShards {
+		ms := &s.modelShards[i]
+		ms.mu.RLock()
+		for model, recs := range ms.models {
+			out[model] = digestLocked(recs)
+		}
+		ms.mu.RUnlock()
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+#!/bin/sh
+# cluster_demo.sh — the kill-a-node acceptance drill behind `make
+# cluster-demo`: boot a 3-node crowdd cluster, spray a simulated device
+# fleet across all three nodes with crowdload, hard-kill (SIGKILL) one
+# node while uploads are still in flight, and require the survivors to
+# converge — every acknowledged submission present on every live node,
+# bins bit-identical. crowdload exits non-zero on any loss, and so does
+# this script.
+#
+#   DEVICES    fleet size (default 2400 — big enough that the kill lands
+#              mid-run)
+#   BASE_PORT  first of three consecutive ports (default 8081)
+#   KILL_AFTER seconds between load start and the node kill (default 2)
+set -eu
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+devices=${DEVICES:-2400}
+base_port=${BASE_PORT:-8081}
+kill_after=${KILL_AFTER:-2}
+
+$GO build -o /tmp/crowdd ./cmd/crowdd
+$GO build -o /tmp/crowdload ./cmd/crowdload
+
+p1=$base_port
+p2=$((base_port + 1))
+p3=$((base_port + 2))
+u1="http://127.0.0.1:$p1"
+u2="http://127.0.0.1:$p2"
+u3="http://127.0.0.1:$p3"
+
+/tmp/crowdd -addr "127.0.0.1:$p1" -node-id n1 -peers "n2=$u2,n3=$u3" &
+pid1=$!
+/tmp/crowdd -addr "127.0.0.1:$p2" -node-id n2 -peers "n1=$u1,n3=$u3" &
+pid2=$!
+/tmp/crowdd -addr "127.0.0.1:$p3" -node-id n3 -peers "n1=$u1,n2=$u2" &
+pid3=$!
+
+cleanup() {
+    kill "$pid1" "$pid2" "$pid3" 2>/dev/null || true
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+# Wait until all three nodes answer /healthz.
+for u in "$u1" "$u2" "$u3"; do
+    i=0
+    until curl -sf -o /dev/null "$u/healthz"; do
+        i=$((i + 1))
+        [ "$i" -lt 50 ] || { echo "cluster_demo: $u never became healthy" >&2; exit 1; }
+        sleep 0.1
+    done
+done
+echo "cluster_demo: 3 nodes up on ports $p1-$p3"
+
+/tmp/crowdload -addr "$u1" -peers "$u2,$u3" -devices "$devices" &
+load_pid=$!
+
+# Hard-kill node 3 while the load is still uploading — acknowledged
+# submissions must survive it.
+sleep "$kill_after"
+if ! kill -0 "$load_pid" 2>/dev/null; then
+    echo "cluster_demo: load finished before the kill — raise DEVICES or lower KILL_AFTER" >&2
+    exit 1
+fi
+echo "cluster_demo: SIGKILL node n3 (pid $pid3) mid-run"
+kill -9 "$pid3" 2>/dev/null || true
+
+status=0
+wait "$load_pid" || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "cluster_demo: FAILED — crowdload exited $status (acknowledged submissions lost or cluster diverged)" >&2
+    exit "$status"
+fi
+echo "cluster_demo: PASSED — node killed mid-run, zero acknowledged-submission loss, bins converged"
