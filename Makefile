@@ -8,7 +8,7 @@ FUZZTIME ?= 5s
 # Minimum acceptable total statement coverage, in percent.
 COVER_FLOOR ?= 75
 
-.PHONY: build test vet race race-repl fuzz-smoke cover godoc-check links-check bench bench-diff bench-smoke ci demo cluster-demo profile
+.PHONY: build test vet race race-repl chaos-smoke fuzz-smoke cover godoc-check links-check bench bench-diff bench-smoke ci demo cluster-demo profile
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,15 @@ fuzz-smoke:
 	$(GO) test ./internal/ingest -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzWALRecordDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/hlc -run '^$$' -fuzz '^FuzzCodec$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/replication -run '^$$' -fuzz '^FuzzBatchDecode$$' -fuzztime $(FUZZTIME)
+
+# chaos-smoke runs the seeded fault-injection scenario matrix under the
+# race detector, uncached: every scenario in internal/chaos executed
+# against a real in-process cluster, with the determinism pin (same seed
+# => identical event log) asserted on each run. Deterministic seeds keep
+# it well under a minute (docs/CLUSTER.md, "Fault injection & scenarios").
+chaos-smoke:
+	$(GO) test -race -count=1 -run '^TestChaos' ./internal/server
 
 # cover prints the per-package function coverage report and enforces the
 # total floor.
@@ -83,9 +92,9 @@ bench-smoke:
 		-benchmem -benchtime 10x .
 
 # ci is the full gate: vet, tier-1 build+test, the race pass over the
-# whole tree, the fuzz smoke, the bench smoke, then the documentation
-# checks.
-ci: vet build test race race-repl fuzz-smoke bench-smoke godoc-check links-check
+# whole tree, the chaos scenario matrix, the fuzz smoke, the bench
+# smoke, then the documentation checks.
+ci: vet build test race race-repl chaos-smoke fuzz-smoke bench-smoke godoc-check links-check
 
 # demo starts crowdd, fires a 200-device load at it, prints the bins and
 # shuts the server down.

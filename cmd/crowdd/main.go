@@ -88,6 +88,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 		fsyncEvery    = fs.Duration("fsync-interval", wal.DefaultFlushEvery, "WAL group-commit window; 0 fsyncs every commit synchronously")
 		snapEvery     = fs.Int("snapshot-every", wal.DefaultSnapshotEvery, "commits between background snapshots")
 		segmentBytes  = fs.Int64("segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation threshold, bytes")
+		chaosFsync    = fs.Duration("chaos-fsync-delay", 0, "fault injection: stall every WAL fsync this long (slow-disk emulation; needs -data-dir)")
 		traceSpans    = fs.Bool("trace", false, "emit one JSON span per pipeline stage per submission to stdout")
 		debugAddr     = fs.String("debug-addr", "", "serve net/http/pprof under /debug/pprof on this address; empty disables")
 
@@ -127,6 +128,11 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 		FsyncEvery:    *fsyncEvery,
 		SnapshotEvery: *snapEvery,
 		SegmentBytes:  *segmentBytes,
+	}
+	if *chaosFsync > 0 {
+		d := *chaosFsync
+		scfg.FsyncDelay = func() { time.Sleep(d) }
+		fmt.Fprintf(stdout, "crowdd: chaos: every WAL fsync stalls %v\n", d)
 	}
 	if *traceSpans {
 		scfg.TraceWriter = stdout

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accubench/internal/chaos"
 	"accubench/internal/crowd"
 	"accubench/internal/fleet"
 	"accubench/internal/ingest"
@@ -64,6 +65,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		binNoise    = fs.Float64("bin-noise", 0.35, "fab binning-measurement noise")
 		retries     = fs.Int("retries", 50, "max retries per upload on backpressure")
 		peersFlag   = fs.String("peers", "", "comma-separated additional crowdd base URLs; uploads are sprayed across -addr plus these, and after the run every acknowledged submission is verified present on every node with bit-identical bins")
+		scenarioF   = fs.String("scenario", "", "chaos scenario to run the load under (baseline, degraded, partition, high-load); faults are injected client-side into this tool's connections, docs/CLUSTER.md §Fault injection")
+		chaosSeed   = fs.Int64("chaos-seed", 1, "seed for the chaos fault plan; the same seed scripts the same faults")
+		benchOut    = fs.String("bench-out", "", "JSON file to merge this scenario's submissions/sec + ack p99 + time-to-convergence into (BENCH_7.json shape, compared by scripts/bench_diff.sh)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +92,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 				nodes = append(nodes, p)
 			}
 		}
+	}
+	var sc chaos.Scenario
+	var plan *chaos.Plan
+	if *scenarioF != "" {
+		if sc, err = chaos.MustLookup(*scenarioF); err != nil {
+			return err
+		}
+		if sc.Name == "partition" && len(nodes) < 2 {
+			return fmt.Errorf("the partition scenario needs -peers: with a single node the client would just be cut off")
+		}
+		plan = chaos.NewPlan(*chaosSeed)
 	}
 
 	// Draw the population: one silicon-lottery draw per device, one wild
@@ -126,10 +141,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	// Scenario mode: route this tool's traffic through the fault plan's
+	// Transport and script the scenario — after the baseline snapshot, so
+	// the accounting deltas are not taken through a partition.
+	netRetries := 0
+	if plan != nil {
+		scNodes := []string{"client"}
+		for i, node := range nodes {
+			id := fmt.Sprintf("node%d", i+1)
+			if err := plan.RegisterNode(id, node); err != nil {
+				return err
+			}
+			scNodes = append(scNodes, id)
+		}
+		ct := chaos.NewTransport(plan, "client")
+		ct.Base = transport
+		client.Transport = ct
+		sc.Apply(plan, scNodes)
+		// Injected connection failures (drops, partitions) are part of the
+		// scenario, not a dead server: retry a few times before failing over.
+		netRetries = 3
+		fmt.Fprintf(stdout, "chaos: scenario %s (seed %d): %s\n", sc.Name, *chaosSeed, sc.Description)
+		for _, ev := range plan.Events() {
+			fmt.Fprintf(stdout, "chaos:   %s\n", ev)
+		}
+	}
+
 	var sent, retried, failed atomic.Uint64
 	var simNanos, postNanos atomic.Int64
 	var ackedMu sync.Mutex
-	var acked []string // device IDs whose upload was acknowledged
+	var acked []string        // device IDs whose upload was acknowledged
+	var ackLatencies []float64 // per acked upload: ms from first POST to the 202, retries included
 	start := time.Now()
 	var wg sync.WaitGroup
 	type job struct {
@@ -158,7 +200,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 				}
 				t1 := time.Now()
 				simNanos.Add(t1.Sub(t0).Nanoseconds())
-				err = upload(client, j.node, raw, *retries, &retried)
+				err = upload(client, j.node, raw, *retries, &retried, netRetries)
 				if err != nil && len(nodes) > 1 {
 					// A node dying mid-run must not lose the device: fail
 					// over to the other nodes before giving up.
@@ -166,7 +208,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 						if alt == j.node {
 							continue
 						}
-						if err = upload(client, alt, raw, *retries, &retried); err == nil {
+						if err = upload(client, alt, raw, *retries, &retried, netRetries); err == nil {
 							break
 						}
 					}
@@ -176,10 +218,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 					failed.Add(1)
 					continue
 				}
-				postNanos.Add(time.Since(t1).Nanoseconds())
+				ackWait := time.Since(t1)
+				postNanos.Add(ackWait.Nanoseconds())
 				sent.Add(1)
 				ackedMu.Lock()
 				acked = append(acked, sub.Device)
+				ackLatencies = append(ackLatencies, float64(ackWait.Nanoseconds())/1e6)
 				ackedMu.Unlock()
 			}
 		}()
@@ -193,6 +237,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if failed.Load() > 0 {
 		return fmt.Errorf("%d submissions failed", failed.Load())
+	}
+
+	// Heal before verifying: the scenario's faults were the workload; the
+	// acceptance contract is what the cluster looks like afterwards.
+	// Time-to-convergence is measured from this instant.
+	var healedAt time.Time
+	if plan != nil {
+		healedAt = time.Now()
+		sc.Heal(plan)
 	}
 
 	fmt.Fprintf(stdout, "\nuploaded %d submissions in %v (%.1f sub/s end to end, %d backpressure retries)\n",
@@ -216,6 +269,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return sum
 	}
 	var binsNode string
+	var convergeMS int64
 	if len(nodes) == 1 {
 		// Standalone: wait for the server to drain — stored must reach
 		// sent, and any shortfall is a dropped submission, a hard failure.
@@ -233,7 +287,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 			time.Sleep(50 * time.Millisecond)
 		}
 		binsNode = nodes[0]
+		if plan != nil {
+			// Standalone "convergence" is the drain: every acked upload
+			// visible in the store.
+			convergeMS = time.Since(healedAt).Milliseconds()
+		}
 	} else {
+		if plan != nil {
+			// Time-to-convergence: heal until every node agrees on digests.
+			// verifyCluster re-checks below — cheap once converged.
+			if _, err := waitDigestsConverge(client, nodes, 60*time.Second); err != nil {
+				return err
+			}
+			convergeMS = time.Since(healedAt).Milliseconds()
+		}
 		// Cluster: a 202 already implied a durable local commit plus one
 		// replica acknowledgement, so there is nothing left in flight once
 		// every upload is acknowledged. Verify the cluster-level contract
@@ -271,6 +338,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	fmt.Fprintln(stdout, "zero dropped submissions ✓")
+
+	if plan != nil {
+		st := plan.Stats()
+		fmt.Fprintf(stdout, "chaos: injected %d delays, %d drops, %d error responses, %d mid-body breaks, %d blocked by partition\n",
+			st.Delayed, st.Dropped, st.Errored, st.BodyErrs, st.Blocked)
+		ackedMu.Lock()
+		res := scenarioResult{
+			Name:              sc.Name,
+			SubmissionsPerSec: float64(sent.Load()) / elapsed.Seconds(),
+			AckP99MS:          p99ms(ackLatencies),
+			ConvergenceMS:     convergeMS,
+		}
+		ackedMu.Unlock()
+		fmt.Fprintf(stdout, "chaos: scenario %s: %.1f sub/s, ack p99 %.1fms, convergence %dms\n",
+			res.Name, res.SubmissionsPerSec, res.AckP99MS, res.ConvergenceMS)
+		if *benchOut != "" {
+			if err := writeBenchOut(*benchOut, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "chaos: recorded scenario %s into %s\n", res.Name, *benchOut)
+		}
+	}
 	return nil
 }
 
@@ -451,12 +540,20 @@ func fetchClusterMetrics(client *http.Client, nodes []string) ([]map[string]uint
 }
 
 // upload POSTs one payload, retrying on 503 backpressure with linear
-// backoff.
-func upload(client *http.Client, addr string, raw []byte, retries int, retried *atomic.Uint64) error {
+// backoff. netRetries additionally retries connection-level failures —
+// scenario mode sets it non-zero, because injected drops and partitions
+// are part of the workload, not a dead server.
+func upload(client *http.Client, addr string, raw []byte, retries int, retried *atomic.Uint64, netRetries int) error {
+	netErrs := 0
 	for attempt := 0; ; attempt++ {
 		resp, err := client.Post(addr+"/v1/submissions", "application/json", bytes.NewReader(raw))
 		if err != nil {
-			return err
+			if netErrs++; netErrs > netRetries {
+				return err
+			}
+			retried.Add(1)
+			time.Sleep(time.Duration(attempt+1) * 20 * time.Millisecond)
+			continue
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()

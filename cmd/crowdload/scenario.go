@@ -1,0 +1,84 @@
+package main
+
+// Scenario-mode support: crowdload -scenario <name> -chaos-seed N runs
+// the load under a seeded client-side fault plan (internal/chaos) and
+// records per-scenario submissions/sec, ack p99 and time-to-convergence
+// into a BENCH_*.json file the bench-diff gate can compare. Faults are
+// injected into this tool's own connections — the daemons stay
+// untouched; peer-traffic injection is the in-process Go harness
+// (internal/server chaos tests).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// scenarioResult is one scenario's measured outcome — the keys
+// scripts/bench_diff.sh compares across BENCH_7.json generations.
+type scenarioResult struct {
+	Name              string  `json:"name"`
+	SubmissionsPerSec float64 `json:"submissions_per_sec"`
+	AckP99MS          float64 `json:"ack_p99_ms"`
+	ConvergenceMS     int64   `json:"convergence_ms"`
+}
+
+type scenarioFile struct {
+	Scenarios []scenarioResult `json:"scenarios"`
+}
+
+// p99ms returns the 99th-percentile of the given latencies,
+// milliseconds. Zero when no samples were taken.
+func p99ms(lat []float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), lat...)
+	sort.Float64s(s)
+	idx := (99*len(s) + 99) / 100 // ceil(0.99*n)
+	if idx > len(s) {
+		idx = len(s)
+	}
+	return s[idx-1]
+}
+
+// writeBenchOut merges one scenario's result into the bench file,
+// replacing any previous entry with the same name. The layout is one
+// entry per line — the same awk-greppable shape scripts/bench_run.sh
+// emits, so scripts/bench_diff.sh parses it with no JSON tooling.
+func writeBenchOut(path string, r scenarioResult) error {
+	var f scenarioFile
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return fmt.Errorf("existing %s is not a scenario bench file: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	replaced := false
+	for i := range f.Scenarios {
+		if f.Scenarios[i].Name == r.Name {
+			f.Scenarios[i] = r
+			replaced = true
+		}
+	}
+	if !replaced {
+		f.Scenarios = append(f.Scenarios, r)
+	}
+	sort.Slice(f.Scenarios, func(i, j int) bool { return f.Scenarios[i].Name < f.Scenarios[j].Name })
+
+	var b strings.Builder
+	b.WriteString("{\n  \"scenarios\": [\n")
+	for i, s := range f.Scenarios {
+		comma := ","
+		if i == len(f.Scenarios)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(&b, "    {\"name\": %q, \"submissions_per_sec\": %.1f, \"ack_p99_ms\": %.2f, \"convergence_ms\": %d}%s\n",
+			s.Name, s.SubmissionsPerSec, s.AckP99MS, s.ConvergenceMS, comma)
+	}
+	b.WriteString("  ]\n}\n")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

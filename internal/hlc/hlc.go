@@ -108,6 +108,46 @@ func Decode(b []byte) (Timestamp, error) {
 	return Unpack(binary.BigEndian.Uint64(b)), nil
 }
 
+// Manual is a settable physical-clock source — the injectable seam that
+// removes real time from the unit suite and lets fault-injection
+// harnesses (internal/chaos) drive clock-skew scenarios byte-for-byte
+// reproducibly. Plug Manual.Now into NewClock; every reading then comes
+// from Set/Advance instead of the machine's wall clock. All methods are
+// safe for concurrent use.
+type Manual struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewManual returns a manual physical clock frozen at start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{t: start}
+}
+
+// Now returns the current manual reading. Pass this method to NewClock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t
+}
+
+// Set moves the manual clock to t — backwards moves model NTP steps and
+// VM pauses.
+func (m *Manual) Set(t time.Time) {
+	m.mu.Lock()
+	m.t = t
+	m.mu.Unlock()
+}
+
+// Advance moves the manual clock forward by d and returns the new
+// reading.
+func (m *Manual) Advance(d time.Duration) time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.t = m.t.Add(d)
+	return m.t
+}
+
 // Clock is one node's hybrid logical clock. All methods are safe for
 // concurrent use. The zero value is not usable; use NewClock.
 type Clock struct {

@@ -7,27 +7,12 @@ import (
 	"time"
 )
 
-// fakeNow is a settable physical clock for driving skew scenarios.
-type fakeNow struct {
-	mu sync.Mutex
-	t  time.Time
-}
-
-func (f *fakeNow) now() time.Time {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.t
-}
-
-func (f *fakeNow) set(t time.Time) {
-	f.mu.Lock()
-	f.t = t
-	f.mu.Unlock()
-}
+// The whole suite runs on the Manual physical clock — no test reads the
+// machine's wall clock, so every assertion is exact and reproducible.
 
 func TestNowStrictlyMonotonicWithinMillisecond(t *testing.T) {
-	phys := &fakeNow{t: time.UnixMilli(1_000_000)}
-	c := NewClock(phys.now, 0)
+	phys := NewManual(time.UnixMilli(1_000_000))
+	c := NewClock(phys.Now, 0)
 	prev := c.Now()
 	for i := 0; i < 1000; i++ {
 		next := c.Now()
@@ -42,11 +27,11 @@ func TestNowStrictlyMonotonicWithinMillisecond(t *testing.T) {
 }
 
 func TestNowSurvivesPhysicalRegression(t *testing.T) {
-	phys := &fakeNow{t: time.UnixMilli(5_000_000)}
-	c := NewClock(phys.now, 0)
+	phys := NewManual(time.UnixMilli(5_000_000))
+	c := NewClock(phys.Now, 0)
 	before := c.Now()
 	// NTP steps the wall clock back a full minute.
-	phys.set(time.UnixMilli(5_000_000 - 60_000))
+	phys.Set(time.UnixMilli(5_000_000 - 60_000))
 	after := c.Now()
 	if !before.Before(after) {
 		t.Fatalf("regressed wall clock broke monotonicity: %v then %v", before, after)
@@ -55,16 +40,32 @@ func TestNowSurvivesPhysicalRegression(t *testing.T) {
 		t.Fatalf("regressed clock changed the wall component: %v -> %v", before, after)
 	}
 	// Once physical time catches back up, stamps track it again.
-	phys.set(time.UnixMilli(5_000_100))
+	phys.Set(time.UnixMilli(5_000_100))
 	caught := c.Now()
 	if caught.Wall != 5_000_100 || caught.Logical != 0 {
 		t.Fatalf("clock did not rejoin physical time: %v", caught)
 	}
 }
 
+func TestManualAdvance(t *testing.T) {
+	phys := NewManual(time.UnixMilli(9_000_000))
+	c := NewClock(phys.Now, 0)
+	first := c.Now()
+	if got := phys.Advance(250 * time.Millisecond); got != time.UnixMilli(9_000_250) {
+		t.Fatalf("Advance returned %v, want 9000250ms", got)
+	}
+	second := c.Now()
+	if second.Wall != 9_000_250 || second.Logical != 0 {
+		t.Fatalf("stamp after Advance = %v, want 9000250.0", second)
+	}
+	if !first.Before(second) {
+		t.Fatalf("advance broke ordering: %v then %v", first, second)
+	}
+}
+
 func TestUpdateMergesRemoteStamp(t *testing.T) {
-	phys := &fakeNow{t: time.UnixMilli(2_000_000)}
-	c := NewClock(phys.now, time.Hour)
+	phys := NewManual(time.UnixMilli(2_000_000))
+	c := NewClock(phys.Now, time.Hour)
 	remote := Timestamp{Wall: 2_000_050, Logical: 7}
 	got := c.Update(remote)
 	if !remote.Before(got) {
@@ -80,28 +81,35 @@ func TestUpdateMergesRemoteStamp(t *testing.T) {
 	}
 }
 
+// TestUpdateClampsRunawayRemote is exact on the manual clock: the
+// runaway remote is truncated to (physical + drift, MaxLogical), and
+// merging that saturated stamp rolls the wall forward exactly one
+// millisecond.
 func TestUpdateClampsRunawayRemote(t *testing.T) {
-	phys := &fakeNow{t: time.UnixMilli(3_000_000)}
-	c := NewClock(phys.now, 500*time.Millisecond)
+	phys := NewManual(time.UnixMilli(3_000_000))
+	c := NewClock(phys.Now, 500*time.Millisecond)
 	remote := Timestamp{Wall: 3_000_000 + 3_600_000, Logical: 0} // one hour ahead
 	got := c.Update(remote)
-	limit := int64(3_000_000 + 500)
-	if got.Wall > limit+1 {
-		t.Fatalf("Update let a runaway remote pull the clock to %v (drift limit wall %d)", got, limit)
+	want := Timestamp{Wall: 3_000_501, Logical: 0}
+	if got != want {
+		t.Fatalf("Update(runaway remote) = %v, want exactly %v (drift limit wall 3000500, logical saturated)", got, want)
 	}
 	if c.Clamped() != 1 {
 		t.Fatalf("Clamped() = %d, want 1", c.Clamped())
 	}
-	// A remote inside the drift bound is not clamped.
-	c.Update(Timestamp{Wall: 3_000_100, Logical: 0})
+	// A remote inside the drift bound is not clamped and merges exactly.
+	got = c.Update(Timestamp{Wall: 3_000_100, Logical: 0})
 	if c.Clamped() != 1 {
 		t.Fatalf("Clamped() = %d after an in-bound remote, want 1", c.Clamped())
+	}
+	if (got != Timestamp{Wall: 3_000_501, Logical: 1}) {
+		t.Fatalf("in-bound merge = %v, want 3000501.1 (history already past the remote)", got)
 	}
 }
 
 func TestLogicalOverflowRollsWallForward(t *testing.T) {
-	phys := &fakeNow{t: time.UnixMilli(4_000_000)}
-	c := NewClock(phys.now, 0)
+	phys := NewManual(time.UnixMilli(4_000_000))
+	c := NewClock(phys.Now, 0)
 	got := c.Update(Timestamp{Wall: 4_000_000, Logical: MaxLogical})
 	if got.Wall != 4_000_001 || got.Logical != 0 {
 		t.Fatalf("logical overflow produced %v, want wall rolled to 4000001.0", got)
@@ -109,7 +117,11 @@ func TestLogicalOverflowRollsWallForward(t *testing.T) {
 }
 
 func TestConcurrentStampsAreUnique(t *testing.T) {
-	c := NewClock(nil, 0)
+	// A frozen manual clock is the worst case: every stamp competes for
+	// the same millisecond, so uniqueness rides entirely on the logical
+	// counter discipline.
+	phys := NewManual(time.UnixMilli(6_000_000))
+	c := NewClock(phys.Now, 0)
 	const goroutines, per = 8, 500
 	stamps := make([][]Timestamp, goroutines)
 	var wg sync.WaitGroup
@@ -168,7 +180,7 @@ func TestCodecRoundTrip(t *testing.T) {
 		{Wall: 1, Logical: 0},
 		{Wall: 0, Logical: 1},
 		{Wall: MaxWall, Logical: MaxLogical},
-		{Wall: time.Now().UnixMilli(), Logical: 42},
+		{Wall: 1_700_000_000_000, Logical: 42}, // a plausible modern wall reading
 	} {
 		b := ts.AppendEncode(nil)
 		if len(b) != EncodedSize {
@@ -194,7 +206,7 @@ func FuzzCodec(f *testing.F) {
 	f.Add(uint64(0))
 	f.Add(uint64(1) << 16)
 	f.Add(^uint64(0))
-	f.Add(uint64(time.Now().UnixMilli()) << 16)
+	f.Add(uint64(1_700_000_000_000) << 16)
 	f.Fuzz(func(t *testing.T, packed uint64) {
 		ts := Unpack(packed)
 		if ts.Pack() != packed {

@@ -28,6 +28,10 @@ type ReplicationMetrics struct {
 	// IngestFallback counts submissions ingested locally because the
 	// shard primary was unreachable.
 	IngestFallback *Counter
+	// ForwardBodyFails counts proxied submissions whose response relay
+	// broke mid-body; the client was answered with a 307 to the primary
+	// instead of a truncated relay.
+	ForwardBodyFails *Counter
 	// AckTimeouts counts locally committed submissions whose replica
 	// acknowledgement never arrived inside the window (the client gets a
 	// 503 and retries; the record stays durable locally).
@@ -68,6 +72,7 @@ func NewReplicationMetrics(reg *Registry) *ReplicationMetrics {
 		Forwarded:        reg.Counter("repl_forwarded_total", "submissions proxied to their shard primary"),
 		Redirected:       reg.Counter("repl_redirected_total", "submissions 307-redirected to their shard primary"),
 		IngestFallback:   reg.Counter("repl_ingest_fallback_total", "submissions ingested locally with the primary unreachable"),
+		ForwardBodyFails: reg.Counter("repl_forward_body_failures_total", "proxied submissions whose response relay broke mid-body (answered with a 307 to the primary)"),
 		AckTimeouts:      reg.Counter("repl_ack_timeouts_total", "commits whose replica acknowledgement timed out"),
 		ReconcileRounds:  reg.Counter("reconcile_rounds_total", "anti-entropy rounds started"),
 		ReconcileRepairs: reg.Counter("reconcile_repairs_total", "model repairs after a digest mismatch"),

@@ -1,0 +1,41 @@
+package replication
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DecodeBatch parses and validates the body of one /v1/replicate POST.
+// It is the cluster's trust boundary for peer traffic: the server
+// answers 400 to anything DecodeBatch rejects, so protocol garbage — a
+// truncated body, trailing bytes, unstamped records, records missing
+// their model or device identity — is refused before ApplyRemote ever
+// sees it. The decoder is fuzzed (FuzzBatchDecode) in `make fuzz-smoke`.
+func DecodeBatch(r io.Reader) (Batch, error) {
+	var b Batch
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&b); err != nil {
+		return Batch{}, fmt.Errorf("replication: batch undecodable: %w", err)
+	}
+	// One JSON document per body: trailing data means a framing bug (or a
+	// hostile peer), not a batch.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return Batch{}, fmt.Errorf("replication: trailing data after batch")
+	}
+	if b.From == "" {
+		return Batch{}, fmt.Errorf("replication: batch missing origin node ID")
+	}
+	for i, rec := range b.Records {
+		if _, ok := rec.Key(); !ok {
+			return Batch{}, fmt.Errorf("replication: record %d of %d is unstamped", i, len(b.Records))
+		}
+		if rec.Model == "" {
+			return Batch{}, fmt.Errorf("replication: record %d of %d has no model", i, len(b.Records))
+		}
+		if rec.Device == "" {
+			return Batch{}, fmt.Errorf("replication: record %d of %d has no device", i, len(b.Records))
+		}
+	}
+	return b, nil
+}

@@ -102,6 +102,67 @@ func TestReplicaSet(t *testing.T) {
 	}
 }
 
+// TestRingJoinMovesFairShare tightens the reassignment bound dynamic
+// membership will rely on: a join moves roughly the joiner's fair share
+// of keys — not just "fewer than half".
+func TestRingJoinMovesFairShare(t *testing.T) {
+	base := NewRing([]string{"n1", "n2", "n3"}, 0)
+	ks := keys(2000)
+	grown := base.WithNode("n4")
+	moved := 0
+	for _, k := range ks {
+		if base.Owner(k) != grown.Owner(k) {
+			moved++
+		}
+	}
+	// n4's fair share is a quarter of the keyspace; the vnode spread
+	// keeps the real figure within [fair/2, 2*fair].
+	fair := len(ks) / grown.Len()
+	if moved < fair/2 || moved > fair*2 {
+		t.Fatalf("join of n4 moved %d of %d keys, want within [%d, %d] of the fair share %d",
+			moved, len(ks), fair/2, fair*2, fair)
+	}
+}
+
+// TestRingBalanceAfterMembershipChange: the balance bound holds not just
+// on freshly built rings but across WithNode/WithoutNode transitions —
+// the rings dynamic membership actually routes on.
+func TestRingBalanceAfterMembershipChange(t *testing.T) {
+	ks := keys(2000)
+	assertBalanced := func(r *Ring, label string) {
+		t.Helper()
+		counts := map[string]int{}
+		for _, k := range ks {
+			counts[r.Owner(k)]++
+		}
+		fair := len(ks) / r.Len()
+		for _, n := range r.Nodes() {
+			if c := counts[n]; c < fair/2 || c > fair*2 {
+				t.Fatalf("%s: node %s owns %d of %d keys (fair %d): %+v", label, n, c, len(ks), fair, counts)
+			}
+		}
+	}
+	base := NewRing([]string{"n1", "n2", "n3"}, 0)
+	assertBalanced(base.WithNode("n4"), "after join of n4")
+	assertBalanced(base.WithoutNode("n2"), "after leave of n2")
+	// A join then a leave of the same node routes identically to never
+	// having seen it — membership changes are self-inverse.
+	back := base.WithNode("n4").WithoutNode("n4")
+	for _, k := range ks {
+		if base.Owner(k) != back.Owner(k) {
+			t.Fatalf("join+leave of n4 changed ownership of %s: %s -> %s", k, base.Owner(k), back.Owner(k))
+		}
+	}
+	// No-op transitions: joining a member and removing a stranger leave
+	// the ring untouched.
+	if same := base.WithNode("n2"); same.Len() != base.Len() {
+		t.Fatalf("WithNode of an existing member changed membership: %v", same.Nodes())
+	}
+	if same := base.WithoutNode("nX"); same.Len() != base.Len() {
+		t.Fatalf("WithoutNode of a stranger changed membership: %v", same.Nodes())
+	}
+}
+
 func TestEmptyRing(t *testing.T) {
 	r := NewRing(nil, 0)
 	if r.Owner("anything") != "" || r.ReplicaSet("anything", 3) != nil || r.Len() != 0 {

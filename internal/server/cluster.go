@@ -70,8 +70,14 @@ type ClusterConfig struct {
 	// MaxDrift is the HLC drift clamp for remote stamps
 	// (hlc.DefaultMaxDrift when 0).
 	MaxDrift time.Duration
-	// Client, when non-nil, carries all peer HTTP traffic (tests).
+	// Client, when non-nil, carries all peer HTTP traffic — submission
+	// proxying, replication shipping, and anti-entropy pulls. The
+	// injection seam internal/chaos threads its fault-plan RoundTripper
+	// through.
 	Client *http.Client
+	// Now, when non-nil, is the HLC's physical-clock source (hlc.Manual
+	// in tests and chaos scenarios; time.Now otherwise).
+	Now func() time.Time
 }
 
 // clusterCommitter wraps the node's durable commit path with HLC
@@ -109,7 +115,7 @@ func (s *Server) initCluster() error {
 	if cc.NodeID == "" {
 		return errors.New("server: cluster config needs a NodeID")
 	}
-	s.clock = hlc.NewClock(nil, cc.MaxDrift)
+	s.clock = hlc.NewClock(cc.Now, cc.MaxDrift)
 	s.rmet = obs.NewReplicationMetrics(s.reg)
 	var base ingest.Committer
 	if s.pers != nil {
@@ -217,6 +223,13 @@ func (s *Server) handleClusterSubmit(w http.ResponseWriter, r *http.Request, bod
 // forwardSubmit proxies an upload to the primary and relays the
 // response; false means the primary was unreachable and nothing was
 // written to w.
+//
+// The relay is buffered: the primary's response is read fully before a
+// single byte goes to the client. If the connection to the primary
+// breaks mid-body — after the primary may already have committed — the
+// client gets a clean 307 to the primary instead of a truncated relay,
+// and retries there directly (resubmission is dup-safe: the record's
+// identity is (origin, stamp) and the newest stamp per device wins).
 func (s *Server) forwardSubmit(w http.ResponseWriter, base string, body []byte) bool {
 	req, err := http.NewRequest(http.MethodPost, base+"/v1/submissions", bytes.NewReader(body))
 	if err != nil {
@@ -229,9 +242,16 @@ func (s *Server) forwardSubmit(w http.ResponseWriter, base string, body []byte) 
 		return false
 	}
 	defer resp.Body.Close()
+	relay, err := io.ReadAll(resp.Body)
+	if err != nil {
+		s.rmet.ForwardBodyFails.Inc()
+		w.Header().Set("Location", base+"/v1/submissions")
+		writeJSON(w, http.StatusTemporaryRedirect, submitResponse{Status: "redirect"})
+		return true
+	}
 	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	w.Write(relay)
 	return true
 }
 
@@ -250,8 +270,11 @@ func peekModel(body []byte) string {
 
 // handleReplicatePost applies a peer's shipped batch.
 func (s *Server) handleReplicatePost(w http.ResponseWriter, r *http.Request) {
-	var batch replication.Batch
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20)).Decode(&batch); err != nil {
+	batch, err := replication.DecodeBatch(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err != nil {
+		// Protocol garbage — truncated bodies, unstamped or unidentified
+		// records — is the sender's bug, not ours: refuse it at the
+		// boundary instead of surfacing a 500 from ApplyRemote.
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}

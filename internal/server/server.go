@@ -84,6 +84,10 @@ type Config struct {
 	// SegmentBytes is the WAL's segment-rotation threshold
 	// (wal.DefaultSegmentBytes if <= 0).
 	SegmentBytes int64
+	// FsyncDelay, when non-nil, runs before every WAL fsync — the
+	// slow-disk injection seam used by internal/chaos and crowdd's
+	// -chaos-fsync-delay flag. Only meaningful with DataDir set.
+	FsyncDelay func()
 	// TraceWriter, when non-nil, enables per-submission tracing: every
 	// accepted upload emits one JSON span per pipeline stage
 	// (decode→filter→wal_append→store) to this writer, correlated by a
@@ -149,6 +153,7 @@ func New(cfg Config) (*Server, error) {
 			FlushEvery:    cfg.FsyncEvery,
 			SnapshotEvery: cfg.SnapshotEvery,
 			Obs:           reg,
+			FsyncDelay:    cfg.FsyncDelay,
 		}, st)
 		if err != nil {
 			return nil, err

@@ -370,3 +370,44 @@ func CheckMetricsFlow(t *testing.T, m map[string]uint64) {
 			m["crowdd_store_accepted_records"], m["crowdd_accepted_total"], m["crowdd_wal_restored_accepted_records"])
 	}
 }
+
+// CheckReplicationMetrics asserts the replication subsystem's
+// conservation laws over one cluster node's parsed /metrics exposition.
+// Valid whenever the node's counters are quiescent (shippers drained,
+// no reconcile round in flight) — the chaos harness scrapes after
+// convergence. These are the books that say every replicated record is
+// accounted for: batching never invents records, anti-entropy repairs
+// flow through the same apply path as live ships, and cluster nodes
+// extend the store-provenance law with the replication leg.
+func CheckReplicationMetrics(t *testing.T, m map[string]uint64) {
+	t.Helper()
+	// A batch holds at least one record.
+	if m["crowdd_repl_ship_batches_total"] > m["crowdd_repl_ship_records_total"] {
+		t.Errorf("testkit: %d ship batches carried only %d records — empty batches shipped",
+			m["crowdd_repl_ship_batches_total"], m["crowdd_repl_ship_records_total"])
+	}
+	// A repair is a digest mismatch that pulled records; catch-up is a
+	// subclass of repair.
+	if m["crowdd_reconcile_snapshot_catchups_total"] > m["crowdd_reconcile_repairs_total"] {
+		t.Errorf("testkit: %d snapshot catch-ups exceed %d repairs",
+			m["crowdd_reconcile_snapshot_catchups_total"], m["crowdd_reconcile_repairs_total"])
+	}
+	// Every reconcile-pulled record went through ApplyRemote, which
+	// counted it as applied or as a dup.
+	if m["crowdd_reconcile_pulled_total"] > m["crowdd_repl_applied_total"]+m["crowdd_repl_apply_dups_total"] {
+		t.Errorf("testkit: reconcile pulled %d records but ApplyRemote only saw %d applied + %d dups",
+			m["crowdd_reconcile_pulled_total"], m["crowdd_repl_applied_total"], m["crowdd_repl_apply_dups_total"])
+	}
+	// Store provenance on a cluster node: every record was stored by this
+	// node's pipeline, applied from a peer, or restored by boot recovery.
+	if m["crowdd_store_records"] != m["crowdd_stored_total"]+m["crowdd_repl_applied_total"]+m["crowdd_wal_restored_records"] {
+		t.Errorf("testkit: store holds %d records but pipeline stored %d + replication applied %d + recovery restored %d",
+			m["crowdd_store_records"], m["crowdd_stored_total"], m["crowdd_repl_applied_total"], m["crowdd_wal_restored_records"])
+	}
+	// An ack timeout is a ShipWait that gave up; it implies the 503
+	// "unreplicated" path, surfaced to clients for retry.
+	if m["crowdd_repl_ack_timeouts_total"] > 0 && m["crowdd_repl_ship_records_total"] == 0 && m["crowdd_repl_ship_dropped_total"] == 0 {
+		t.Errorf("testkit: %d ack timeouts with no records ever enqueued",
+			m["crowdd_repl_ack_timeouts_total"])
+	}
+}

@@ -35,6 +35,9 @@ type PersistConfig struct {
 	// Obs, when non-nil, registers the log's fsync latency and
 	// group-commit batch-size histograms (see Config.Obs).
 	Obs *obs.Registry
+	// FsyncDelay is the slow-disk injection seam, forwarded to the log
+	// (see Config.FsyncDelay).
+	FsyncDelay func()
 }
 
 // Recovery reports what Open found and rebuilt from the data directory.
@@ -142,6 +145,7 @@ func Open(cfg PersistConfig, st *store.Store) (*Persister, Recovery, error) {
 		FlushEvery:   cfg.FlushEvery,
 		StartSeq:     snapSeq,
 		Obs:          cfg.Obs,
+		FsyncDelay:   cfg.FsyncDelay,
 	})
 	if err != nil {
 		return nil, rec, err

@@ -70,6 +70,12 @@ type Config struct {
 	// (how many appends each fsync covered — the group-commit
 	// amortization factor).
 	Obs *obs.Registry
+	// FsyncDelay, when non-nil, runs immediately before every fsync while
+	// the log's mutex is held — the slow-disk injection seam used by
+	// internal/chaos. A sleeping FsyncDelay stalls the whole commit path
+	// exactly the way a saturated or degraded disk does: appenders block
+	// until the delayed fsync covering their record completes.
+	FsyncDelay func()
 }
 
 // Counters is a snapshot of the log's activity counters.
@@ -338,6 +344,9 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 // durable.
 func (l *Log) syncLocked() error {
 	batch := l.lastSeq - l.syncedSeq
+	if l.cfg.FsyncDelay != nil {
+		l.cfg.FsyncDelay()
+	}
 	var t0 time.Time
 	if l.fsyncDur != nil {
 		t0 = time.Now()
