@@ -26,11 +26,12 @@ race:
 
 # race-repl re-runs the replication stack uncached under the race
 # detector: the clock, the replicator's shippers and anti-entropy loop,
-# and the multi-node cluster e2e — the most concurrency-dense code in
-# the tree gets a fresh pass every ci run.
+# the wire codec + streaming ingest, and the multi-node cluster e2e —
+# the most concurrency-dense code in the tree gets a fresh pass every
+# ci run.
 race-repl:
-	$(GO) test -race -count=1 ./internal/hlc ./internal/replication
-	$(GO) test -race -count=1 -run '^TestCluster' ./internal/server
+	$(GO) test -race -count=1 ./internal/hlc ./internal/replication ./internal/wire
+	$(GO) test -race -count=1 -run '^TestCluster|^TestStream' ./internal/server
 
 # fuzz-smoke runs each fuzz target briefly — enough to catch regressions
 # on the corpus plus a short random walk. -run '^$' skips the unit tests
@@ -41,6 +42,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzWALRecordDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/hlc -run '^$$' -fuzz '^FuzzCodec$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/replication -run '^$$' -fuzz '^FuzzBatchDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzWireFrameDecode$$' -fuzztime $(FUZZTIME)
 
 # chaos-smoke runs the seeded fault-injection scenario matrix under the
 # race detector, uncached: every scenario in internal/chaos executed
@@ -72,10 +74,13 @@ links-check:
 
 # bench runs the headline hot-path benchmarks (device step, thermal
 # step, Table II regeneration), prints benchstat-comparable output and
-# refreshes BENCH_5.json with the measured ns/op and allocs/op. See
-# docs/PERFORMANCE.md for the hot-path map behind these numbers.
+# refreshes BENCH_5.json with the measured ns/op and allocs/op, then
+# the JSON-vs-binary ingest throughput comparison into BENCH_8.json
+# (docs/WIRE.md). See docs/PERFORMANCE.md for the hot-path map behind
+# these numbers.
 bench:
 	sh scripts/bench_run.sh
+	sh scripts/bench_ingest.sh
 
 # bench-diff re-measures and fails if any headline benchmark regressed
 # more than 10% in ns/op against the committed BENCH_5.json.

@@ -23,7 +23,8 @@
 // periodic anti-entropy digest exchange; -max-staleness bounds how old
 // a served bins entry may be.
 //
-// Endpoints: POST /v1/submissions, GET /v1/bins, GET /v1/devices/{id},
+// Endpoints: POST /v1/submissions, POST /v1/stream (binary streaming
+// batch ingest, docs/WIRE.md), GET /v1/bins, GET /v1/devices/{id},
 // GET /healthz, GET /metrics (Prometheus text format; docs/METRICS.md
 // is the reference for every series). Cluster nodes add
 // POST+GET /v1/replicate and GET /v1/digest for their peers.

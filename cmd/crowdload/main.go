@@ -5,6 +5,12 @@
 // It then waits for the server to drain, verifies zero dropped
 // submissions, and prints throughput, acceptance-rate and bin stats.
 //
+// Uploads ride the binary wire protocol by default — each worker holds
+// one persistent stream to its home node and ships batches of -batch
+// submissions per frame, acked per batch (docs/WIRE.md). -transport
+// json falls back to one JSON POST per submission, the original path,
+// kept for comparison benchmarks and older servers.
+//
 //	crowdd -addr :8077 &
 //	crowdload -addr http://127.0.0.1:8077 -devices 200
 //
@@ -68,6 +74,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		scenarioF   = fs.String("scenario", "", "chaos scenario to run the load under (baseline, degraded, partition, high-load); faults are injected client-side into this tool's connections, docs/CLUSTER.md §Fault injection")
 		chaosSeed   = fs.Int64("chaos-seed", 1, "seed for the chaos fault plan; the same seed scripts the same faults")
 		benchOut    = fs.String("bench-out", "", "JSON file to merge this scenario's submissions/sec + ack p99 + time-to-convergence into (BENCH_7.json shape, compared by scripts/bench_diff.sh)")
+		transportF  = fs.String("transport", "binary", "upload transport: binary (persistent streams of batched wire frames, docs/WIRE.md) or json (one POST per submission)")
+		batchK      = fs.Int("batch", 64, "submissions per batch frame on the binary transport")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +88,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *concurrency <= 0 {
 		return fmt.Errorf("need -concurrency > 0")
+	}
+	useWire := false
+	switch *transportF {
+	case "binary":
+		useWire = true
+	case "json":
+	default:
+		return fmt.Errorf("unknown -transport %q (want binary or json)", *transportF)
+	}
+	if useWire && *batchK <= 0 {
+		return fmt.Errorf("need -batch > 0")
 	}
 	model, err := soc.ModelByName(*modelName)
 	if err != nil {
@@ -124,14 +143,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if len(nodes) == 1 {
-		fmt.Fprintf(stdout, "crowdload: %d %s devices → %s (%d workers)\n", *devices, model.Name, *addr, *concurrency)
+		fmt.Fprintf(stdout, "crowdload: %d %s devices → %s (%d workers, %s transport)\n", *devices, model.Name, *addr, *concurrency, *transportF)
 	} else {
-		fmt.Fprintf(stdout, "crowdload: %d %s devices sprayed across %d nodes (%d workers)\n", *devices, model.Name, len(nodes), *concurrency)
+		fmt.Fprintf(stdout, "crowdload: %d %s devices sprayed across %d nodes (%d workers, %s transport)\n", *devices, model.Name, len(nodes), *concurrency, *transportF)
 	}
+	// One shared transport for the whole run, tuned so every worker keeps
+	// a warm connection: the default keeps only 2 idle conns per host, so
+	// with more workers than that every third POST would pay a fresh TCP
+	// handshake. Keep-alives stay on (binary streams hold their
+	// connection open for the run; JSON POSTs reuse pooled ones).
 	transport := http.DefaultTransport.(*http.Transport).Clone()
-	// The default transport keeps only 2 idle conns per host; with more
-	// workers than that, every third POST would pay a fresh TCP handshake.
 	transport.MaxIdleConnsPerHost = *concurrency
+	transport.MaxIdleConns = 4 * *concurrency
+	transport.DisableKeepAlives = false
 	client := &http.Client{Timeout: 30 * time.Second, Transport: transport}
 
 	// Snapshot the counters first: the servers may already hold records, so
@@ -167,11 +191,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// Streams live longer than any single POST, so they bypass the
+	// client's 30 s whole-request timeout while sharing its (possibly
+	// chaos-wrapped) transport and connection pool.
+	streamClient := &http.Client{Transport: client.Transport}
+
 	var sent, retried, failed atomic.Uint64
 	var simNanos, postNanos atomic.Int64
 	var ackedMu sync.Mutex
 	var acked []string        // device IDs whose upload was acknowledged
-	var ackLatencies []float64 // per acked upload: ms from first POST to the 202, retries included
+	var ackLatencies []float64 // per acked upload (JSON) or batch (binary): ms from first send to the ack, retries included
 	start := time.Now()
 	var wg sync.WaitGroup
 	type job struct {
@@ -181,8 +210,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 	work := make(chan job)
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			if useWire {
+				wireWorker(wireWorkerConfig{
+					client:     streamClient,
+					nodes:      nodes,
+					home:       w % len(nodes),
+					batch:      *batchK,
+					retries:    *retries + netRetries,
+					stderr:     stderr,
+					sent:       &sent,
+					retried:    &retried,
+					failed:     &failed,
+					simNanos:   &simNanos,
+					postNanos:  &postNanos,
+					ackedMu:    &ackedMu,
+					acked:      &acked,
+					ackLatency: &ackLatencies,
+				}, func(yield func(crowd.WildDevice)) {
+					for j := range work {
+						yield(j.dev)
+					}
+				})
+				return
+			}
 			for j := range work {
 				dev := j.dev
 				t0 := time.Now()
@@ -226,7 +278,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 				ackLatencies = append(ackLatencies, float64(ackWait.Nanoseconds())/1e6)
 				ackedMu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	for i, dev := range wild {
 		work <- job{dev: dev, node: nodes[i%len(nodes)]}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accubench/internal/crowd"
+	"accubench/internal/wire"
+)
+
+// wireWorkerConfig carries one binary-transport worker's shared state:
+// the tuned client, the node list (home is this worker's starting
+// node), and the run-wide accounting sinks the JSON path also feeds.
+type wireWorkerConfig struct {
+	client     *http.Client
+	nodes      []string
+	home       int
+	batch      int
+	retries    int
+	stderr     io.Writer
+	sent       *atomic.Uint64
+	retried    *atomic.Uint64
+	failed     *atomic.Uint64
+	simNanos   *atomic.Int64
+	postNanos  *atomic.Int64
+	ackedMu    *sync.Mutex
+	acked      *[]string
+	ackLatency *[]float64
+}
+
+// wireWorker drains devices from the job feed, benchmarks each,
+// accumulates the results into batch frames and ships them over one
+// persistent wire stream to the worker's home node — a window of one
+// batch in flight, so the server's ack pace is the flow control. A
+// stream error or an erroring ack closes the stream, fails over to the
+// next node, and retries the whole batch: retries are dup-safe (the
+// cluster stamps resubmissions fresh and keeps the newest per device),
+// and an acked batch is durable, so nothing acknowledged is ever
+// resent.
+func wireWorker(cfg wireWorkerConfig, feed func(yield func(crowd.WildDevice))) {
+	var st *wire.Stream
+	defer func() {
+		if st != nil {
+			st.Close()
+		}
+	}()
+	batch := make([]wire.Submission, 0, cfg.batch)
+	devs := make([]string, 0, cfg.batch)
+
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		t0 := time.Now()
+		for attempt := 0; ; attempt++ {
+			if attempt > 0 {
+				cfg.retried.Add(1)
+				time.Sleep(time.Duration(attempt) * 20 * time.Millisecond)
+			}
+			if attempt > cfg.retries {
+				fmt.Fprintf(cfg.stderr, "crowdload: batch of %d gave up after %d attempts\n", len(batch), attempt)
+				cfg.failed.Add(uint64(len(batch)))
+				break
+			}
+			if st == nil {
+				var err error
+				st, err = wire.OpenStream(cfg.client, cfg.nodes[cfg.home], nil)
+				if err != nil {
+					cfg.home = (cfg.home + 1) % len(cfg.nodes)
+					continue
+				}
+			}
+			ack, err := st.Do(batch)
+			if err != nil {
+				// The stream is unusable past any error — reopen, on the
+				// next node if there is one.
+				st.Close()
+				st = nil
+				cfg.home = (cfg.home + 1) % len(cfg.nodes)
+				continue
+			}
+			if ack.Err != "" || int(ack.Committed) != len(batch) {
+				// An erroring ack (e.g. unreplicated) leaves the batch
+				// uncommitted from the client's view: retry it whole.
+				continue
+			}
+			latency := time.Since(t0)
+			cfg.postNanos.Add(latency.Nanoseconds())
+			cfg.sent.Add(uint64(len(batch)))
+			cfg.ackedMu.Lock()
+			*cfg.acked = append(*cfg.acked, devs...)
+			*cfg.ackLatency = append(*cfg.ackLatency, float64(latency.Nanoseconds())/1e6)
+			cfg.ackedMu.Unlock()
+			break
+		}
+		batch = batch[:0]
+		devs = devs[:0]
+	}
+
+	feed(func(dev crowd.WildDevice) {
+		t0 := time.Now()
+		sub, err := dev.Benchmark()
+		if err != nil {
+			fmt.Fprintf(cfg.stderr, "crowdload: %s: benchmark: %v\n", dev.Unit.Name, err)
+			cfg.failed.Add(1)
+			return
+		}
+		cfg.simNanos.Add(time.Since(t0).Nanoseconds())
+		ws := wire.Submission{
+			Device:   sub.Device,
+			Model:    dev.Unit.ModelName,
+			Score:    sub.Score,
+			Cooldown: make([]wire.Point, len(sub.CooldownReadings)),
+		}
+		for i, p := range sub.CooldownReadings {
+			ws.Cooldown[i] = wire.Point{AtSeconds: p.At.Seconds(), TempC: float64(p.Reading)}
+		}
+		batch = append(batch, ws)
+		devs = append(devs, sub.Device)
+		if len(batch) >= cfg.batch {
+			flush()
+		}
+	})
+	flush()
+}

@@ -1,0 +1,60 @@
+package obs
+
+// WireMetrics is the binary streaming-ingest metric family (the
+// POST /v1/stream path, internal/wire), registered as one unit so
+// internal/server's handlers share handles and docs/METRICS.md stays
+// the single naming reference. All series carry the registry prefix
+// (crowdd_ in production).
+type WireMetrics struct {
+	// Streams counts stream connections accepted.
+	Streams *Counter
+	// StreamsActive gauges streams currently open.
+	StreamsActive *Gauge
+	// Frames counts frames read successfully off streams.
+	Frames *Counter
+	// BadFrames counts frames refused: CRC mismatch, torn mid-stream,
+	// oversized length prefix, wrong type, or an undecodable batch
+	// payload. A bad frame terminates its stream — framing can no
+	// longer be trusted.
+	BadFrames *Counter
+	// Batches counts batch frames whose submissions decoded.
+	Batches *Counter
+	// Submissions counts submissions carried inside those batches.
+	Submissions *Counter
+	// Acks counts ack frames written back.
+	Acks *Counter
+	// ForwardedBatches counts sub-batches proxied to their model's
+	// shard primary as one-shot wire POSTs.
+	ForwardedBatches *Counter
+	// ForwardFallbacks counts sub-batches ingested locally because
+	// their shard primary was unreachable.
+	ForwardFallbacks *Counter
+	// Unreplicated counts batches acked with an error because no
+	// replica acknowledged inside the window (records stay durable
+	// locally; the client retries).
+	Unreplicated *Counter
+	// BatchSize is the distribution of submissions per batch frame.
+	BatchSize *Histogram
+	// AckLatency is the distribution of batch commit latency: frame
+	// decoded to ack written (replication wait included in cluster
+	// mode).
+	AckLatency *Histogram
+}
+
+// NewWireMetrics registers the wire-protocol series on the registry.
+func NewWireMetrics(reg *Registry) *WireMetrics {
+	return &WireMetrics{
+		Streams:          reg.Counter("wire_streams_total", "binary ingest streams accepted"),
+		StreamsActive:    reg.Gauge("wire_streams_active", "binary ingest streams currently open"),
+		Frames:           reg.Counter("wire_frames_total", "frames read off binary ingest streams"),
+		BadFrames:        reg.Counter("wire_bad_frames_total", "frames refused (CRC mismatch, torn, oversized, or undecodable)"),
+		Batches:          reg.Counter("wire_batches_total", "batch frames whose submissions decoded"),
+		Submissions:      reg.Counter("wire_submissions_total", "submissions carried in batch frames"),
+		Acks:             reg.Counter("wire_acks_total", "ack frames written back to streams"),
+		ForwardedBatches: reg.Counter("wire_forwarded_batches_total", "sub-batches proxied to their shard primary"),
+		ForwardFallbacks: reg.Counter("wire_forward_fallbacks_total", "sub-batches ingested locally with the primary unreachable"),
+		Unreplicated:     reg.Counter("wire_unreplicated_batches_total", "batches acked with an error awaiting replication"),
+		BatchSize:        reg.Histogram("wire_batch_size", "submissions per batch frame", SizeBuckets),
+		AckLatency:       reg.Histogram("wire_ack_seconds", "batch commit latency, frame decoded to ack written", DurationBuckets),
+	}
+}

@@ -1,0 +1,192 @@
+package server_test
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"accubench/internal/crowd"
+	"accubench/internal/ingest"
+	"accubench/internal/testkit"
+	"accubench/internal/wire"
+)
+
+// TestIngestThroughputBench measures JSON-per-POST against binary
+// streaming ingest at several batch sizes over a real HTTP listener,
+// and records submissions/sec, ack p99 and the wire:JSON throughput
+// ratio into $BENCH_INGEST_OUT (BENCH_8.json via scripts/
+// bench_ingest.sh; compared direction-aware by scripts/bench_diff.sh).
+// Skipped unless the env var is set — it is a measurement, not a unit
+// test.
+func TestIngestThroughputBench(t *testing.T) {
+	out := os.Getenv("BENCH_INGEST_OUT")
+	if out == "" {
+		t.Skip("set BENCH_INGEST_OUT to run the ingest throughput benchmark")
+	}
+	const (
+		total   = 4096
+		workers = 8
+	)
+
+	jsonRate, jsonP99 := benchJSONIngest(t, total, workers)
+	t.Logf("json per-POST: %.1f sub/s, ack p99 %.3f ms", jsonRate, jsonP99)
+
+	type row struct {
+		name    string
+		rate    float64
+		p99     float64
+		ratio   float64
+		isRatio bool
+	}
+	rows := []row{{name: "ingest-json-per-post", rate: jsonRate, p99: jsonP99}}
+	for _, k := range []int{1, 16, 256} {
+		rate, p99 := benchWireIngest(t, total, workers, k)
+		ratio := rate / jsonRate
+		t.Logf("wire k=%d: %.1f sub/s, ack p99 %.3f ms, %.2fx json", k, rate, p99, ratio)
+		rows = append(rows, row{
+			name: fmt.Sprintf("ingest-wire-k%d", k), rate: rate, p99: p99,
+			ratio: ratio, isRatio: true,
+		})
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "{\n  \"ingest\": [\n")
+	for i, r := range rows {
+		comma := ","
+		if i == len(rows)-1 {
+			comma = ""
+		}
+		if r.isRatio {
+			fmt.Fprintf(f, "    {\"name\": \"%s\", \"submissions_per_sec\": %.1f, \"ack_p99_ms\": %.3f, \"ratio_vs_json\": %.2f}%s\n",
+				r.name, r.rate, r.p99, r.ratio, comma)
+		} else {
+			fmt.Fprintf(f, "    {\"name\": \"%s\", \"submissions_per_sec\": %.1f, \"ack_p99_ms\": %.3f}%s\n",
+				r.name, r.rate, r.p99, comma)
+		}
+	}
+	fmt.Fprintf(f, "  ]\n}\n")
+	t.Logf("wrote %s", out)
+}
+
+// benchJSONIngest drives total accepted submissions through POST
+// /v1/submissions, one POST each, from `workers` concurrent uploaders
+// over a shared keep-alive transport — the pre-wire client behavior.
+func benchJSONIngest(t *testing.T, total, workers int) (subsPerSec, p99ms float64) {
+	t.Helper()
+	_, base := startStandalone(t)
+	policy := crowd.DefaultPolicy()
+	samples := testkit.AcceptedCooldown(t, policy, 25)
+	payloads := make([][]byte, total)
+	for i := range payloads {
+		raw, err := ingest.Marshal(fmt.Sprintf("bench-json-%05d", i), "Nexus 5", 1000+float64(i%256), samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads[i] = raw
+	}
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConnsPerHost = workers
+	client := &http.Client{Transport: transport}
+
+	lat := make([][]float64, workers)
+	next := make(chan []byte, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for raw := range next {
+				t0 := time.Now()
+				resp := postSubmission(t, client, base, raw)
+				code := resp.StatusCode
+				drainBody(t, resp)
+				if code != http.StatusAccepted {
+					t.Errorf("bench POST = %d", code)
+					return
+				}
+				lat[w] = append(lat[w], float64(time.Since(t0).Nanoseconds())/1e6)
+			}
+		}(w)
+	}
+	for _, raw := range payloads {
+		next <- raw
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+	var all []float64
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	return float64(total) / elapsed.Seconds(), p99(all)
+}
+
+// benchWireIngest drives the same population through persistent wire
+// streams, k submissions per batch frame, one stream per worker.
+func benchWireIngest(t *testing.T, total, workers, k int) (subsPerSec, p99ms float64) {
+	t.Helper()
+	_, base := startStandalone(t)
+	subs := make([]wire.Submission, total)
+	for i := range subs {
+		subs[i] = wireAccepted(t, fmt.Sprintf("bench-wire-k%d-%05d", k, i), 1000+float64(i%256))
+	}
+	batches := make(chan []wire.Submission, workers)
+	lat := make([][]float64, workers)
+	client := &http.Client{}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st, err := wire.OpenStream(client, base, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer st.Close()
+			for batch := range batches {
+				t0 := time.Now()
+				ack, err := st.Do(batch)
+				if err != nil || ack.Err != "" || int(ack.Committed) != len(batch) {
+					t.Errorf("bench batch ack = %+v, %v", ack, err)
+					return
+				}
+				lat[w] = append(lat[w], float64(time.Since(t0).Nanoseconds())/1e6)
+			}
+		}(w)
+	}
+	for off := 0; off < total; off += k {
+		end := off + k
+		if end > total {
+			end = total
+		}
+		batches <- subs[off:end]
+	}
+	close(batches)
+	wg.Wait()
+	elapsed := time.Since(start)
+	var all []float64
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	return float64(total) / elapsed.Seconds(), p99(all)
+}
+
+// p99 returns the 99th-percentile of ms samples.
+func p99(ms []float64) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	sort.Float64s(ms)
+	return ms[int(float64(len(ms)-1)*0.99)]
+}

@@ -106,6 +106,34 @@ func (c *clusterCommitter) Commit(r *store.Record) (uint64, error) {
 	return seq, err
 }
 
+// CommitBatch stamps and group-commits a whole ingest batch, keeping
+// the streaming path on the WAL's single-append fast path when the
+// underlying committer supports it. It implements ingest.BatchCommitter.
+func (c *clusterCommitter) CommitBatch(recs []*store.Record) error {
+	for _, r := range recs {
+		if r.Stamp().IsZero() {
+			r.SetStamp(c.nodeID, c.clock.Now())
+		}
+	}
+	if bc, ok := c.base.(ingest.BatchCommitter); ok {
+		return bc.CommitBatch(recs)
+	}
+	for _, r := range recs {
+		if c.base != nil {
+			if _, err := c.base.Commit(r); err != nil {
+				return err
+			}
+			continue
+		}
+		seq, err := c.st.Put(*r)
+		if err != nil {
+			return err
+		}
+		r.Seq = seq
+	}
+	return nil
+}
+
 // initCluster builds the node's clock, committer and replicator, and
 // mounts the cluster routes. Called from New when Config.Cluster is set,
 // after the store and persistence exist but before the pipeline (which

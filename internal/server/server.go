@@ -7,6 +7,10 @@
 // The HTTP JSON API:
 //
 //	POST /v1/submissions     — upload one benchmark run (202 on enqueue)
+//	POST /v1/stream          — binary streaming batch ingest: a held-open
+//	                           chunked POST carrying length-prefixed,
+//	                           CRC-framed batch frames, acked per batch
+//	                           (internal/wire; docs/WIRE.md)
 //	GET  /v1/bins            — cached per-model bins (never recomputes)
 //	GET  /v1/devices/{id}    — one device's latest verdict
 //	GET  /healthz            — liveness + persistence/recovery status
@@ -47,6 +51,7 @@ import (
 	"accubench/internal/replication"
 	"accubench/internal/store"
 	"accubench/internal/wal"
+	"accubench/internal/wire"
 )
 
 // Config parameterizes the backend.
@@ -119,9 +124,11 @@ type Server struct {
 	committer  *clusterCommitter
 	peerClient *http.Client
 
-	reg      *obs.Registry
-	httpReqs *obs.CounterVec
-	httpDur  *obs.HistogramVec
+	reg              *obs.Registry
+	httpReqs         *obs.CounterVec
+	httpDur          *obs.HistogramVec
+	wmet             *obs.WireMetrics
+	unsupportedMedia *obs.Counter
 }
 
 // New assembles the backend. Call Start before serving, Close to shut
@@ -200,7 +207,10 @@ func New(cfg Config) (*Server, error) {
 	s.registerGauges()
 	s.httpReqs = reg.CounterVec("http_requests_total", "requests served per route", "route")
 	s.httpDur = reg.HistogramVec("http_request_seconds", "request latency per route", "route", obs.DurationBuckets)
+	s.wmet = obs.NewWireMetrics(reg)
+	s.unsupportedMedia = reg.Counter("http_unsupported_media_total", "uploads refused with 415 for an unexpected Content-Type")
 	s.route("POST /v1/submissions", s.handleSubmit)
+	s.route("POST "+wire.StreamPath, s.handleStream)
 	s.route("GET /v1/bins", s.handleBins)
 	s.route("GET /v1/devices/{id}", s.handleDevice)
 	s.route("GET /healthz", s.handleHealthz)
@@ -357,6 +367,14 @@ type submitResponse struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if ct := r.Header.Get("Content-Type"); !isJSONContent(ct) {
+		s.unsupportedMedia.Inc()
+		writeJSON(w, http.StatusUnsupportedMediaType, submitResponse{
+			Status: "rejected",
+			Error:  "POST /v1/submissions takes application/json; binary frames go to " + wire.StreamPath,
+		})
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		writeJSON(w, http.StatusRequestEntityTooLarge, submitResponse{Status: "rejected", Error: "body too large"})

@@ -1,0 +1,110 @@
+package store
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"accubench/internal/hlc"
+)
+
+// batchRecord builds a storable record with an assigned sequence
+// number; every third one is rejected.
+func batchRecord(i int, seq uint64) Record {
+	r := Record{
+		Device:           fmt.Sprintf("bd-%03d", i),
+		Model:            fmt.Sprintf("Model-%d", i%3),
+		Score:            1000 + float64(i),
+		EstimatedAmbient: 25,
+		Accepted:         i%3 != 0,
+		Seq:              seq,
+	}
+	if !r.Accepted {
+		r.RejectReason = "hot climate"
+	}
+	return r
+}
+
+// TestPutSeqBatchMatchesSequential is the equivalence contract: one
+// PutSeqBatch call must leave the store in exactly the state the same
+// records inserted one PutSeq at a time would — same digests, same
+// per-device winners, same aggregates — including a device submitting
+// twice within the batch.
+func TestPutSeqBatchMatchesSequential(t *testing.T) {
+	recs := make([]Record, 0, 26)
+	for i := 0; i < 24; i++ {
+		recs = append(recs, batchRecord(i, uint64(i+1)))
+	}
+	// Same device twice in one batch: the later entry must win exactly
+	// as it would sequentially.
+	dup := batchRecord(3, 25)
+	dup.Score = 4242
+	dup.SetStamp("n1", hlc.Timestamp{Wall: 1, Logical: 1})
+	recs = append(recs, dup)
+
+	seqSt := New(4)
+	for _, r := range recs {
+		if err := seqSt.PutSeq(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batchSt := New(4)
+	if err := batchSt.PutSeqBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	if seqSt.Len() != batchSt.Len() || seqSt.AcceptedLen() != batchSt.AcceptedLen() {
+		t.Errorf("aggregates diverge: sequential %d/%d, batch %d/%d",
+			seqSt.Len(), seqSt.AcceptedLen(), batchSt.Len(), batchSt.AcceptedLen())
+	}
+	if a, b := seqSt.DigestAll(), batchSt.DigestAll(); !reflect.DeepEqual(a, b) {
+		t.Errorf("digests diverge:\nsequential %+v\nbatch      %+v", a, b)
+	}
+	if a, b := seqSt.Snapshot(), batchSt.Snapshot(); !reflect.DeepEqual(a, b) {
+		t.Errorf("snapshots diverge:\nsequential %+v\nbatch      %+v", a, b)
+	}
+	for _, r := range recs {
+		a, aok := seqSt.Device(r.Device)
+		b, bok := batchSt.Device(r.Device)
+		if aok != bok || !reflect.DeepEqual(a, b) {
+			t.Errorf("device %s diverges: sequential (%+v, %v), batch (%+v, %v)", r.Device, a, aok, b, bok)
+		}
+	}
+	// The global sequence advanced past the batch on both: a fresh Put
+	// must hand out the same next number.
+	fresh := batchRecord(50, 0)
+	fresh.Seq = 0
+	a, err := seqSt.Put(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := batchSt.Put(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("next handed-out seq diverges: sequential %d, batch %d", a, b)
+	}
+}
+
+// TestPutSeqBatchValidatesUpFront locks the all-or-nothing edge: one
+// bad record fails the whole batch before any member is inserted.
+func TestPutSeqBatchValidatesUpFront(t *testing.T) {
+	st := New(4)
+	good := batchRecord(1, 1)
+	unseq := batchRecord(2, 0) // missing sequence number
+	if err := st.PutSeqBatch([]Record{good, unseq}); err == nil {
+		t.Fatal("batch with an unsequenced record did not error")
+	}
+	invalid := batchRecord(3, 3)
+	invalid.Device = ""
+	if err := st.PutSeqBatch([]Record{good, invalid}); err == nil {
+		t.Fatal("batch with an invalid record did not error")
+	}
+	if st.Len() != 0 {
+		t.Errorf("failed batches left %d records behind", st.Len())
+	}
+	if err := st.PutSeqBatch(nil); err != nil {
+		t.Errorf("empty batch = %v, want nil", err)
+	}
+}

@@ -340,6 +340,68 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	return seq, nil
 }
 
+// AppendBatch writes a group of records as consecutive frames in one
+// write and blocks until all of them are durable — the streaming
+// ingest's group-commit point. One mutex hold, one file write and (in
+// synchronous mode) one fsync cover the whole batch, instead of one
+// each per record. It returns the sequence number assigned to the
+// first record; the rest follow consecutively.
+func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
+	if len(payloads) == 0 {
+		return 0, fmt.Errorf("wal: empty batch")
+	}
+	size := 0
+	for _, p := range payloads {
+		if len(p) > MaxPayload {
+			return 0, fmt.Errorf("wal: payload %d bytes exceeds the %d-byte frame limit", len(p), MaxPayload)
+		}
+		size += FrameHeaderSize + len(p)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	first := l.lastSeq + 1
+	buf := make([]byte, 0, size)
+	for i, p := range payloads {
+		buf = AppendFrame(buf, first+uint64(i), p)
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		l.failLocked(err)
+		return 0, err
+	}
+	last := first + uint64(len(payloads)) - 1
+	l.lastSeq = last
+	l.size += int64(len(buf))
+	l.appends += uint64(len(payloads))
+	l.bytes += uint64(len(buf))
+	switch {
+	case l.size >= l.cfg.SegmentBytes:
+		if err := l.rotateLocked(); err != nil {
+			l.failLocked(err)
+			return 0, err
+		}
+	case l.cfg.FlushEvery <= 0:
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	for l.syncedSeq < last && l.err == nil && !l.closed {
+		l.commit.Wait()
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.syncedSeq < last {
+		return 0, ErrClosed
+	}
+	return first, nil
+}
+
 // syncLocked fsyncs the active segment and wakes the appenders it made
 // durable.
 func (l *Log) syncLocked() error {

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// StreamPath is the streaming batch-ingest route the server mounts and
+// the client dials.
+const StreamPath = "/v1/stream"
+
+// Reader decodes frames from a byte stream — the server's view of a
+// request body, the client's view of a response body.
+type Reader struct {
+	r   io.Reader
+	hdr [HeaderSize]byte
+	buf []byte
+}
+
+// NewReader wraps r in a frame reader.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next reads the next frame. The frame's payload aliases an internal
+// buffer valid until the following Next call. A clean end of stream at
+// a frame boundary returns io.EOF; a stream ending mid-frame returns
+// ErrShortFrame; a frame failing validation returns ErrCorruptFrame.
+func (rd *Reader) Next() (Frame, error) {
+	if _, err := io.ReadFull(rd.r, rd.hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return Frame{}, ErrShortFrame
+		}
+		return Frame{}, err
+	}
+	size := int(uint32(rd.hdr[0]) | uint32(rd.hdr[1])<<8 | uint32(rd.hdr[2])<<16 | uint32(rd.hdr[3])<<24)
+	if size > MaxPayload {
+		return Frame{}, ErrCorruptFrame
+	}
+	if cap(rd.buf) < HeaderSize+size {
+		rd.buf = make([]byte, HeaderSize+size)
+	}
+	rd.buf = rd.buf[:HeaderSize+size]
+	copy(rd.buf, rd.hdr[:])
+	if _, err := io.ReadFull(rd.r, rd.buf[HeaderSize:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Frame{}, ErrShortFrame
+		}
+		return Frame{}, err
+	}
+	fr, _, err := DecodeFrame(rd.buf)
+	return fr, err
+}
+
+// Stream is one persistent binary ingest connection: batch frames flow
+// out over a chunked POST body while ack frames flow back on the
+// response — full duplex over plain HTTP/1.1 (the server enables it
+// via http.ResponseController). Not safe for concurrent use; open one
+// Stream per worker.
+type Stream struct {
+	pw   *io.PipeWriter
+	resp *http.Response
+	rd   *Reader
+	seq  uint64
+	buf  []byte
+}
+
+// OpenStream dials POST {base}/v1/stream and returns the stream once
+// the server has accepted it. Extra headers (e.g. the cluster
+// forwarded marker) are copied onto the request. The client's
+// transport settings govern connection reuse; pass the shared tuned
+// client, not a fresh one per stream.
+func OpenStream(client *http.Client, base string, hdr http.Header) (*Stream, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, base+StreamPath, pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", ContentType)
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	// Do returns once response headers arrive — the server sends them
+	// (and flushes) before reading the first frame, so this does not
+	// wait for the request body to finish.
+	resp, err := client.Do(req)
+	if err != nil {
+		pw.CloseWithError(err)
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		pw.Close()
+		return nil, fmt.Errorf("wire: stream rejected: %s: %s", resp.Status, body)
+	}
+	return &Stream{pw: pw, resp: resp, rd: NewReader(resp.Body)}, nil
+}
+
+// Send encodes subs as one batch frame, writes it, and returns the
+// frame's sequence number (assigned monotonically per stream).
+func (st *Stream) Send(subs []Submission) (uint64, error) {
+	st.seq++
+	var err error
+	st.buf, err = AppendBatchFrame(st.buf[:0], st.seq, subs)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := st.pw.Write(st.buf); err != nil {
+		return 0, err
+	}
+	return st.seq, nil
+}
+
+// RecvAck reads the next ack frame, blocking until the server answers.
+func (st *Stream) RecvAck() (Ack, error) {
+	fr, err := st.rd.Next()
+	if err != nil {
+		return Ack{}, err
+	}
+	return DecodeAck(fr)
+}
+
+// Do sends one batch and waits for its ack — the window-of-one
+// round trip crowdload's workers use. It verifies the ack answers the
+// batch just sent.
+func (st *Stream) Do(subs []Submission) (Ack, error) {
+	seq, err := st.Send(subs)
+	if err != nil {
+		return Ack{}, err
+	}
+	ack, err := st.RecvAck()
+	if err != nil {
+		return Ack{}, err
+	}
+	if ack.Batch != seq {
+		return Ack{}, fmt.Errorf("wire: ack for batch %d, want %d", ack.Batch, seq)
+	}
+	return ack, nil
+}
+
+// Close ends the stream: the request body closes (the server sees EOF
+// and finishes the response) and the response body is drained so the
+// connection returns to the pool.
+func (st *Stream) Close() error {
+	st.pw.Close()
+	io.Copy(io.Discard, st.resp.Body)
+	return st.resp.Body.Close()
+}

@@ -1,0 +1,449 @@
+// Package wire is the crowd service's binary wire protocol: a
+// length-prefixed, CRC-32C-framed codec for benchmark submissions and
+// the streaming batch transport that carries them over POST /v1/stream.
+//
+// The JSON API (POST /v1/submissions) spends one HTTP request, one
+// JSON decode and one WAL commit per submission — fine for a demo
+// fleet, hopeless for the ROADMAP's million-device target. The wire
+// protocol amortizes all three: a client opens one persistent
+// connection and streams frames of K submissions per batch; the server
+// decodes each frame straight into ingest.SubmitBatch (one WAL append,
+// one store lock pass per shard for the whole batch) and answers with
+// an ack frame carrying the batch's commit sequence.
+//
+// The framing reuses the write-ahead log's discipline (internal/wal
+// frame.go): a fixed header with a length field bounded by MaxPayload
+// and a CRC-32C (Castagnoli) covering everything after the checksum, so
+// a torn or bit-flipped frame is detected before any payload byte is
+// trusted, and a corrupted length can never send the reader gigabytes
+// forward. Submissions carry the HLC stamp + origin fields so a frame
+// relayed between cluster nodes replicates losslessly — the stamp
+// assigned by the first-ingesting node survives the hop byte-for-byte.
+//
+// Frame layout (HeaderSize = 20 bytes, all integers little-endian):
+//
+//	offset  0: payload length, uint32
+//	offset  4: CRC-32C over bytes [8:20] || payload, uint32
+//	offset  8: frame type, byte (1 = batch, 2 = ack)
+//	offset  9: protocol version, byte (currently 1)
+//	offset 10: submission count, uint16 (batch frames; 0 for acks)
+//	offset 12: batch sequence number, uint64
+//
+// See docs/WIRE.md for the ack semantics and the flow-control contract.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// HeaderSize is the fixed per-frame framing overhead, in bytes.
+const HeaderSize = 20
+
+// MaxPayload bounds a frame's payload so a corrupted length field is
+// treated as corruption, not as an instruction to allocate. A 4096-sub
+// batch of generous submissions fits with margin.
+const MaxPayload = 4 << 20
+
+// MaxBatch is the largest submission count one batch frame may carry.
+const MaxBatch = 4096
+
+// MaxStringLen bounds the device, model and origin fields.
+const MaxStringLen = 512
+
+// MaxTracePoints bounds one submission's cooldown trace.
+const MaxTracePoints = 1 << 16
+
+// Version is the protocol version stamped into every frame. Decoders
+// reject frames from a different version rather than misparse them.
+const Version = 1
+
+// ContentType is the media type of a wire stream — what POST /v1/stream
+// requires and what the JSON route rejects with 415.
+const ContentType = "application/x-accubench-wire"
+
+// FrameType discriminates the two frame kinds on a stream.
+type FrameType byte
+
+const (
+	// FrameBatch carries Count submissions, client → server.
+	FrameBatch FrameType = 1
+	// FrameAck answers one batch frame, server → client.
+	FrameAck FrameType = 2
+)
+
+// castagnoli is the same CRC-32C table the WAL frames use
+// (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var (
+	// ErrShortFrame reports that the buffer ends before the frame does —
+	// a torn read, recoverable by reading more bytes.
+	ErrShortFrame = errors.New("wire: truncated frame")
+	// ErrCorruptFrame reports a frame whose checksum, length, version or
+	// payload encoding is invalid — the bytes cannot be trusted.
+	ErrCorruptFrame = errors.New("wire: corrupt frame")
+)
+
+// Point is one cooldown sensor poll, mirroring the JSON wire format's
+// at_s/temp_c pair.
+type Point struct {
+	// AtSeconds is the time since the cooldown began, in seconds.
+	AtSeconds float64
+	// TempC is the sensor reading in °C.
+	TempC float64
+}
+
+// Submission is one benchmark result on the binary wire. Device, Model,
+// Score and Cooldown mirror the JSON payload; Origin and the HLC pair
+// are the replication identity (zero until a cluster node stamps the
+// record) carried so frames relay between nodes losslessly.
+type Submission struct {
+	// Device is the unit's anonymous identifier.
+	Device string
+	// Model is the handset model, e.g. "Nexus 5".
+	Model string
+	// Score is the ACCUBENCH performance score.
+	Score float64
+	// Origin is the node ID that first ingested the submission; empty
+	// for a client-originated frame.
+	Origin string
+	// HLCWall and HLCLogical are the hybrid-logical-clock stamp; zero
+	// for a client-originated frame.
+	HLCWall    int64
+	HLCLogical uint16
+	// Cooldown is the cooldown sensor trace, in poll order.
+	Cooldown []Point
+}
+
+// Ack is the server's answer to one batch frame: how many of the
+// batch's submissions committed durably, how many were dropped
+// (invalid or commit-failed), and the highest node-local sequence
+// number among the committed records. A non-empty Err means the batch
+// (or part of it) must be retried — Committed submissions are durable
+// regardless.
+type Ack struct {
+	// Batch echoes the batch frame's sequence number.
+	Batch uint64
+	// Committed is how many submissions committed durably.
+	Committed uint32
+	// Dropped is how many submissions were dropped: malformed ones
+	// (never retried) plus commit failures (retryable).
+	Dropped uint32
+	// CommitSeq is the highest node-local store sequence number among
+	// the committed records (0 when none committed).
+	CommitSeq uint64
+	// Err is the batch-level failure, e.g. a replication ack timeout;
+	// empty on success.
+	Err string
+}
+
+// frameCRC is the checksum at offset 4: CRC-32C over header bytes
+// [8:20] followed by the payload, so type, version, count and sequence
+// are all covered.
+func frameCRC(hdr []byte, payload []byte) uint32 {
+	crc := crc32.Update(0, castagnoli, hdr[8:HeaderSize])
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// Frame is one decoded frame. Payload aliases the decode buffer — copy
+// before retaining.
+type Frame struct {
+	Type    FrameType
+	Count   int
+	Seq     uint64
+	Payload []byte
+}
+
+// putHeader renders the 20-byte header for a frame into hdr.
+func putHeader(hdr []byte, typ FrameType, count int, seq uint64, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	hdr[8] = byte(typ)
+	hdr[9] = Version
+	binary.LittleEndian.PutUint16(hdr[10:12], uint16(count))
+	binary.LittleEndian.PutUint64(hdr[12:20], seq)
+	binary.LittleEndian.PutUint32(hdr[4:8], frameCRC(hdr, payload))
+}
+
+// DecodeFrame decodes the frame at the start of b. It returns the frame
+// (payload aliasing b) and the total encoded size n, so b[n:] is the
+// next frame. A buffer ending mid-frame returns ErrShortFrame; a bad
+// length, version or checksum returns ErrCorruptFrame. DecodeFrame
+// never panics, whatever the input.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) < HeaderSize {
+		return Frame{}, 0, ErrShortFrame
+	}
+	size := binary.LittleEndian.Uint32(b[0:4])
+	if size > MaxPayload {
+		return Frame{}, 0, ErrCorruptFrame
+	}
+	n := HeaderSize + int(size)
+	if len(b) < n {
+		return Frame{}, 0, ErrShortFrame
+	}
+	fr := Frame{
+		Type:    FrameType(b[8]),
+		Count:   int(binary.LittleEndian.Uint16(b[10:12])),
+		Seq:     binary.LittleEndian.Uint64(b[12:20]),
+		Payload: b[HeaderSize:n],
+	}
+	if b[9] != Version {
+		return Frame{}, 0, ErrCorruptFrame
+	}
+	if fr.Type != FrameBatch && fr.Type != FrameAck {
+		return Frame{}, 0, ErrCorruptFrame
+	}
+	crc := binary.LittleEndian.Uint32(b[4:8])
+	if frameCRC(b[:HeaderSize], fr.Payload) != crc {
+		return Frame{}, 0, ErrCorruptFrame
+	}
+	return fr, n, nil
+}
+
+// appendUvarint appends v in unsigned varint encoding.
+func appendUvarint(dst []byte, v uint64) []byte {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	return append(dst, b[:n]...)
+}
+
+// appendString appends a length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}
+
+// validateSub rejects submissions the codec cannot frame.
+func validateSub(s Submission) error {
+	if len(s.Device) > MaxStringLen || len(s.Model) > MaxStringLen || len(s.Origin) > MaxStringLen {
+		return fmt.Errorf("wire: string field exceeds %d bytes", MaxStringLen)
+	}
+	if len(s.Cooldown) > MaxTracePoints {
+		return fmt.Errorf("wire: cooldown trace %d points exceeds %d", len(s.Cooldown), MaxTracePoints)
+	}
+	return nil
+}
+
+// appendSubmission appends one submission's payload encoding.
+func appendSubmission(dst []byte, s Submission) []byte {
+	dst = appendString(dst, s.Device)
+	dst = appendString(dst, s.Model)
+	dst = appendF64(dst, s.Score)
+	dst = appendString(dst, s.Origin)
+	dst = appendU64(dst, uint64(s.HLCWall))
+	var lb [2]byte
+	binary.LittleEndian.PutUint16(lb[:], s.HLCLogical)
+	dst = append(dst, lb[:]...)
+	dst = appendUvarint(dst, uint64(len(s.Cooldown)))
+	for _, p := range s.Cooldown {
+		dst = appendF64(dst, p.AtSeconds)
+		dst = appendF64(dst, p.TempC)
+	}
+	return dst
+}
+
+// AppendBatchFrame appends one batch frame carrying subs to dst and
+// returns the extended slice, in the style of strconv.AppendInt. It
+// fails if the batch exceeds MaxBatch, a field exceeds its bound, or
+// the encoded payload exceeds MaxPayload.
+func AppendBatchFrame(dst []byte, seq uint64, subs []Submission) ([]byte, error) {
+	if len(subs) == 0 {
+		return dst, fmt.Errorf("wire: empty batch")
+	}
+	if len(subs) > MaxBatch {
+		return dst, fmt.Errorf("wire: batch of %d exceeds %d submissions", len(subs), MaxBatch)
+	}
+	for i := range subs {
+		if err := validateSub(subs[i]); err != nil {
+			return dst, err
+		}
+	}
+	start := len(dst)
+	dst = append(dst, make([]byte, HeaderSize)...)
+	for i := range subs {
+		dst = appendSubmission(dst, subs[i])
+	}
+	payload := dst[start+HeaderSize:]
+	if len(payload) > MaxPayload {
+		return dst[:start], fmt.Errorf("wire: batch payload %d bytes exceeds the %d-byte frame limit", len(payload), MaxPayload)
+	}
+	putHeader(dst[start:start+HeaderSize], FrameBatch, len(subs), seq, payload)
+	return dst, nil
+}
+
+// AppendAckFrame appends one ack frame to dst and returns the extended
+// slice.
+func AppendAckFrame(dst []byte, ack Ack) []byte {
+	start := len(dst)
+	dst = append(dst, make([]byte, HeaderSize)...)
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], ack.Committed)
+	dst = append(dst, b[:]...)
+	binary.LittleEndian.PutUint32(b[:], ack.Dropped)
+	dst = append(dst, b[:]...)
+	dst = appendU64(dst, ack.CommitSeq)
+	dst = appendString(dst, ack.Err)
+	payload := dst[start+HeaderSize:]
+	putHeader(dst[start:start+HeaderSize], FrameAck, 0, ack.Batch, payload)
+	return dst
+}
+
+// cursor is a bounds-checked payload reader: every accessor returns a
+// zero value and latches err once the payload runs out, so decode paths
+// never panic on adversarial input.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail() { c.err = ErrCorruptFrame }
+
+func (c *cursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		c.fail()
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) str(max int) string {
+	n := c.uvarint()
+	if c.err != nil {
+		return ""
+	}
+	if n > uint64(max) || c.off+int(n) > len(c.b) {
+		c.fail()
+		return ""
+	}
+	s := string(c.b[c.off : c.off+int(n)])
+	c.off += int(n)
+	return s
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+8 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+4 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) u16() uint16 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+2 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(c.b[c.off:])
+	c.off += 2
+	return v
+}
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+// DecodeSubmissions decodes a batch frame's payload into its
+// submissions. The frame's count must match exactly and the payload
+// must be consumed exactly — trailing or missing bytes are corruption.
+func DecodeSubmissions(fr Frame) ([]Submission, error) {
+	if fr.Type != FrameBatch {
+		return nil, fmt.Errorf("wire: frame type %d is not a batch", fr.Type)
+	}
+	if fr.Count == 0 || fr.Count > MaxBatch {
+		return nil, ErrCorruptFrame
+	}
+	c := &cursor{b: fr.Payload}
+	subs := make([]Submission, 0, fr.Count)
+	for i := 0; i < fr.Count; i++ {
+		var s Submission
+		s.Device = c.str(MaxStringLen)
+		s.Model = c.str(MaxStringLen)
+		s.Score = c.f64()
+		s.Origin = c.str(MaxStringLen)
+		s.HLCWall = int64(c.u64())
+		s.HLCLogical = c.u16()
+		n := c.uvarint()
+		if c.err != nil {
+			return nil, c.err
+		}
+		if n > MaxTracePoints {
+			return nil, ErrCorruptFrame
+		}
+		// Each point is 16 bytes; reject counts the payload cannot hold
+		// before allocating.
+		if int(n)*16 > len(c.b)-c.off {
+			return nil, ErrCorruptFrame
+		}
+		s.Cooldown = make([]Point, n)
+		for j := range s.Cooldown {
+			s.Cooldown[j] = Point{AtSeconds: c.f64(), TempC: c.f64()}
+		}
+		if c.err != nil {
+			return nil, c.err
+		}
+		subs = append(subs, s)
+	}
+	if c.off != len(c.b) {
+		return nil, ErrCorruptFrame
+	}
+	return subs, nil
+}
+
+// DecodeAck decodes an ack frame's payload.
+func DecodeAck(fr Frame) (Ack, error) {
+	if fr.Type != FrameAck {
+		return Ack{}, fmt.Errorf("wire: frame type %d is not an ack", fr.Type)
+	}
+	c := &cursor{b: fr.Payload}
+	ack := Ack{Batch: fr.Seq}
+	ack.Committed = c.u32()
+	ack.Dropped = c.u32()
+	ack.CommitSeq = c.u64()
+	ack.Err = c.str(MaxPayload)
+	if c.err != nil {
+		return Ack{}, c.err
+	}
+	if c.off != len(c.b) {
+		return Ack{}, ErrCorruptFrame
+	}
+	return ack, nil
+}

@@ -1,0 +1,216 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func sampleSubs() []Submission {
+	return []Submission{
+		{
+			Device: "dev-001", Model: "Nexus 5", Score: 1234.5,
+			Cooldown: []Point{{AtSeconds: 0, TempC: 45.2}, {AtSeconds: 5, TempC: 41.0}, {AtSeconds: 10, TempC: 38.7}},
+		},
+		{
+			Device: "dev-002", Model: "Pixel", Score: 2048.25,
+			Origin: "n1", HLCWall: 171234567, HLCLogical: 7,
+			Cooldown: []Point{{AtSeconds: 0, TempC: 50}, {AtSeconds: 30, TempC: 30}},
+		},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	subs := sampleSubs()
+	buf, err := AppendBatchFrame(nil, 42, subs)
+	if err != nil {
+		t.Fatalf("AppendBatchFrame: %v", err)
+	}
+	fr, n, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("frame size %d, encoded %d", n, len(buf))
+	}
+	if fr.Type != FrameBatch || fr.Seq != 42 || fr.Count != len(subs) {
+		t.Fatalf("frame header = %+v", fr)
+	}
+	got, err := DecodeSubmissions(fr)
+	if err != nil {
+		t.Fatalf("DecodeSubmissions: %v", err)
+	}
+	if len(got) != len(subs) {
+		t.Fatalf("decoded %d subs, want %d", len(got), len(subs))
+	}
+	for i := range subs {
+		a, b := subs[i], got[i]
+		if a.Device != b.Device || a.Model != b.Model || a.Score != b.Score ||
+			a.Origin != b.Origin || a.HLCWall != b.HLCWall || a.HLCLogical != b.HLCLogical {
+			t.Fatalf("sub %d: got %+v want %+v", i, b, a)
+		}
+		if len(a.Cooldown) != len(b.Cooldown) {
+			t.Fatalf("sub %d: %d points, want %d", i, len(b.Cooldown), len(a.Cooldown))
+		}
+		for j := range a.Cooldown {
+			if a.Cooldown[j] != b.Cooldown[j] {
+				t.Fatalf("sub %d point %d: got %+v want %+v", i, j, b.Cooldown[j], a.Cooldown[j])
+			}
+		}
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	for _, ack := range []Ack{
+		{Batch: 7, Committed: 256, CommitSeq: 9001},
+		{Batch: 8, Committed: 250, Dropped: 6, CommitSeq: 9251, Err: "unreplicated: no replica ack"},
+		{Batch: 9},
+	} {
+		buf := AppendAckFrame(nil, ack)
+		fr, n, err := DecodeFrame(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("DecodeFrame(%+v): n=%d err=%v", ack, n, err)
+		}
+		got, err := DecodeAck(fr)
+		if err != nil {
+			t.Fatalf("DecodeAck(%+v): %v", ack, err)
+		}
+		if got != ack {
+			t.Fatalf("ack round trip: got %+v want %+v", got, ack)
+		}
+	}
+}
+
+func TestDecodeFrameTorn(t *testing.T) {
+	buf, err := AppendBatchFrame(nil, 1, sampleSubs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut += 7 {
+		if _, _, err := DecodeFrame(buf[:cut]); !errors.Is(err, ErrShortFrame) {
+			t.Fatalf("cut at %d: err = %v, want ErrShortFrame", cut, err)
+		}
+	}
+}
+
+func TestDecodeFrameBitFlips(t *testing.T) {
+	orig, err := AppendBatchFrame(nil, 3, sampleSubs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(orig); i++ {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0x40
+		fr, _, err := DecodeFrame(mut)
+		if err == nil {
+			// A flip in the length field can only survive validation if it
+			// still checksums — it cannot, because the CRC covers a payload
+			// of different extent. Any successful decode here is a miss.
+			if _, derr := DecodeSubmissions(fr); derr == nil {
+				t.Fatalf("bit flip at %d went undetected", i)
+			}
+		}
+	}
+}
+
+func TestDecodeFrameOversizedLength(t *testing.T) {
+	buf, err := AppendBatchFrame(nil, 1, sampleSubs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0], buf[1], buf[2], buf[3] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := DecodeFrame(buf); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("oversized length: err = %v, want ErrCorruptFrame", err)
+	}
+}
+
+func TestDecodeFrameWrongVersion(t *testing.T) {
+	buf, err := AppendBatchFrame(nil, 1, sampleSubs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[9] = Version + 1
+	if _, _, err := DecodeFrame(buf); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("wrong version: err = %v, want ErrCorruptFrame", err)
+	}
+}
+
+func TestAppendBatchFrameBounds(t *testing.T) {
+	if _, err := AppendBatchFrame(nil, 1, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := AppendBatchFrame(nil, 1, make([]Submission, MaxBatch+1)); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	long := Submission{Device: strings.Repeat("d", MaxStringLen+1), Model: "m"}
+	if _, err := AppendBatchFrame(nil, 1, []Submission{long}); err == nil {
+		t.Fatal("oversized device string accepted")
+	}
+}
+
+func TestDecodeSubmissionsTrailingBytes(t *testing.T) {
+	buf, err := AppendBatchFrame(nil, 1, sampleSubs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, _, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim one fewer submission than the payload encodes: the decoder
+	// must refuse the leftover bytes rather than silently drop them.
+	fr.Count--
+	if _, err := DecodeSubmissions(fr); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("trailing bytes: err = %v, want ErrCorruptFrame", err)
+	}
+}
+
+func TestReaderStream(t *testing.T) {
+	var stream []byte
+	subs := sampleSubs()
+	var err error
+	for seq := uint64(1); seq <= 3; seq++ {
+		stream, err = AppendBatchFrame(stream, seq, subs)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream = AppendAckFrame(stream, Ack{Batch: 3, Committed: 2, CommitSeq: 6})
+
+	rd := NewReader(bytes.NewReader(stream))
+	for seq := uint64(1); seq <= 3; seq++ {
+		fr, err := rd.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", seq, err)
+		}
+		if fr.Type != FrameBatch || fr.Seq != seq {
+			t.Fatalf("frame %d: got %+v", seq, fr)
+		}
+		if _, err := DecodeSubmissions(fr); err != nil {
+			t.Fatalf("frame %d decode: %v", seq, err)
+		}
+	}
+	fr, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := DecodeAck(fr); err != nil || ack.Committed != 2 {
+		t.Fatalf("ack = %+v, err %v", ack, err)
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("end of stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderTornTail(t *testing.T) {
+	stream, err := AppendBatchFrame(nil, 1, sampleSubs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := NewReader(bytes.NewReader(stream[:len(stream)-3]))
+	if _, err := rd.Next(); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("torn tail: err = %v, want ErrShortFrame", err)
+	}
+}

@@ -1,0 +1,33 @@
+#!/bin/sh
+# bench_ingest.sh — measure JSON-per-POST vs binary streaming ingest
+# throughput (submissions/sec + ack p99 at batch sizes 1, 16, 256) over
+# a real HTTP listener and record the numbers as BENCH_8.json (or
+# $BENCH_OUT, relative to the repo root). The measurement lives in
+# internal/server/bench_ingest_test.go, gated behind $BENCH_INGEST_OUT
+# so plain `go test ./...` never pays for it. `make bench` wires this
+# in; compare runs with
+#   scripts/bench_diff.sh BENCH_8.json /tmp/bench8-new.json
+# (ratio_vs_json and submissions_per_sec regress downward, ack_p99_ms
+# upward).
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${BENCH_OUT:-BENCH_8.json}
+case "$out" in
+/*) abs=$out ;;
+*) abs="$(pwd)/$out" ;;
+esac
+
+log=$(mktemp)
+trap 'rm -f "$log"' EXIT
+
+# go test output is captured, not piped: a pipe would mask its exit
+# status under plain POSIX sh.
+if ! BENCH_INGEST_OUT="$abs" go test ./internal/server \
+    -run '^TestIngestThroughputBench$' -count=1 -v >"$log" 2>&1; then
+    cat "$log" >&2
+    exit 1
+fi
+grep -E 'json per-POST|wire k=' "$log"
+
+echo "bench_ingest: wrote $out"
