@@ -76,16 +76,21 @@ links-check:
 # step, Table II regeneration), prints benchstat-comparable output and
 # refreshes BENCH_5.json with the measured ns/op and allocs/op, then
 # the JSON-vs-binary ingest throughput comparison into BENCH_8.json
-# (docs/WIRE.md). See docs/PERFORMANCE.md for the hot-path map behind
+# (docs/WIRE.md), then the batched fleet engine into BENCH_9.json
+# (docs/FLEET.md). See docs/PERFORMANCE.md for the hot-path map behind
 # these numbers.
 bench:
 	sh scripts/bench_run.sh
 	sh scripts/bench_ingest.sh
+	sh scripts/bench_fleet.sh
 
 # bench-diff re-measures and fails if any headline benchmark regressed
-# more than 10% in ns/op against the committed BENCH_5.json.
+# more than 10% against its committed baseline: ns/op vs BENCH_5.json,
+# fleet devices_steps_per_sec (lower = regression) vs BENCH_9.json.
 bench-diff:
 	sh scripts/bench_diff.sh
+	@tmp=$$(mktemp); BENCH_OUT=$$tmp sh scripts/bench_fleet.sh >/dev/null; \
+		sh scripts/bench_diff.sh BENCH_9.json $$tmp; rc=$$?; rm -f $$tmp; exit $$rc
 
 # bench-smoke is the quick ci gate: a handful of iterations per headline
 # benchmark, enough to prove the hot paths still run (and that the
@@ -93,7 +98,7 @@ bench-diff:
 # the noise-sensitive regression comparison.
 bench-smoke:
 	$(GO) test -run '^$$' \
-		-bench '^(BenchmarkDeviceStep|BenchmarkThermalStep|BenchmarkTableII)$$' \
+		-bench '^(BenchmarkDeviceStep|BenchmarkThermalStep|BenchmarkTableII|BenchmarkFleetStep)$$' \
 		-benchmem -benchtime 10x .
 
 # ci is the full gate: vet, tier-1 build+test, the race pass over the

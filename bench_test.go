@@ -18,6 +18,7 @@ import (
 	"accubench/internal/cluster"
 	"accubench/internal/device"
 	"accubench/internal/experiments"
+	"accubench/internal/fleetsim"
 	"accubench/internal/monsoon"
 	"accubench/internal/silicon"
 	"accubench/internal/sim"
@@ -327,4 +328,33 @@ func BenchmarkKMeans1D(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFleetStep measures the batched fleet stepper: one tick over an
+// 8192-device Nexus 5 cohort at full tilt, reported as device-steps per
+// second. This is the PR-9 headline: at ≥10M dev-steps/s a million-device
+// wild fleet steps faster than real time (10 control steps per simulated
+// second per device).
+func BenchmarkFleetStep(b *testing.B) {
+	const devices = 8192
+	fl, err := fleetsim.New(fleetsim.Config{
+		Seed:      1,
+		Cohorts:   []fleetsim.CohortSpec{{Model: soc.Nexus5(), Devices: devices}},
+		AmbientLo: 12,
+		AmbientHi: 38,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := fl.Cohorts()[0]
+	ph := fleetsim.Phase{Busy: true, Wakelock: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Step(0, devices, &ph, 100*time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(devices/perOp*1e9, "dev-steps/s")
 }

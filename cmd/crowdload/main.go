@@ -1,9 +1,17 @@
 // Command crowdload load-tests a running crowdd: it simulates a fleet of N
-// in-the-wild devices (silicon-lottery draws of one handset model, each at
-// a random ambient), runs ACCUBENCH on every one, and fires the uploads at
-// the server concurrently, retrying on backpressure so nothing is dropped.
-// It then waits for the server to drain, verifies zero dropped
-// submissions, and prints throughput, acceptance-rate and bin stats.
+// in-the-wild devices (silicon-lottery draws, each at a random ambient),
+// runs ACCUBENCH on every one, and fires the uploads at the server
+// concurrently, retrying on backpressure so nothing is dropped. It then
+// waits for the server to drain, verifies zero dropped submissions, and
+// prints throughput, acceptance-rate and bin stats.
+//
+// Devices are simulated by the batched fleet engine (internal/fleetsim,
+// docs/FLEET.md) by default: -fleet N steps N devices in struct-of-arrays
+// form, fast enough that a million-device population runs faster than real
+// time on one machine. -fleet-mix spreads the population across handset
+// models; -dry-run skips the server entirely and prints the population
+// study. -source device falls back to one device.Device per unit — the
+// original path, bit-identical to the fleet engine by construction.
 //
 // Uploads ride the binary wire protocol by default — each worker holds
 // one persistent stream to its home node and ships batches of -batch
@@ -12,7 +20,7 @@
 // kept for comparison benchmarks and older servers.
 //
 //	crowdd -addr :8077 &
-//	crowdload -addr http://127.0.0.1:8077 -devices 200
+//	crowdload -addr http://127.0.0.1:8077 -fleet 1000000
 //
 // Against a cluster (docs/CLUSTER.md), -peers lists the other nodes:
 // uploads are sprayed across all of them, and after the run the tool
@@ -40,7 +48,9 @@ import (
 	"accubench/internal/chaos"
 	"accubench/internal/crowd"
 	"accubench/internal/fleet"
+	"accubench/internal/fleetsim"
 	"accubench/internal/ingest"
+	"accubench/internal/obs"
 	"accubench/internal/silicon"
 	"accubench/internal/sim"
 	"accubench/internal/soc"
@@ -76,6 +86,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		benchOut    = fs.String("bench-out", "", "JSON file to merge this scenario's submissions/sec + ack p99 + time-to-convergence into (BENCH_7.json shape, compared by scripts/bench_diff.sh)")
 		transportF  = fs.String("transport", "binary", "upload transport: binary (persistent streams of batched wire frames, docs/WIRE.md) or json (one POST per submission)")
 		batchK      = fs.Int("batch", 64, "submissions per batch frame on the binary transport")
+		sourceF     = fs.String("source", "fleet", "device simulator: fleet (batched struct-of-arrays engine, internal/fleetsim) or device (one device.Device per unit)")
+		fleetN      = fs.Int("fleet", 0, "shorthand: simulate this many devices on the fleet source (overrides -devices)")
+		fleetWork   = fs.Int("fleet-workers", 0, "fleet stepper goroutines (0 = GOMAXPROCS); results are bit-identical at any worker count")
+		mixF        = fs.String("fleet-mix", "", `model mix for the fleet source, e.g. "Nexus 5=3,Google Pixel=1" — weights apportion -devices; empty uses -model alone`)
+		dryRun      = fs.Bool("dry-run", false, "fleet source only: simulate and print the population study without a server")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,11 +98,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if *fleetN > 0 {
+		*devices = *fleetN
+		*sourceF = "fleet"
+	} else if *fleetN < 0 {
+		return fmt.Errorf("need -fleet > 0")
+	}
 	if *devices <= 0 {
 		return fmt.Errorf("need -devices > 0")
 	}
 	if *concurrency <= 0 {
 		return fmt.Errorf("need -concurrency > 0")
+	}
+	useFleet := false
+	switch *sourceF {
+	case "fleet":
+		useFleet = true
+	case "device":
+		if *mixF != "" {
+			return fmt.Errorf("-fleet-mix needs -source fleet")
+		}
+		if *dryRun {
+			return fmt.Errorf("-dry-run needs -source fleet")
+		}
+	default:
+		return fmt.Errorf("unknown -source %q (want fleet or device)", *sourceF)
+	}
+	if *dryRun && (*scenarioF != "" || *peersFlag != "") {
+		return fmt.Errorf("-dry-run is simulation-only; drop -scenario/-peers")
 	}
 	useWire := false
 	switch *transportF {
@@ -124,28 +162,63 @@ func run(args []string, stdout, stderr io.Writer) error {
 		plan = chaos.NewPlan(*chaosSeed)
 	}
 
-	// Draw the population: one silicon-lottery draw per device, one wild
-	// ambient each.
-	src := sim.NewSource(*seed, "crowdload")
-	lottery := silicon.Lottery{Sigma: *sigma, Bins: model.SoC.Bins, BinNoise: *binNoise}
-	corners, err := lottery.Draw(src, *devices)
-	if err != nil {
-		return err
-	}
-	wild := make([]crowd.WildDevice, *devices)
-	for i, corner := range corners {
-		wild[i] = crowd.WildDevice{
-			Unit:    fleet.Unit{Name: fmt.Sprintf("load-%04d", i), ModelName: model.Name, Corner: corner},
-			Ambient: units.Celsius(src.Uniform(*ambientLo, *ambientHi)),
-			Seed:    *seed*1000 + int64(i),
-			Quick:   true,
+	// Build the population. Fleet source: cohort specs for the batched
+	// engine, with the silicon lottery and wild ambients drawn inside
+	// fleetsim.New. Device source: one crowd.WildDevice per unit, the
+	// original path.
+	var fl *fleetsim.Fleet
+	var wild []crowd.WildDevice
+	modelNames := []string{model.Name}
+	if useFleet {
+		specs, err := parseMix(*mixF, model, *devices)
+		if err != nil {
+			return err
+		}
+		reg := obs.NewRegistry("crowdload_")
+		if fl, err = fleetsim.New(fleetsim.Config{
+			Seed:      *seed,
+			Cohorts:   specs,
+			AmbientLo: units.Celsius(*ambientLo),
+			AmbientHi: units.Celsius(*ambientHi),
+			Sigma:     *sigma,
+			BinNoise:  *binNoise,
+			Workers:   *fleetWork,
+			Metrics:   reg,
+		}); err != nil {
+			return err
+		}
+		modelNames = modelNames[:0]
+		for _, c := range fl.Cohorts() {
+			modelNames = append(modelNames, c.Model().Name)
+		}
+		if *dryRun {
+			return dryRunFleet(stdout, fl, reg)
+		}
+	} else {
+		src := sim.NewSource(*seed, "crowdload")
+		lottery := silicon.Lottery{Sigma: *sigma, Bins: model.SoC.Bins, BinNoise: *binNoise}
+		corners, err := lottery.Draw(src, *devices)
+		if err != nil {
+			return err
+		}
+		wild = make([]crowd.WildDevice, *devices)
+		for i, corner := range corners {
+			wild[i] = crowd.WildDevice{
+				Unit:    fleet.Unit{Name: fmt.Sprintf("load-%04d", i), ModelName: model.Name, Corner: corner},
+				Ambient: units.Celsius(src.Uniform(*ambientLo, *ambientHi)),
+				Seed:    *seed*1000 + int64(i),
+				Quick:   true,
+			}
 		}
 	}
-
+	population := model.Name
+	if fl != nil {
+		population = describeFleet(fl)
+	}
 	if len(nodes) == 1 {
-		fmt.Fprintf(stdout, "crowdload: %d %s devices → %s (%d workers, %s transport)\n", *devices, model.Name, *addr, *concurrency, *transportF)
+		fmt.Fprintf(stdout, "crowdload: %d devices (%s, %s source) → %s (%d workers, %s transport)\n", *devices, population, *sourceF, *addr, *concurrency, *transportF)
 	} else {
-		fmt.Fprintf(stdout, "crowdload: %d %s devices sprayed across %d nodes (%d workers, %s transport)\n", *devices, model.Name, len(nodes), *concurrency, *transportF)
+		fmt.Fprintf(stdout, "crowdload: %d devices (%s, %s source) sprayed across %d nodes (%d workers, %s transport)\n", *devices, population, *sourceF, len(nodes), *concurrency, *transportF)
 	}
 	// One shared transport for the whole run, tuned so every worker keeps
 	// a warm connection: the default keeps only 2 idle conns per host, so
@@ -196,18 +269,66 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// chaos-wrapped) transport and connection pool.
 	streamClient := &http.Client{Transport: client.Transport}
 
-	var sent, retried, failed atomic.Uint64
+	var sent, retried, failed, implausible atomic.Uint64
 	var simNanos, postNanos atomic.Int64
 	var ackedMu sync.Mutex
-	var acked []string        // device IDs whose upload was acknowledged
+	var acked []string         // device IDs whose upload was acknowledged
 	var ackLatencies []float64 // per acked upload (JSON) or batch (binary): ms from first send to the ack, retries included
 	start := time.Now()
+
+	// The simulation source feeds finished benchmarks into items; upload
+	// workers drain it. The fleet engine produces in shard bursts while
+	// uploads stream out concurrently, so the channel carries a buffer.
+	items := make(chan uploadItem, 1024)
+	prodErr := make(chan error, 1)
+	go func() {
+		defer close(items)
+		if fl != nil {
+			t0 := time.Now()
+			err := fl.RunWild(func(s fleetsim.Submission) {
+				it := uploadItem{device: s.Device, model: s.Model, score: s.Score, cooldown: s.Cooldown}
+				if plausible(it) != nil {
+					// Lottery-tail thermal runaway: the trace would fail
+					// the server's ingest validation, so don't upload it.
+					implausible.Add(1)
+					return
+				}
+				items <- it
+			})
+			simNanos.Add(time.Since(t0).Nanoseconds())
+			prodErr <- err
+			return
+		}
+		// Device source: one simulator per upload worker, the original
+		// concurrency shape.
+		var pw sync.WaitGroup
+		work := make(chan crowd.WildDevice)
+		for w := 0; w < *concurrency; w++ {
+			pw.Add(1)
+			go func() {
+				defer pw.Done()
+				for dev := range work {
+					t0 := time.Now()
+					sub, err := dev.Benchmark()
+					simNanos.Add(time.Since(t0).Nanoseconds())
+					if err != nil {
+						fmt.Fprintf(stderr, "crowdload: %s: benchmark: %v\n", dev.Unit.Name, err)
+						failed.Add(1)
+						continue
+					}
+					items <- uploadItem{device: sub.Device, model: dev.Unit.ModelName, score: sub.Score, cooldown: sub.CooldownReadings}
+				}
+			}()
+		}
+		for _, dev := range wild {
+			work <- dev
+		}
+		close(work)
+		pw.Wait()
+		prodErr <- nil
+	}()
+
 	var wg sync.WaitGroup
-	type job struct {
-		dev  crowd.WildDevice
-		node string
-	}
-	work := make(chan job)
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -223,41 +344,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 					sent:       &sent,
 					retried:    &retried,
 					failed:     &failed,
-					simNanos:   &simNanos,
 					postNanos:  &postNanos,
 					ackedMu:    &ackedMu,
 					acked:      &acked,
 					ackLatency: &ackLatencies,
-				}, func(yield func(crowd.WildDevice)) {
-					for j := range work {
-						yield(j.dev)
+				}, func(yield func(uploadItem)) {
+					for it := range items {
+						yield(it)
 					}
 				})
 				return
 			}
-			for j := range work {
-				dev := j.dev
-				t0 := time.Now()
-				sub, err := dev.Benchmark()
+			home := w % len(nodes)
+			for it := range items {
+				raw, err := ingest.Marshal(it.device, it.model, it.score, it.cooldown)
 				if err != nil {
-					fmt.Fprintf(stderr, "crowdload: %s: benchmark: %v\n", dev.Unit.Name, err)
-					failed.Add(1)
-					continue
-				}
-				raw, err := ingest.Marshal(sub.Device, dev.Unit.ModelName, sub.Score, sub.CooldownReadings)
-				if err != nil {
-					fmt.Fprintf(stderr, "crowdload: %s: marshal: %v\n", dev.Unit.Name, err)
+					fmt.Fprintf(stderr, "crowdload: %s: marshal: %v\n", it.device, err)
 					failed.Add(1)
 					continue
 				}
 				t1 := time.Now()
-				simNanos.Add(t1.Sub(t0).Nanoseconds())
-				err = upload(client, j.node, raw, *retries, &retried, netRetries)
+				node := nodes[home]
+				err = upload(client, node, raw, *retries, &retried, netRetries)
 				if err != nil && len(nodes) > 1 {
 					// A node dying mid-run must not lose the device: fail
 					// over to the other nodes before giving up.
 					for _, alt := range nodes {
-						if alt == j.node {
+						if alt == node {
 							continue
 						}
 						if err = upload(client, alt, raw, *retries, &retried, netRetries); err == nil {
@@ -266,7 +379,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 					}
 				}
 				if err != nil {
-					fmt.Fprintf(stderr, "crowdload: %s: %v\n", dev.Unit.Name, err)
+					fmt.Fprintf(stderr, "crowdload: %s: %v\n", it.device, err)
 					failed.Add(1)
 					continue
 				}
@@ -274,17 +387,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 				postNanos.Add(ackWait.Nanoseconds())
 				sent.Add(1)
 				ackedMu.Lock()
-				acked = append(acked, sub.Device)
+				acked = append(acked, it.device)
 				ackLatencies = append(ackLatencies, float64(ackWait.Nanoseconds())/1e6)
 				ackedMu.Unlock()
 			}
 		}(w)
 	}
-	for i, dev := range wild {
-		work <- job{dev: dev, node: nodes[i%len(nodes)]}
-	}
-	close(work)
 	wg.Wait()
+	if err := <-prodErr; err != nil {
+		return err
+	}
 	elapsed := time.Since(start)
 
 	if failed.Load() > 0 {
@@ -302,6 +414,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	fmt.Fprintf(stdout, "\nuploaded %d submissions in %v (%.1f sub/s end to end, %d backpressure retries)\n",
 		sent.Load(), elapsed.Round(time.Millisecond), float64(sent.Load())/elapsed.Seconds(), retried.Load())
+	if n := implausible.Load(); n > 0 {
+		fmt.Fprintf(stdout, "withheld %d implausible traces (silicon-lottery thermal-runaway tail — would fail ingest validation)\n", n)
+	}
 	fmt.Fprintf(stdout, "device-sim time %v total, post time %v total across %d workers\n",
 		time.Duration(simNanos.Load()).Round(time.Millisecond),
 		time.Duration(postNanos.Load()).Round(time.Millisecond), *concurrency)
@@ -381,8 +496,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "server persistence: disabled (in-memory store)")
 	}
 
-	if err := printBins(client, stdout, binsNode, model.Name, int(accepted)); err != nil {
-		return err
+	for _, name := range modelNames {
+		// With a single-model population the accepted delta bounds that
+		// model's bins; a mix can't attribute the global counter, so it
+		// prints whatever has settled.
+		want := 0
+		if len(modelNames) == 1 {
+			want = int(accepted)
+		}
+		if err := printBins(client, stdout, binsNode, name, want); err != nil {
+			return err
+		}
 	}
 	if len(nodes) == 1 {
 		if dropped := int64(sent.Load()) - int64(stored); dropped > 0 {

@@ -8,7 +8,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"accubench/internal/crowd"
 	"accubench/internal/wire"
 )
 
@@ -25,23 +24,21 @@ type wireWorkerConfig struct {
 	sent       *atomic.Uint64
 	retried    *atomic.Uint64
 	failed     *atomic.Uint64
-	simNanos   *atomic.Int64
 	postNanos  *atomic.Int64
 	ackedMu    *sync.Mutex
 	acked      *[]string
 	ackLatency *[]float64
 }
 
-// wireWorker drains devices from the job feed, benchmarks each,
-// accumulates the results into batch frames and ships them over one
-// persistent wire stream to the worker's home node — a window of one
-// batch in flight, so the server's ack pace is the flow control. A
-// stream error or an erroring ack closes the stream, fails over to the
-// next node, and retries the whole batch: retries are dup-safe (the
-// cluster stamps resubmissions fresh and keeps the newest per device),
-// and an acked batch is durable, so nothing acknowledged is ever
-// resent.
-func wireWorker(cfg wireWorkerConfig, feed func(yield func(crowd.WildDevice))) {
+// wireWorker drains finished benchmarks from the feed, accumulates them
+// into batch frames and ships them over one persistent wire stream to
+// the worker's home node — a window of one batch in flight, so the
+// server's ack pace is the flow control. A stream error or an erroring
+// ack closes the stream, fails over to the next node, and retries the
+// whole batch: retries are dup-safe (the cluster stamps resubmissions
+// fresh and keeps the newest per device), and an acked batch is durable,
+// so nothing acknowledged is ever resent.
+func wireWorker(cfg wireWorkerConfig, feed func(yield func(uploadItem))) {
 	var st *wire.Stream
 	defer func() {
 		if st != nil {
@@ -83,10 +80,21 @@ func wireWorker(cfg wireWorkerConfig, feed func(yield func(crowd.WildDevice))) {
 				cfg.home = (cfg.home + 1) % len(cfg.nodes)
 				continue
 			}
-			if ack.Err != "" || int(ack.Committed) != len(batch) {
-				// An erroring ack (e.g. unreplicated) leaves the batch
-				// uncommitted from the client's view: retry it whole.
+			if ack.Err != "" {
+				// An erroring ack (unreplicated, commit failure) leaves
+				// the batch uncommitted from the client's view: retry it
+				// whole.
 				continue
+			}
+			if int(ack.Committed)+int(ack.Dropped) != len(batch) {
+				continue
+			}
+			if ack.Dropped > 0 {
+				// With a clean Err, dropped submissions were rejected as
+				// invalid — a retry can never fix them, so the batch is
+				// settled; count them failed rather than retrying forever.
+				fmt.Fprintf(cfg.stderr, "crowdload: server dropped %d invalid submissions from a batch of %d\n", ack.Dropped, len(batch))
+				cfg.failed.Add(uint64(ack.Dropped))
 			}
 			latency := time.Since(t0)
 			cfg.postNanos.Add(latency.Nanoseconds())
@@ -101,26 +109,18 @@ func wireWorker(cfg wireWorkerConfig, feed func(yield func(crowd.WildDevice))) {
 		devs = devs[:0]
 	}
 
-	feed(func(dev crowd.WildDevice) {
-		t0 := time.Now()
-		sub, err := dev.Benchmark()
-		if err != nil {
-			fmt.Fprintf(cfg.stderr, "crowdload: %s: benchmark: %v\n", dev.Unit.Name, err)
-			cfg.failed.Add(1)
-			return
-		}
-		cfg.simNanos.Add(time.Since(t0).Nanoseconds())
+	feed(func(it uploadItem) {
 		ws := wire.Submission{
-			Device:   sub.Device,
-			Model:    dev.Unit.ModelName,
-			Score:    sub.Score,
-			Cooldown: make([]wire.Point, len(sub.CooldownReadings)),
+			Device:   it.device,
+			Model:    it.model,
+			Score:    it.score,
+			Cooldown: make([]wire.Point, len(it.cooldown)),
 		}
-		for i, p := range sub.CooldownReadings {
+		for i, p := range it.cooldown {
 			ws.Cooldown[i] = wire.Point{AtSeconds: p.At.Seconds(), TempC: float64(p.Reading)}
 		}
 		batch = append(batch, ws)
-		devs = append(devs, sub.Device)
+		devs = append(devs, it.device)
 		if len(batch) >= cfg.batch {
 			flush()
 		}

@@ -53,8 +53,8 @@ type Device struct {
 
 	source battery.Source
 
-	sensorNoise *sim.Source
-	utilNoise   *sim.Source
+	sensorNoise sim.Noise
+	utilNoise   sim.Noise
 
 	elapsed    time.Duration
 	busy       bool
@@ -131,6 +131,35 @@ type Config struct {
 	// ladder top — a per-unit SKU cap, as speed-binned products ship
 	// (silicon.SpeedBinner assigns these).
 	MaxFreqCap units.MegaHertz
+	// SensorNoise and UtilNoise, when non-nil, replace the noise streams
+	// New derives from Seed. This is the seam the fleetsim bit-identity
+	// goldens use: a Device and its batched counterpart are handed the
+	// same streams and must then produce byte-identical traces.
+	SensorNoise sim.Noise
+	UtilNoise   sim.Noise
+}
+
+// Behavioral constants of Step, exported so internal/fleetsim's batched
+// stepper reproduces Step bit for bit from one set of definitions.
+const (
+	// IdleUtil is the background utilization of an idle online core.
+	IdleUtil = 0.02
+	// UtilSigma is the standard deviation of the slowly varying
+	// background-activity level's Gaussian draw.
+	UtilSigma = 0.012
+	// UtilResample is how long one background-activity level persists.
+	UtilResample = 15 * time.Second
+	// AwakeFloor is the non-CPU platform draw while awake (wakelock held
+	// or workload running), screen off.
+	AwakeFloor units.Watts = 0.25
+	// SuspendedFloor is the non-CPU platform draw while suspended.
+	SuspendedFloor units.Watts = 0.03
+)
+
+// QuantizeSensor rounds a raw sensor value to the 0.1 °C resolution the
+// sysfs thermal zone reports (the quantization step of ReadTempSensor).
+func QuantizeSensor(raw float64) units.Celsius {
+	return units.Celsius(math.Round(raw*10) / 10)
 }
 
 // New builds a device. It validates the model and corner.
@@ -176,12 +205,18 @@ func New(cfg Config) (*Device, error) {
 		},
 		bigCounters: workload.NewGroup(cfg.Model.SoC.Big.Cores, cfg.Model.SoC.Big.CyclesPerIteration),
 		source:      src,
-		sensorNoise: sim.NewSource(cfg.Seed, "sensor:"+cfg.Name),
-		utilNoise:   sim.NewSource(cfg.Seed, "util:"+cfg.Name),
+		sensorNoise: cfg.SensorNoise,
+		utilNoise:   cfg.UtilNoise,
 		rec:         trace.NewRecorder(),
 		lastBigF:    cfg.Model.SoC.Big.OPPs[0],
 		maxFreqCap:  cfg.MaxFreqCap,
 		profile:     workload.PiCPUBound(),
+	}
+	if d.sensorNoise == nil {
+		d.sensorNoise = sim.NewSource(cfg.Seed, "sensor:"+cfg.Name)
+	}
+	if d.utilNoise == nil {
+		d.utilNoise = sim.NewSource(cfg.Seed, "util:"+cfg.Name)
 	}
 	if l := cfg.Model.SoC.Little; l != nil {
 		d.pm.CeffLittle = l.Ceff
@@ -339,7 +374,7 @@ func (d *Device) CaseTemperature() units.Celsius {
 // Gaussian noise, quantized to 0.1 °C steps like the sysfs thermal zone.
 func (d *Device) ReadTempSensor() units.Celsius {
 	raw := float64(d.DieTemperature()) + d.sensorNoise.Normal(0, d.model.SensorNoise)
-	return units.Celsius(math.Round(raw*10) / 10)
+	return QuantizeSensor(raw)
 }
 
 // SetAmbient updates the environment temperature around the device (driven
@@ -375,9 +410,9 @@ func (d *Device) Trace() *trace.Recorder { return d.rec }
 // paper disables Bluetooth, radio, location and keeps the display off).
 func (d *Device) idleFloor() units.Watts {
 	if d.wakelock || d.busy {
-		return 0.25 // awake, screen off
+		return AwakeFloor
 	}
-	return 0.03 // suspended
+	return SuspendedFloor
 }
 
 // Step advances the device by dt. Call it with the control-loop step (100 ms
@@ -430,10 +465,10 @@ func (d *Device) Step(dt time.Duration) error {
 	// cores tick along at ~2% utilization. Small utilization jitter stands
 	// in for the residual OS activity the paper could not fully remove.
 	if d.elapsed >= d.utilLevelEnd {
-		d.utilLevel = 1 - math.Abs(d.utilNoise.Normal(0, 0.012))
-		d.utilLevelEnd = d.elapsed + 15*time.Second
+		d.utilLevel = 1 - math.Abs(d.utilNoise.Normal(0, UtilSigma))
+		d.utilLevelEnd = d.elapsed + UtilResample
 	}
-	util := 0.02
+	util := IdleUtil
 	if d.busy {
 		util = d.utilLevel * d.profile.PowerFactor
 	}

@@ -1,0 +1,510 @@
+package fleetsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"accubench/internal/accubench"
+	"accubench/internal/device"
+	"accubench/internal/governor"
+	"accubench/internal/obs"
+	"accubench/internal/power"
+	"accubench/internal/silicon"
+	"accubench/internal/sim"
+	"accubench/internal/soc"
+	"accubench/internal/thermal"
+	"accubench/internal/trace"
+	"accubench/internal/units"
+	"accubench/internal/workload"
+)
+
+// Phase is the protocol state a shard of devices is in. One Phase is
+// shared by every device of a shard because the wild protocol is lock-
+// stepped: all devices of a shard enter warmup, cooldown and workload at
+// the same simulated instant, exactly as a crowd.WildDevice does when
+// driven by the accubench runner.
+type Phase struct {
+	// Elapsed is the shard's simulated uptime.
+	Elapsed time.Duration
+	// Busy is true while the π workload runs.
+	Busy bool
+	// Wakelock is true while the app holds its wakelock.
+	Wakelock bool
+}
+
+// tempInvariant mirrors the device package's voltage-scheme probe.
+type tempInvariant interface{ TempInvariant() bool }
+
+// Cohort is every fleet device of one handset model, laid out as
+// struct-of-arrays: each per-device quantity lives in its own contiguous
+// slice, so the per-tick loop streams through memory instead of chasing
+// one pointer-rich object graph per device. All model-derived constants
+// (clusters, thermal body, policies, supply voltage) are hoisted out of
+// the arrays — they are identical across the cohort.
+//
+// Devices in a cohort are mutually independent: nothing a device does
+// couples to a neighbour, which is what lets RunWild shard a cohort into
+// contiguous index ranges and run each range on its own worker without
+// any synchronization, with results that are bit-identical regardless of
+// the worker count.
+type Cohort struct {
+	model *soc.DeviceModel
+	n     int
+	base  int // global id of device 0
+
+	// Cohort-wide constants, hoisted from the model.
+	big         soc.Cluster
+	little      *soc.Cluster
+	policy      soc.ThermalPolicy
+	leak        silicon.LeakageModel
+	uncore      units.Watts
+	profile     workload.Profile
+	sensorSigma float64
+	// vCap is the input-voltage throttle cap. The wild protocol powers
+	// every device from a constant-voltage bench supply at the model's
+	// nominal voltage, so the cap is a cohort constant — including the
+	// LG G5's anomaly, whose 3.85 V nominal sits below the 3.95 V
+	// threshold and caps the whole cohort at 1728 MHz.
+	vCap units.MegaHertz
+	// body and sub are the sealed two-node thermal constants and the
+	// stable Euler substep (PR-5's sealed fast path, shared per cohort).
+	body thermal.TwoNodeParams
+	sub  time.Duration
+	// share is the per-core chip-leakage share 1/(nBig+nLittle),
+	// computed exactly as power.Model.Evaluate computes it.
+	share       float64
+	voltTempInv bool
+	hasLittle   bool
+	cpiBig      float64
+	cpiLittle   float64
+	ceffBig     units.Farads
+	ceffLittle  units.Farads
+
+	// Per-device population identity.
+	names   []string
+	corners []silicon.ProcessCorner
+	// cornerShare[i] is corners[i].Leakage · share, the first argument
+	// Evaluate passes to the leakage model for every core of device i.
+	cornerShare []float64
+	ambient     []units.Celsius
+
+	// Per-device simulation state (the SoA hot set).
+	dieT    []units.Celsius
+	caseT   []units.Celsius
+	engines []governor.EngineState
+	sensor  []sim.Stream
+	util    []sim.Stream
+
+	utilLevel    []float64
+	utilLevelEnd []time.Duration
+	energy       []units.Joules
+
+	// Effective-frequency memo, keyed on the engine's thermal cap (the
+	// only varying input — the governor is Performance for the whole
+	// wild protocol and the voltage cap is a cohort constant).
+	memoCap     []units.MegaHertz
+	memoBigF    []units.MegaHertz
+	memoLittleF []units.MegaHertz
+
+	// Rail-voltage memos, one per cluster, with the same invalidation
+	// rules as device.railVoltage: exact (frequency, temperature) keys,
+	// temperature collapsed for temp-invariant schemes. vterm banks the
+	// silicon.VoltFactor of the memoized voltage — a pure function of
+	// it, so a hit is still bit-identical to the unmemoized chain.
+	bigVValid    []bool
+	bigVFreq     []units.MegaHertz
+	bigVTemp     []units.Celsius
+	bigV         []units.Volts
+	bigVterm     []float64
+	littleVValid []bool
+	littleVFreq  []units.MegaHertz
+	littleVTemp  []units.Celsius
+	littleV      []units.Volts
+	littleVterm  []float64
+
+	// Workload progress, one float64 per core per device, stride Cores.
+	bigProg    []float64
+	littleProg []float64
+
+	// Optional per-device trace recorders (Record mode, used by the
+	// bit-identity goldens; far too heavy for million-device runs).
+	recs                                               []*trace.Recorder
+	sDie, sCase, sFreqBig, sFreqLittle, sPower, sCores []*trace.Series
+
+	// steps counts device·steps into the fleet's metrics registry; nil
+	// when the fleet has no registry.
+	steps *obs.Counter
+}
+
+// Model returns the cohort's handset model.
+func (c *Cohort) Model() *soc.DeviceModel { return c.model }
+
+// Devices returns the cohort's population size.
+func (c *Cohort) Devices() int { return c.n }
+
+// Name returns device i's unit name, e.g. "fleet-0000042".
+func (c *Cohort) Name(i int) string { return c.names[i] }
+
+// Corner returns device i's silicon-lottery outcome.
+func (c *Cohort) Corner(i int) silicon.ProcessCorner { return c.corners[i] }
+
+// Ambient returns device i's wild ambient (ground truth the backend
+// never sees).
+func (c *Cohort) Ambient(i int) units.Celsius { return c.ambient[i] }
+
+// Energy returns the total energy device i has drawn so far.
+func (c *Cohort) Energy(i int) units.Joules { return c.energy[i] }
+
+// DieTemperature returns device i's current die temperature.
+func (c *Cohort) DieTemperature(i int) units.Celsius { return c.dieT[i] }
+
+// Recorder returns device i's trace recorder, or nil unless the fleet
+// was built with Record.
+func (c *Cohort) Recorder(i int) *trace.Recorder {
+	if c.recs == nil {
+		return nil
+	}
+	return c.recs[i]
+}
+
+// attachRecorders gives every device a trace recorder with the series
+// handles resolved in device.New's creation order, so WriteCSV emits the
+// identical column layout (the bit-identity golden compares raw bytes).
+func (c *Cohort) attachRecorders() {
+	n := c.n
+	c.recs = make([]*trace.Recorder, n)
+	c.sDie = make([]*trace.Series, n)
+	c.sCase = make([]*trace.Series, n)
+	c.sFreqBig = make([]*trace.Series, n)
+	if c.hasLittle {
+		c.sFreqLittle = make([]*trace.Series, n)
+	}
+	c.sPower = make([]*trace.Series, n)
+	c.sCores = make([]*trace.Series, n)
+	for i := 0; i < n; i++ {
+		rec := trace.NewRecorder()
+		c.recs[i] = rec
+		c.sDie[i] = rec.Series("die", "C")
+		c.sCase[i] = rec.Series("case", "C")
+		c.sFreqBig[i] = rec.Series("freq.big", "MHz")
+		if c.hasLittle {
+			c.sFreqLittle[i] = rec.Series("freq.little", "MHz")
+		}
+		c.sPower[i] = rec.Series("power", "W")
+		c.sCores[i] = rec.Series("cores.online", "n")
+	}
+}
+
+// Score returns device i's completed iterations: the sum of per-core
+// floors, exactly as device.CompletedIterations tallies it.
+func (c *Cohort) Score(i int) int {
+	total := 0
+	base := i * c.big.Cores
+	for k := 0; k < c.big.Cores; k++ {
+		total += int(c.bigProg[base+k] + 1e-9)
+	}
+	if c.hasLittle {
+		base = i * c.little.Cores
+		for k := 0; k < c.little.Cores; k++ {
+			total += int(c.littleProg[base+k] + 1e-9)
+		}
+	}
+	return total
+}
+
+// resetCounters zeroes the workload progress of devices [lo, hi) — the
+// phase-boundary ResetCounters of the protocol.
+func (c *Cohort) resetCounters(lo, hi int) {
+	for k := lo * c.big.Cores; k < hi*c.big.Cores; k++ {
+		c.bigProg[k] = 0
+	}
+	if c.hasLittle {
+		for k := lo * c.little.Cores; k < hi*c.little.Cores; k++ {
+			c.littleProg[k] = 0
+		}
+	}
+}
+
+// readSensor is ReadTempSensor for device i: true die temperature plus
+// Gaussian noise, quantized to the sysfs 0.1 °C resolution.
+func (c *Cohort) readSensor(i int) units.Celsius {
+	raw := float64(c.dieT[i]) + c.sensor[i].Normal(0, c.sensorSigma)
+	return device.QuantizeSensor(raw)
+}
+
+// Step advances devices [lo, hi) by dt under the shard's phase state —
+// one tight loop over the cohort's arrays. The loop body replays
+// device.Device.Step stage for stage with the identical floating-point
+// operation order (the bit-identity golden in fleetsim_test.go holds a
+// 1-device fleet and a device.Device to byte-identical traces):
+//
+//  1. sensor read + thermal-engine poll (governor.PollState),
+//  2. effective frequencies (memoized on the engine cap),
+//  3. rail voltages (memoized exactly like device.railVoltage),
+//  4. utilization resample + power evaluation (factored leakage terms),
+//  5. two-node thermal substeps (thermal.TwoNodeParams.Step),
+//  6. workload counters, energy accounting, optional trace appends.
+func (c *Cohort) Step(lo, hi int, ph *Phase, dt time.Duration) error {
+	if dt <= 0 {
+		return fmt.Errorf("fleetsim: non-positive step %v", dt)
+	}
+	ph.Elapsed += dt
+	elapsed := ph.Elapsed
+	busy := ph.Busy
+
+	nBig := c.big.Cores
+	floor := device.SuspendedFloor
+	if ph.Wakelock || busy {
+		floor = device.AwakeFloor
+	}
+	idleBigF := c.big.OPPs[0]
+	var idleLittleF units.MegaHertz
+	if c.hasLittle {
+		idleLittleF = c.little.OPPs[0]
+	}
+	perf := governor.Performance{}
+	sec := dt.Seconds()
+	_ = sec
+
+	for i := lo; i < hi; i++ {
+		// 1. The thermal engine sees the *sensor* temperature. The draw
+		// happens every step — even on the steps the engine skips —
+		// because device.Step evaluates ReadTempSensor unconditionally.
+		sensed := c.readSensor(i)
+		governor.PollState(&c.engines[i], c.policy, c.big, governor.DefaultPollInterval, elapsed, sensed)
+
+		// 2. Effective frequencies under the thermal + voltage caps.
+		die := c.dieT[i]
+		capF := c.engines[i].CapFreq
+		var bigF, littleF units.MegaHertz
+		if c.memoCap[i] == capF {
+			bigF, littleF = c.memoBigF[i], c.memoLittleF[i]
+		} else {
+			bigF = governor.Effective(perf, c.big, capF, c.vCap)
+			if c.hasLittle {
+				littleF = governor.Effective(perf, *c.little, capF, c.vCap)
+			}
+			c.memoCap[i], c.memoBigF[i], c.memoLittleF[i] = capF, bigF, littleF
+		}
+		if !busy {
+			bigF = idleBigF
+			littleF = idleLittleF
+		}
+
+		// 3. Rail voltages through the per-cluster memos.
+		key := die
+		if c.voltTempInv {
+			key = 0
+		}
+		if !(c.bigVValid[i] && c.bigVFreq[i] == bigF && c.bigVTemp[i] == key) {
+			v, err := c.model.SoC.Voltages.Voltage(c.corners[i], bigF, die)
+			if err != nil {
+				return fmt.Errorf("fleetsim: %s: %w", c.names[i], err)
+			}
+			c.bigVValid[i], c.bigVFreq[i], c.bigVTemp[i] = true, bigF, key
+			c.bigV[i] = v
+			c.bigVterm[i] = c.leak.VoltFactor(v)
+		}
+		bigV, bigVterm := c.bigV[i], c.bigVterm[i]
+		var littleV units.Volts
+		var littleVterm float64
+		if c.hasLittle {
+			if !(c.littleVValid[i] && c.littleVFreq[i] == littleF && c.littleVTemp[i] == key) {
+				v, err := c.model.SoC.Voltages.Voltage(c.corners[i], littleF, die)
+				if err != nil {
+					return fmt.Errorf("fleetsim: %s: %w", c.names[i], err)
+				}
+				c.littleVValid[i], c.littleVFreq[i], c.littleVTemp[i] = true, littleF, key
+				c.littleV[i] = v
+				c.littleVterm[i] = c.leak.VoltFactor(v)
+			}
+			littleV, littleVterm = c.littleV[i], c.littleVterm[i]
+		}
+
+		// 4. Utilization and power. Online-core counts follow device.Step:
+		// busy runs every non-hotplugged big core and the whole LITTLE
+		// cluster; idle power-collapses all but the last big core.
+		if elapsed >= c.utilLevelEnd[i] {
+			c.utilLevel[i] = 1 - math.Abs(c.util[i].Normal(0, device.UtilSigma))
+			c.utilLevelEnd[i] = elapsed + device.UtilResample
+		}
+		util := device.IdleUtil
+		if busy {
+			util = c.utilLevel[i] * c.profile.PowerFactor
+		}
+		offline := c.engines[i].OfflineBig
+		bigOnline := 0
+		if busy {
+			bigOnline = nBig - offline
+		} else if nBig-1 >= offline {
+			bigOnline = 1
+		}
+		littleOnline := 0
+		if c.hasLittle && busy {
+			littleOnline = c.little.Cores
+		}
+
+		// Power accumulation replays Evaluate's per-core loop: every
+		// online core of a cluster contributes the identical dynamic and
+		// leakage terms, so each is computed once and added core by core
+		// (repeated adds of the same value, not a multiply — preserving
+		// the accumulator's rounding sequence).
+		var bd power.Breakdown
+		if bigOnline > 0 || littleOnline > 0 {
+			tterm := c.leak.TempFactor(die)
+			if bigOnline > 0 {
+				st := power.CoreState{Online: true, Freq: bigF, Voltage: bigV, Utilization: util}
+				dynOne := power.Dynamic(c.ceffBig, st)
+				leakOne := c.leak.PowerFactored(c.cornerShare[i], bigV, bigVterm, tterm)
+				for k := 0; k < bigOnline; k++ {
+					bd.Dynamic += dynOne
+					bd.Leakage += leakOne
+				}
+			}
+			if littleOnline > 0 {
+				st := power.CoreState{Online: true, Freq: littleF, Voltage: littleV, Utilization: util}
+				dynOne := power.Dynamic(c.ceffLittle, st)
+				leakOne := c.leak.PowerFactored(c.cornerShare[i], littleV, littleVterm, tterm)
+				for k := 0; k < littleOnline; k++ {
+					bd.Dynamic += dynOne
+					bd.Leakage += leakOne
+				}
+			}
+			bd.Uncore = c.uncore
+		}
+		total := bd.Total() + floor
+
+		// 5. Heat: inject into the die and integrate, subdividing by the
+		// sealed stable substep exactly as Network.Step does (one substep
+		// for every catalog body at the 100 ms control step).
+		dieT, caseT := die, c.caseT[i]
+		amb := c.ambient[i]
+		for remaining := dt; remaining > 0; {
+			h := c.sub
+			if remaining < h {
+				h = remaining
+			}
+			dieT, caseT = c.body.Step(dieT, caseT, amb, total, 0, h.Seconds())
+			remaining -= h
+		}
+		c.dieT[i], c.caseT[i] = dieT, caseT
+
+		// 6. Workload progress on online cores.
+		if busy {
+			effBig := units.MegaHertz(float64(bigF) * c.utilLevel[i] / c.profile.CycleFactor)
+			if effBig > 0 {
+				inc := effBig.CyclesOver(dt) / c.cpiBig
+				base := i * nBig
+				for k := offline; k < nBig; k++ {
+					c.bigProg[base+k] += inc
+				}
+			}
+			if c.hasLittle {
+				effLittle := units.MegaHertz(float64(littleF) * c.utilLevel[i] / c.profile.CycleFactor)
+				if effLittle > 0 {
+					inc := effLittle.CyclesOver(dt) / c.cpiLittle
+					base := i * c.little.Cores
+					for k := 0; k < c.little.Cores; k++ {
+						c.littleProg[base+k] += inc
+					}
+				}
+			}
+		}
+
+		// 7. Energy accounting (BenchSupply.Drain semantics) and traces.
+		if e := total.Over(dt); e > 0 {
+			c.energy[i] += e
+		}
+		if c.recs != nil {
+			c.sDie[i].Append(elapsed, float64(die))
+			c.sCase[i].Append(elapsed, float64(caseT))
+			c.sFreqBig[i].Append(elapsed, float64(bigF))
+			if c.hasLittle {
+				c.sFreqLittle[i].Append(elapsed, float64(littleF))
+			}
+			c.sPower[i].Append(elapsed, float64(total))
+			c.sCores[i].Append(elapsed, float64(nBig-offline))
+		}
+	}
+	if c.steps != nil {
+		c.steps.Add(uint64(hi - lo))
+	}
+	return nil
+}
+
+// runFor advances devices [lo, hi) for a total duration in control
+// steps, replicating accubench.Runner.run's loop shape.
+func (c *Cohort) runFor(lo, hi int, ph *Phase, total time.Duration) error {
+	for remaining := total; remaining > 0; remaining -= ControlStep {
+		h := ControlStep
+		if remaining < h {
+			h = remaining
+		}
+		if err := c.Step(lo, hi, ph, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runWild runs the crowd app's quick protocol on devices [lo, hi) and
+// emits one Submission per device. The phase schedule is the
+// crowd.WildDevice quick benchmark verbatim: one-minute warmup at full
+// tilt, a fixed ten-minute cooldown polled every five seconds (each poll
+// takes one extra sensor reading, on top of the per-step draws), counter
+// reset, then the two-minute measured workload under the performance
+// governor. emit is called from the worker goroutine driving this shard.
+func (c *Cohort) runWild(lo, hi int, emit func(Submission)) error {
+	var ph Phase
+
+	// Warmup: wakelock, performance governor, synthetic heat.
+	ph.Wakelock, ph.Busy = true, true
+	if err := c.runFor(lo, hi, &ph, WarmupQuick); err != nil {
+		return err
+	}
+	ph.Busy = false
+
+	// Cooldown: suspended, waking every CooldownPoll for a sensor read.
+	ph.Wakelock = false
+	coolStart := ph.Elapsed
+	polls := int(CooldownFixed / CooldownPoll)
+	cooldown := make([][]accubench.CooldownSample, hi-lo)
+	for i := range cooldown {
+		cooldown[i] = make([]accubench.CooldownSample, 0, polls)
+	}
+	for {
+		if err := c.runFor(lo, hi, &ph, CooldownPoll); err != nil {
+			return err
+		}
+		at := ph.Elapsed - coolStart
+		for i := lo; i < hi; i++ {
+			cooldown[i-lo] = append(cooldown[i-lo], accubench.CooldownSample{At: at, Reading: c.readSensor(i)})
+		}
+		if at >= CooldownFixed {
+			break
+		}
+	}
+
+	// Workload: the measured phase.
+	ph.Wakelock = true
+	c.resetCounters(lo, hi)
+	ph.Busy = true
+	if err := c.runFor(lo, hi, &ph, WorkloadQuick); err != nil {
+		return err
+	}
+	ph.Busy, ph.Wakelock = false, false
+
+	for i := lo; i < hi; i++ {
+		emit(Submission{
+			Device:   c.names[i],
+			Model:    c.model.Name,
+			Score:    float64(c.Score(i)),
+			Cooldown: cooldown[i-lo],
+			Corner:   c.corners[i],
+			Ambient:  c.ambient[i],
+			Energy:   c.energy[i],
+		})
+	}
+	return nil
+}

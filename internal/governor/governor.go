@@ -96,44 +96,76 @@ func NewEngine(policy soc.ThermalPolicy, big soc.Cluster, poll time.Duration) *E
 	}
 }
 
-// Poll feeds the engine the die temperature at simulated time now. The
-// engine acts at most once per poll interval; calling more often is safe.
-func (e *Engine) Poll(now time.Duration, die units.Celsius) {
-	if now < e.nextPoll {
+// EngineState is the per-device mutable state of an Engine, split out as
+// plain data so batched steppers (internal/fleetsim) can hold one per
+// device in struct-of-arrays form. PollState advances it with exactly
+// Engine.Poll's decision logic, and Engine.Poll itself delegates here,
+// so there is a single copy of the thermal-engine policy in the tree.
+type EngineState struct {
+	// NextPoll is the next simulated instant the engine will act.
+	NextPoll time.Duration
+	// CapFreq is the current thermal frequency cap.
+	CapFreq units.MegaHertz
+	// OfflineBig is how many big cores are hotplugged off.
+	OfflineBig int
+	// ThrottleOps counts cumulative step-down actions.
+	ThrottleOps int
+}
+
+// NewEngineState returns the unthrottled initial state for a cluster,
+// matching a freshly built Engine.
+func NewEngineState(big soc.Cluster) EngineState {
+	return EngineState{CapFreq: big.MaxFreq()}
+}
+
+// PollState feeds one sensor temperature to the engine state at simulated
+// time now. The engine acts at most once per poll interval; calling more
+// often is safe. The decision logic is bit-identical to Engine.Poll — it
+// IS Engine.Poll, which delegates here.
+func PollState(st *EngineState, policy soc.ThermalPolicy, big soc.Cluster, poll, now time.Duration, die units.Celsius) {
+	if now < st.NextPoll {
 		return
 	}
-	e.nextPoll = now + e.poll
+	st.NextPoll = now + poll
 
-	p := e.policy
+	p := policy
 	switch {
 	case die >= p.ThrottleAt:
-		next := e.big.StepDown(e.capFreq)
+		next := big.StepDown(st.CapFreq)
 		if p.MinCapFreq > 0 && next < p.MinCapFreq {
-			next = ClampToLadder(e.big, p.MinCapFreq)
+			next = ClampToLadder(big, p.MinCapFreq)
 			if next < p.MinCapFreq {
-				next = e.big.StepUp(next)
+				next = big.StepUp(next)
 			}
 		}
-		if next != e.capFreq && next < e.capFreq {
-			e.capFreq = next
-			e.throttleOps++
+		if next != st.CapFreq && next < st.CapFreq {
+			st.CapFreq = next
+			st.ThrottleOps++
 		}
 	case float64(die) <= float64(p.ThrottleAt)-p.Hysteresis:
-		e.capFreq = e.big.StepUp(e.capFreq)
+		st.CapFreq = big.StepUp(st.CapFreq)
 	}
 
 	if p.CoreOfflineAt > 0 {
-		maxOffline := e.big.Cores - p.MinOnlineCores
+		maxOffline := big.Cores - p.MinOnlineCores
 		if maxOffline < 0 {
 			maxOffline = 0
 		}
 		switch {
-		case die >= p.CoreOfflineAt && e.offlineBig < maxOffline:
-			e.offlineBig++
-		case die <= p.CoreOnlineBelow && e.offlineBig > 0:
-			e.offlineBig--
+		case die >= p.CoreOfflineAt && st.OfflineBig < maxOffline:
+			st.OfflineBig++
+		case die <= p.CoreOnlineBelow && st.OfflineBig > 0:
+			st.OfflineBig--
 		}
 	}
+}
+
+// Poll feeds the engine the die temperature at simulated time now. The
+// engine acts at most once per poll interval; calling more often is safe.
+func (e *Engine) Poll(now time.Duration, die units.Celsius) {
+	st := EngineState{NextPoll: e.nextPoll, CapFreq: e.capFreq, OfflineBig: e.offlineBig, ThrottleOps: e.throttleOps}
+	PollState(&st, e.policy, e.big, e.poll, now, die)
+	e.nextPoll, e.capFreq, e.offlineBig, e.throttleOps = st.NextPoll, st.CapFreq, st.OfflineBig, st.ThrottleOps
 }
 
 // Cap returns the engine's current frequency cap for the big cluster.

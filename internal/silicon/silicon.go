@@ -166,15 +166,47 @@ type LeakageModel struct {
 	TSlope float64
 }
 
+// VoltFactor returns the voltage-dependent leakage term (V/Vref)^VoltExp.
+// It is the expensive factor of Current for a fixed operating point —
+// batched steppers (internal/fleetsim) memoize it per exact rail voltage,
+// which cannot perturb the result because the factor is a pure function
+// of the voltage alone.
+func (m LeakageModel) VoltFactor(v units.Volts) float64 {
+	return math.Pow(float64(v)/float64(m.Vref), m.VoltExp)
+}
+
+// TempFactor returns the temperature-dependent leakage term
+// exp((T − Tref)/TSlope). Both clusters of a big.LITTLE chip share the
+// die temperature, so one evaluation per step serves both.
+func (m LeakageModel) TempFactor(t units.Celsius) float64 {
+	return math.Exp(t.Delta(m.Tref) / m.TSlope)
+}
+
+// CurrentFactored returns the leakage current given precomputed
+// VoltFactor(v) and TempFactor(t) values. It is the multiply chain of
+// Current with the transcendental factors hoisted:
+// Current(c, v, t) ≡ CurrentFactored(c, v, VoltFactor(v), TempFactor(t))
+// bit for bit, including the zero guard.
+func (m LeakageModel) CurrentFactored(corner float64, v units.Volts, vterm, tterm float64) units.Amps {
+	if v <= 0 || corner <= 0 {
+		return 0
+	}
+	return units.Amps(float64(m.I0) * corner * vterm * tterm)
+}
+
+// PowerFactored returns the leakage power V·CurrentFactored — the
+// factored counterpart of Power.
+func (m LeakageModel) PowerFactored(corner float64, v units.Volts, vterm, tterm float64) units.Watts {
+	return units.Power(v, m.CurrentFactored(corner, v, vterm, tterm))
+}
+
 // Current returns the leakage current for a chip with the given corner at
 // the given supply voltage and die temperature.
 func (m LeakageModel) Current(corner float64, v units.Volts, t units.Celsius) units.Amps {
 	if v <= 0 || corner <= 0 {
 		return 0
 	}
-	vterm := math.Pow(float64(v)/float64(m.Vref), m.VoltExp)
-	tterm := math.Exp(t.Delta(m.Tref) / m.TSlope)
-	return units.Amps(float64(m.I0) * corner * vterm * tterm)
+	return m.CurrentFactored(corner, v, m.VoltFactor(v), m.TempFactor(t))
 }
 
 // Power returns the leakage power V·I_leak.

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Noise is the minimal random surface the device layer consumes: a
+// Gaussian draw. Both *Source (the full math/rand-backed stream) and
+// *Stream (the compact fleet-scale stream below) implement it, which is
+// the seam that lets a single device.Device and its fleetsim
+// counterpart consume the exact same draws in the bit-identity goldens.
+type Noise interface {
+	// Normal returns a Gaussian draw with the given mean and standard
+	// deviation.
+	Normal(mean, stddev float64) float64
+}
+
+// Stream is a compact deterministic random stream: 24 bytes of state
+// against the ~5 KiB a math/rand-backed Source carries. A million-device
+// fleet holds two Streams per device (sensor and util noise), so the
+// whole fleet's randomness fits in tens of megabytes and stays cache-
+// resident next to the rest of the struct-of-arrays state.
+//
+// The generator is splitmix64 (Steele, Lea & Flood; the seeding
+// generator of java.util.SplittableRandom and xoshiro), which passes
+// BigCrush and gives a full 2^64 period from any seed. Gaussian draws
+// use the Marsaglia polar method with a cached spare, so consecutive
+// Normal calls cost one transcendental pair per two draws.
+//
+// A Stream is a value type: copying it forks the sequence. Fleet code
+// indexes []Stream in place; methods use pointer receivers so draws
+// advance the addressed element.
+type Stream struct {
+	state uint64
+	spare float64
+	// hasSpare marks a banked second polar draw.
+	hasSpare bool
+}
+
+// NewStream derives a named compact stream from a root seed, with the
+// same (seed, name) derivation idiom as NewSource: the name is FNV-1a
+// hashed and folded into the seed, so independently named streams are
+// decorrelated and adding a consumer never perturbs another stream's
+// draws. The same (seed, name) pair always yields the same stream. Note
+// a Stream and a Source built from the same pair produce different
+// sequences — they are different generators; what is shared is the
+// derivation contract.
+func NewStream(seed int64, name string) Stream {
+	h := fnv.New64a()
+	// fnv never fails on Write.
+	h.Write([]byte(name))
+	return Stream{state: uint64(seed ^ int64(h.Sum64()))}
+}
+
+// Uint64 returns the next 64 raw bits (splitmix64).
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0,1) with 53 bits of precision.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform draw in [lo, hi).
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Normal returns a Gaussian draw with the given mean and standard
+// deviation (Marsaglia polar method, spare-cached).
+func (s *Stream) Normal(mean, stddev float64) float64 {
+	if s.hasSpare {
+		s.hasSpare = false
+		return mean + stddev*s.spare
+	}
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			m := math.Sqrt(-2 * math.Log(q) / q)
+			s.spare = v * m
+			s.hasSpare = true
+			return mean + stddev*(u*m)
+		}
+	}
+}
+
+// LogNormal returns a draw whose logarithm is Normal(mu, sigma) — the
+// same process-variation shape Source.LogNormal models.
+func (s *Stream) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}

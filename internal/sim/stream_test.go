@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStreamDeterministic pins the derivation contract: the same
+// (seed, name) pair replays the same sequence, and either coordinate
+// changing decorrelates it.
+func TestStreamDeterministic(t *testing.T) {
+	a := NewStream(42, "sensor:fleet-0000001")
+	b := NewStream(42, "sensor:fleet-0000001")
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Normal(0, 1), b.Normal(0, 1); x != y {
+			t.Fatalf("draw %d diverged: %v vs %v", i, x, y)
+		}
+	}
+	c := NewStream(42, "sensor:fleet-0000002")
+	d := NewStream(43, "sensor:fleet-0000001")
+	base := NewStream(42, "sensor:fleet-0000001")
+	sameName, sameSeed := 0, 0
+	for i := 0; i < 100; i++ {
+		x := base.Float64()
+		if x == c.Float64() {
+			sameName++
+		}
+		if x == d.Float64() {
+			sameSeed++
+		}
+	}
+	if sameName > 0 || sameSeed > 0 {
+		t.Fatalf("streams not decorrelated: %d/%d collisions by name/seed", sameName, sameSeed)
+	}
+}
+
+// TestStreamCopySemantics locks the value-type contract: copying a
+// Stream forks the sequence at the copy point.
+func TestStreamCopySemantics(t *testing.T) {
+	s := NewStream(7, "fork")
+	s.Normal(0, 1) // advance past the first polar pair
+	fork := s
+	for i := 0; i < 10; i++ {
+		if x, y := s.Normal(0, 1), fork.Normal(0, 1); x != y {
+			t.Fatalf("forked copy diverged at draw %d", i)
+		}
+	}
+}
+
+// TestStreamMoments sanity-checks the distributions: uniform mean/range
+// and Gaussian mean/variance over a large sample.
+func TestStreamMoments(t *testing.T) {
+	s := NewStream(1, "moments")
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := s.Normal(0, 1)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance %v, want ~1", variance)
+	}
+	u := NewStream(1, "uniform")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	sum = 0
+	for i := 0; i < n; i++ {
+		x := u.Uniform(12, 38)
+		if x < 12 || x >= 38 {
+			t.Fatalf("uniform draw %v outside [12,38)", x)
+		}
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-25) > 0.1 {
+		t.Errorf("uniform mean %v, want ~25", mean)
+	}
+	if lo > 12.1 || hi < 37.9 {
+		t.Errorf("uniform range [%v,%v] does not span [12,38)", lo, hi)
+	}
+}
+
+// TestStreamImplementsNoise pins the seam the device layer depends on.
+func TestStreamImplementsNoise(t *testing.T) {
+	var _ Noise = &Stream{}
+	var _ Noise = &Source{}
+}

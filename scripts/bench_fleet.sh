@@ -1,0 +1,49 @@
+#!/bin/sh
+# bench_fleet.sh — run the fleet-engine benchmark and record the numbers
+# as BENCH_9.json (or $BENCH_OUT). BenchmarkFleetStep reports dev-steps/s
+# (devices × steps per wall second); at the 100 ms control step a device
+# needs 10 steps per simulated second, so ≥10M dev-steps/s means a
+# million-device fleet runs faster than real time. bench_diff.sh compares
+# devices_steps_per_sec direction-aware: lower is a regression.
+#
+#   BENCH_OUT    destination JSON (default BENCH_9.json)
+#   BENCH_COUNT  -count passed to go test (default 1)
+#   BENCH_TIME   -benchtime (default 2s)
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${BENCH_OUT:-BENCH_9.json}
+count=${BENCH_COUNT:-1}
+benchtime=${BENCH_TIME:-2s}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench '^BenchmarkFleetStep$' \
+    -count "$count" -benchtime "$benchtime" . | tee "$tmp"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")       ns[name] = $(i - 1)
+        if ($i == "dev-steps/s") rate[name] = $(i - 1)
+    }
+}
+END {
+    if (n == 0) { print "bench_fleet: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"devices_steps_per_sec\": %s}%s\n", \
+            name, ns[name], rate[name], (i < n ? "," : "")
+        printf "bench_fleet: %s: %.2fM dev-steps/s — 1M-device fleet at %.2fx real time\n", \
+            name, rate[name] / 1e6, rate[name] / 1e7 > "/dev/stderr"
+    }
+    printf "  ]\n}\n"
+}
+' "$tmp" >"$out"
+
+echo "bench_fleet: wrote $out"
