@@ -43,6 +43,7 @@ fuzz-smoke:
 	$(GO) test ./internal/hlc -run '^$$' -fuzz '^FuzzCodec$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/replication -run '^$$' -fuzz '^FuzzBatchDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzWireFrameDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stats -run '^$$' -fuzz '^FuzzSketchDecode$$' -fuzztime $(FUZZTIME)
 
 # chaos-smoke runs the seeded fault-injection scenario matrix under the
 # race detector, uncached: every scenario in internal/chaos executed
@@ -77,20 +78,30 @@ links-check:
 # refreshes BENCH_5.json with the measured ns/op and allocs/op, then
 # the JSON-vs-binary ingest throughput comparison into BENCH_8.json
 # (docs/WIRE.md), then the batched fleet engine into BENCH_9.json
-# (docs/FLEET.md). See docs/PERFORMANCE.md for the hot-path map behind
-# these numbers.
+# (docs/FLEET.md), then the exact-vs-sketch bins read sweep into
+# BENCH_10.json (docs/BINNING.md). See docs/PERFORMANCE.md for the
+# hot-path map behind these numbers.
 bench:
 	sh scripts/bench_run.sh
 	sh scripts/bench_ingest.sh
 	sh scripts/bench_fleet.sh
+	sh scripts/bench_bins.sh
 
 # bench-diff re-measures and fails if any headline benchmark regressed
 # more than 10% against its committed baseline: ns/op vs BENCH_5.json,
-# fleet devices_steps_per_sec (lower = regression) vs BENCH_9.json.
+# fleet devices_steps_per_sec (lower = regression) vs BENCH_9.json,
+# bins read latency + sketch speedup vs BENCH_10.json. The bins sweep
+# gets a wider 30% tolerance: its exact-path rows are multi-second
+# single-shot scans whose min-of-few timing still jitters ~20% on a
+# loaded machine, while the regression it guards (sketch falling back
+# to O(corpus)) shows up as 100x, not 30%.
 bench-diff:
 	sh scripts/bench_diff.sh
 	@tmp=$$(mktemp); BENCH_OUT=$$tmp sh scripts/bench_fleet.sh >/dev/null; \
 		sh scripts/bench_diff.sh BENCH_9.json $$tmp; rc=$$?; rm -f $$tmp; exit $$rc
+	@tmp=$$(mktemp); BENCH_OUT=$$tmp sh scripts/bench_bins.sh >/dev/null; \
+		BENCH_TOLERANCE_PCT=30 sh scripts/bench_diff.sh BENCH_10.json $$tmp; \
+		rc=$$?; rm -f $$tmp; exit $$rc
 
 # bench-smoke is the quick ci gate: a handful of iterations per headline
 # benchmark, enough to prove the hot paths still run (and that the

@@ -81,8 +81,9 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 		acceptLo      = fs.Float64("accept-lo", float64(policy.AcceptLo), "lowest accepted estimated ambient, °C")
 		acceptHi      = fs.Float64("accept-hi", float64(policy.AcceptHi), "highest accepted estimated ambient, °C")
 		idleBias      = fs.Float64("idle-bias", policy.IdleBias, "idle-floor correction subtracted from estimates, °C")
-		debounce      = fs.Duration("bin-debounce", 150*time.Millisecond, "binning loop quiet period")
+		debounce      = fs.Duration("bin-debounce", 150*time.Millisecond, "binning loop quiet period (exact mode)")
 		maxK          = fs.Int("max-bins", 5, "largest bin count the clustering may discover")
+		binMode       = fs.String("bin-mode", server.BinModeExact, "bin serving path: exact (debounced full recompute) or sketch (streaming sketch fold, docs/BINNING.md)")
 		submitTimeout = fs.Duration("submit-timeout", 2*time.Second, "how long a saturated POST may block before 503")
 		maxBody       = fs.Int64("max-body", 1<<20, "largest accepted upload body, bytes")
 		dataDir       = fs.String("data-dir", "", "durable data directory (WAL + snapshots); empty runs in-memory")
@@ -122,6 +123,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 		QueueDepth:    *queue,
 		Policy:        policy,
 		MaxK:          *maxK,
+		BinMode:       *binMode,
 		BinDebounce:   *debounce,
 		SubmitTimeout: *submitTimeout,
 		MaxBodyBytes:  *maxBody,
@@ -196,8 +198,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready func(addr s
 		go debugSrv.Serve(dln)
 		fmt.Fprintf(stdout, "crowdd: pprof on http://%s/debug/pprof\n", dln.Addr())
 	}
-	fmt.Fprintf(stdout, "crowdd: listening on %s (%d shards, %d workers/stage, queue %d, window [%v, %v])\n",
-		ln.Addr(), *shards, *workers, *queue, policy.AcceptLo, policy.AcceptHi)
+	fmt.Fprintf(stdout, "crowdd: listening on %s (%d shards, %d workers/stage, queue %d, window [%v, %v], %s bins)\n",
+		ln.Addr(), *shards, *workers, *queue, policy.AcceptLo, policy.AcceptHi, *binMode)
 	if scfg.Cluster != nil {
 		fmt.Fprintf(stdout, "crowdd: cluster node %s with %d peers (%s routing, reconcile every %v, bins staleness bound %v)\n",
 			scfg.Cluster.NodeID, len(scfg.Cluster.Peers), scfg.Cluster.RouteMode, *reconcile, *maxStaleness)

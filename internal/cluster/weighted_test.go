@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// expand turns weighted points into the plain multiset they stand for.
+func expand(points []WeightedPoint) []float64 {
+	var out []float64
+	for _, p := range points {
+		for i := int64(0); i < p.Weight; i++ {
+			out = append(out, p.Value)
+		}
+	}
+	return out
+}
+
+// TestWeightedKMeansMatchesExpanded pins the defining property: weighted
+// clustering equals plain clustering on the expanded multiset.
+func TestWeightedKMeansMatchesExpanded(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		var points []WeightedPoint
+		n := 5 + rng.Intn(15)
+		for i := 0; i < n; i++ {
+			points = append(points, WeightedPoint{
+				Value:  rng.Float64() * 10,
+				Weight: 1 + int64(rng.Intn(6)),
+			})
+		}
+		for k := 1; k <= 4 && k <= n; k++ {
+			wa, err := KMeans1DWeighted(points, k)
+			if err != nil {
+				t.Fatalf("trial %d k=%d: %v", trial, k, err)
+			}
+			ea, err := KMeans1D(expand(points), k)
+			if err != nil {
+				t.Fatalf("trial %d k=%d expanded: %v", trial, k, err)
+			}
+			if math.Abs(wa.Cost-ea.Cost) > 1e-9*(1+ea.Cost) {
+				t.Errorf("trial %d k=%d: weighted cost %g != expanded cost %g", trial, k, wa.Cost, ea.Cost)
+			}
+			for c := range wa.Centroids {
+				if math.Abs(wa.Centroids[c]-ea.Centroids[c]) > 1e-9 {
+					t.Errorf("trial %d k=%d centroid %d: %g != %g", trial, k, c, wa.Centroids[c], ea.Centroids[c])
+				}
+			}
+			var totalW int64
+			for _, s := range wa.Sizes {
+				totalW += s
+			}
+			if want := int64(len(expand(points))); totalW != want {
+				t.Errorf("trial %d k=%d: sizes sum %d != population %d", trial, k, totalW, want)
+			}
+		}
+	}
+}
+
+func TestWeightedSilhouetteMatchesExpanded(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 20; trial++ {
+		var points []WeightedPoint
+		n := 6 + rng.Intn(10)
+		for i := 0; i < n; i++ {
+			// Two loose modes so k=2 is a meaningful split.
+			base := 2.0
+			if i%2 == 0 {
+				base = 8.0
+			}
+			points = append(points, WeightedPoint{
+				Value:  base + rng.Float64(),
+				Weight: 1 + int64(rng.Intn(4)),
+			})
+		}
+		wa, err := KMeans1DWeighted(points, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp := expand(points)
+		ea, err := KMeans1D(exp, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := SilhouetteWeighted(points, wa)
+		es := Silhouette(exp, ea)
+		if math.Abs(ws-es) > 1e-9 {
+			t.Errorf("trial %d: weighted silhouette %g != expanded %g", trial, ws, es)
+		}
+	}
+}
+
+func TestChooseKWeighted(t *testing.T) {
+	// Two tight, well-separated modes: k=2 must win.
+	var bimodal []WeightedPoint
+	for i := 0; i < 10; i++ {
+		bimodal = append(bimodal, WeightedPoint{Value: 1 + float64(i)*0.01, Weight: 3})
+		bimodal = append(bimodal, WeightedPoint{Value: 9 + float64(i)*0.01, Weight: 2})
+	}
+	k, err := ChooseKWeighted(bimodal, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Errorf("bimodal ChooseKWeighted = %d, want 2", k)
+	}
+
+	// Structureless uniform cloud: must fall back to a single bin.
+	rng := rand.New(rand.NewSource(23))
+	var uniform []WeightedPoint
+	for i := 0; i < 40; i++ {
+		uniform = append(uniform, WeightedPoint{Value: rng.Float64(), Weight: 1 + int64(rng.Intn(3))})
+	}
+	k, err = ChooseKWeighted(uniform, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Errorf("uniform ChooseKWeighted = %d, want 1", k)
+	}
+}
+
+func TestWeightedKMeansErrors(t *testing.T) {
+	pts := []WeightedPoint{{Value: 1, Weight: 1}}
+	if _, err := KMeans1DWeighted(pts, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans1DWeighted(nil, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := KMeans1DWeighted(pts, 2); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := KMeans1DWeighted([]WeightedPoint{{Value: math.NaN(), Weight: 1}}, 1); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := KMeans1DWeighted([]WeightedPoint{{Value: 1, Weight: 0}}, 1); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := ChooseKWeighted(pts, 0); err == nil {
+		t.Error("ChooseKWeighted maxK=0 accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"accubench/internal/cluster"
+	"accubench/internal/obs"
 	"accubench/internal/stats"
 	"accubench/internal/store"
 )
@@ -50,14 +51,31 @@ type ModelBins struct {
 // matching the batch study in internal/crowd.
 const minClusterPop = 4
 
-// Binner is the background binning loop: ingest marks models dirty, the
-// loop debounces the marks and recomputes bins off the request path, and
-// GET /v1/bins serves the cached result without ever touching the
-// clustering code.
+// Bin-serving modes (Config.BinMode / crowdd -bin-mode).
+const (
+	// BinModeExact is the classic path: a debounced background loop
+	// rescans the store and re-clusters the full population — O(corpus)
+	// per refresh, bit-exact, the reference the goldens compare against.
+	BinModeExact = "exact"
+	// BinModeSketch serves bins from the store's streaming population
+	// sketches: reads fold O(cells) per model with no debounce loop and
+	// no corpus scan, within the tolerance contract of docs/BINNING.md.
+	BinModeSketch = "sketch"
+)
+
+// Binner serves per-model bins in one of two modes. In exact mode it is
+// a background loop: ingest marks models dirty, the loop debounces the
+// marks and recomputes bins off the request path, and GET /v1/bins
+// serves the cached result without ever touching the clustering code.
+// In sketch mode there is no loop at all: reads cluster the store's
+// always-current population sketches on demand, caching per model until
+// the sketch revision moves.
 type Binner struct {
 	store *store.Store
 	// maxK bounds the discovered bin count.
 	maxK int
+	// mode is BinModeExact or BinModeSketch.
+	mode string
 	// debounce is how long a model must stay quiet after a mark before its
 	// bins recompute; maxWait bounds staleness under continuous load.
 	debounce, maxWait time.Duration
@@ -66,9 +84,28 @@ type Binner struct {
 
 	mu   sync.RWMutex
 	bins map[string]ModelBins
+	// sorted caches the Bins() ordering so serving GET /v1/bins does not
+	// re-sort the model list on every read; recompute invalidates it.
+	sorted []ModelBins
+
+	// sketchMu guards the sketch-mode read cache: per model, the bins
+	// derived from the store sketch at .Revision — served until the
+	// store's sketch revision moves past it.
+	sketchMu    sync.Mutex
+	sketchCache map[string]ModelBins
 
 	recomputes atomic.Uint64
 	revision   atomic.Uint64
+
+	// Drift instrumentation, nil without BinnerConfig.Obs: the
+	// silicon-lottery story as monitoring — how far each model's bin
+	// centroids moved on the latest recompute, and whether the bin count
+	// itself changed.
+	driftShift   *obs.GaugeVec
+	driftBins    *obs.GaugeVec
+	driftChanges *obs.Counter
+	sketchFolds  *obs.Counter
+	sketchHits   *obs.Counter
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -83,17 +120,27 @@ type BinnerConfig struct {
 	// MaxK bounds the discovered bin count (default 5 — the paper's
 	// Nexus 5 study saw bins 0–4).
 	MaxK int
+	// Mode selects the serving path: BinModeExact (default) or
+	// BinModeSketch.
+	Mode string
 	// Debounce is the quiet period before a recompute (default 150 ms).
+	// Exact mode only.
 	Debounce time.Duration
 	// MaxWait bounds staleness under continuous submission load
-	// (default 10 × Debounce).
+	// (default 10 × Debounce). Exact mode only.
 	MaxWait time.Duration
+	// Obs, when non-nil, registers the drift gauges and sketch-path
+	// counters (docs/METRICS.md, "Binning & drift").
+	Obs *obs.Registry
 }
 
-// NewBinner creates a binner; Start launches its loop.
+// NewBinner creates a binner; Start launches its loop (exact mode).
 func NewBinner(cfg BinnerConfig) *Binner {
 	if cfg.MaxK <= 0 {
 		cfg.MaxK = 5
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = BinModeExact
 	}
 	if cfg.Debounce <= 0 {
 		cfg.Debounce = 150 * time.Millisecond
@@ -101,22 +148,45 @@ func NewBinner(cfg BinnerConfig) *Binner {
 	if cfg.MaxWait <= 0 {
 		cfg.MaxWait = 10 * cfg.Debounce
 	}
-	return &Binner{
+	b := &Binner{
 		store:    cfg.Store,
 		maxK:     cfg.MaxK,
+		mode:     cfg.Mode,
 		debounce: cfg.Debounce,
 		maxWait:  cfg.MaxWait,
 		// Buffered so ingest's store workers never block on a busy loop;
 		// marks are coalesced anyway.
-		dirty:   make(chan string, 1024),
-		bins:    make(map[string]ModelBins),
-		stopped: make(chan struct{}),
-		done:    make(chan struct{}),
+		dirty:       make(chan string, 1024),
+		bins:        make(map[string]ModelBins),
+		sketchCache: make(map[string]ModelBins),
+		stopped:     make(chan struct{}),
+		done:        make(chan struct{}),
 	}
+	if cfg.Obs != nil {
+		b.driftShift = cfg.Obs.GaugeVec("drift_centroid_shift_ppm",
+			"mean relative centroid shift vs the previous revision, parts per million", "model")
+		b.driftBins = cfg.Obs.GaugeVec("drift_bin_count",
+			"discovered bin count per model", "model")
+		b.driftChanges = cfg.Obs.Counter("drift_bin_count_changes_total",
+			"recomputes that changed a model's bin count")
+		b.sketchFolds = cfg.Obs.Counter("bins_sketch_recomputes_total",
+			"sketch-mode bins computed from a fresh sketch fold")
+		b.sketchHits = cfg.Obs.Counter("bins_sketch_cached_reads_total",
+			"sketch-mode bins served from the revision-matched cache")
+	}
+	return b
 }
 
-// Start launches the binning loop.
+// Mode reports the serving mode.
+func (b *Binner) Mode() string { return b.mode }
+
+// Start launches the binning loop. In sketch mode there is no loop —
+// reads are always fresh — so Start only arms Stop's bookkeeping.
 func (b *Binner) Start() {
+	if b.mode == BinModeSketch {
+		b.startOnce.Do(func() { close(b.done) })
+		return
+	}
 	b.startOnce.Do(func() { go b.loop() })
 }
 
@@ -133,29 +203,62 @@ func (b *Binner) Stop() {
 // MarkDirty notes that a model received a submission. Never blocks: under
 // a full queue the mark is dropped, which is safe — a later mark or the
 // maxWait sweep still triggers the recompute for marks already queued, and
-// a full queue means the loop is about to run anyway.
+// a full queue means the loop is about to run anyway. Sketch mode has no
+// loop to wake: the store's sketches are already current.
 func (b *Binner) MarkDirty(model string) {
+	if b.mode == BinModeSketch {
+		return
+	}
 	select {
 	case b.dirty <- model:
 	default:
 	}
 }
 
-// Bins returns the cached bins for every model, sorted by model name. It
-// never recomputes — reads are pure cache hits.
+// Bins returns the bins for every model, sorted by model name. Exact
+// mode serves a cached sorted snapshot (rebuilt only after a recompute
+// invalidated it — no per-GET sort); sketch mode folds each model's
+// sketch, which is itself cached per sketch revision.
 func (b *Binner) Bins() []ModelBins {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	out := make([]ModelBins, 0, len(b.bins))
-	for _, mb := range b.bins {
-		out = append(out, mb)
+	if b.mode == BinModeSketch {
+		models := b.store.Models()
+		out := make([]ModelBins, 0, len(models))
+		for _, m := range models {
+			if mb, ok := b.sketchBins(m); ok {
+				out = append(out, mb)
+			}
+		}
+		return out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	b.mu.RLock()
+	cached := b.sorted
+	b.mu.RUnlock()
+	if cached == nil {
+		b.mu.Lock()
+		if b.sorted == nil {
+			sc := make([]ModelBins, 0, len(b.bins))
+			for _, mb := range b.bins {
+				sc = append(sc, mb)
+			}
+			sort.Slice(sc, func(i, j int) bool { return sc[i].Model < sc[j].Model })
+			b.sorted = sc
+		}
+		cached = b.sorted
+		b.mu.Unlock()
+	}
+	// Callers stamp AgeMS into the returned entries; hand out a copy so
+	// the cache itself stays immutable.
+	out := make([]ModelBins, len(cached))
+	copy(out, cached)
 	return out
 }
 
-// ModelBins returns the cached bins for one model.
+// ModelBins returns the bins for one model — the cached recompute in
+// exact mode, a revision-fresh sketch fold in sketch mode.
 func (b *Binner) ModelBins(model string) (ModelBins, bool) {
+	if b.mode == BinModeSketch {
+		return b.sketchBins(model)
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	mb, ok := b.bins[model]
@@ -178,8 +281,14 @@ func (b *Binner) RefreshedAt(model string) (time.Time, bool) {
 // escape hatch: a replica serving bins under a max-staleness bound calls
 // this when the cache has aged past the bound, instead of waiting for
 // the debounced loop. Safe concurrently with the loop; the two
-// recomputes just race benignly to publish equivalent results.
+// recomputes just race benignly to publish equivalent results. In
+// sketch mode reads are fresh by construction, so Refresh is just a
+// read.
 func (b *Binner) Refresh(model string) ModelBins {
+	if b.mode == BinModeSketch {
+		mb, _ := b.sketchBins(model)
+		return mb
+	}
 	b.recompute(model)
 	mb, _ := b.ModelBins(model)
 	return mb
@@ -292,8 +401,11 @@ func (b *Binner) recompute(model string) {
 	mb.refreshedAt = time.Now()
 	b.recomputes.Add(1)
 	b.mu.Lock()
+	old, hadOld := b.bins[model]
 	b.bins[model] = mb
+	b.sorted = nil
 	b.mu.Unlock()
+	b.noteDrift(old, hadOld, mb)
 }
 
 // spread returns max-min of xs.

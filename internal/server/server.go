@@ -11,7 +11,11 @@
 //	                           chunked POST carrying length-prefixed,
 //	                           CRC-framed batch frames, acked per batch
 //	                           (internal/wire; docs/WIRE.md)
-//	GET  /v1/bins            — cached per-model bins (never recomputes)
+//	GET  /v1/bins            — per-model bins: the exact-mode cache, or
+//	                           sketch-derived bins in -bin-mode sketch
+//	                           (docs/BINNING.md)
+//	GET  /v1/sketch?model=M  — the model's population sketch, canonical
+//	                           binary encoding (mergeable; internal/stats)
 //	GET  /v1/devices/{id}    — one device's latest verdict
 //	GET  /healthz            — liveness + persistence/recovery status
 //	GET  /metrics            — Prometheus text exposition: the pipeline,
@@ -67,7 +71,12 @@ type Config struct {
 	Policy crowd.Policy
 	// MaxK bounds the discovered bin count per model.
 	MaxK int
-	// BinDebounce is the binning loop's quiet period.
+	// BinMode selects the bin-serving path: BinModeExact (default) keeps
+	// the debounced full-recompute loop, BinModeSketch serves bins from
+	// the store's streaming population sketches with no background loop
+	// (docs/BINNING.md).
+	BinMode string
+	// BinDebounce is the binning loop's quiet period (exact mode).
 	BinDebounce time.Duration
 	// SubmitTimeout bounds how long a saturated POST /v1/submissions may
 	// block before returning 503 (default 2 s).
@@ -166,10 +175,20 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	switch cfg.BinMode {
+	case "", BinModeExact, BinModeSketch:
+	default:
+		if pers != nil {
+			pers.Close()
+		}
+		return nil, fmt.Errorf("server: unknown bin mode %q (want %q or %q)", cfg.BinMode, BinModeExact, BinModeSketch)
+	}
 	binner := NewBinner(BinnerConfig{
 		Store:    st,
 		MaxK:     cfg.MaxK,
+		Mode:     cfg.BinMode,
 		Debounce: cfg.BinDebounce,
+		Obs:      reg,
 	})
 	s := &Server{cfg: cfg, store: st, binner: binner, mux: http.NewServeMux(), pers: pers, recovery: recovery, reg: reg}
 	icfg := ingest.Config{
@@ -212,6 +231,7 @@ func New(cfg Config) (*Server, error) {
 	s.route("POST /v1/submissions", s.handleSubmit)
 	s.route("POST "+wire.StreamPath, s.handleStream)
 	s.route("GET /v1/bins", s.handleBins)
+	s.route("GET /v1/sketch", s.handleSketch)
 	s.route("GET /v1/devices/{id}", s.handleDevice)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
@@ -418,6 +438,31 @@ func (s *Server) handleBins(w http.ResponseWriter, r *http.Request) {
 	maxAge := s.stampBinAges(bins)
 	w.Header().Set(staleHeader, strconv.FormatInt(maxAge, 10))
 	writeJSON(w, http.StatusOK, binsResponse{Models: bins})
+}
+
+// sketchContentType is the GET /v1/sketch media type: the canonical
+// binary sketch encoding (stats.DecodeBinSketch reads it back).
+const sketchContentType = "application/x-accubench-sketch"
+
+// handleSketch serves one model's population sketch in its canonical
+// binary encoding — the transfer a peer, dashboard or offline analysis
+// merges with stats.BinSketch.Merge. Available in both bin modes: the
+// store maintains sketches on the commit path regardless of how bins
+// are served.
+func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
+	model := r.URL.Query().Get("model")
+	if model == "" {
+		http.Error(w, "missing ?model=", http.StatusBadRequest)
+		return
+	}
+	enc, ok := s.store.SketchBinary(model)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no sketch for model %q", model), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", sketchContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
+	w.Write(enc)
 }
 
 func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {

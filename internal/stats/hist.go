@@ -78,7 +78,14 @@ type HistBin struct {
 }
 
 // WeightedMean returns the mean of samples as estimated from bin midpoints.
-// Out-of-range samples are excluded.
+//
+// Out-of-range samples are excluded entirely: under- and over-range
+// counts contribute to neither the numerator nor the denominator, so
+// the result is the estimated mean of the in-range population only —
+// not of everything Observe saw. A histogram whose samples all landed
+// out of range has no in-range population and returns 0, not NaN.
+// Callers needing the overflow mass must read it from Bins' under/over
+// entries; this contract is pinned by TestWeightedMeanOutOfRange.
 func (h *Histogram) WeightedMean() float64 {
 	in := h.total - h.under - h.over
 	if in == 0 {

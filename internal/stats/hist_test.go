@@ -224,3 +224,38 @@ func TestTCritical95Monotone(t *testing.T) {
 		t.Errorf("asymptotic critical = %v, want 1.96", got)
 	}
 }
+
+// TestWeightedMeanOutOfRange pins WeightedMean's overflow contract:
+// under- and over-range samples are excluded from both the numerator
+// and the denominator — the result is the midpoint-estimated mean of
+// the in-range population only — and an all-out-of-range histogram
+// returns 0, not NaN.
+func TestWeightedMeanOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(2.5) // bin [2,3), midpoint 2.5
+	h.Add(7.5) // bin [7,8), midpoint 7.5
+	if got, want := h.WeightedMean(), 5.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("in-range WeightedMean = %g, want %g", got, want)
+	}
+	// Heavy overflow on both sides must not move the estimate: the
+	// out-of-range samples are not averaged in at any midpoint, and they
+	// do not inflate the denominator.
+	for i := 0; i < 100; i++ {
+		h.Add(-50)
+		h.Add(1e9)
+	}
+	if got, want := h.WeightedMean(), 5.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("WeightedMean with overflow = %g, want %g (out-of-range samples must be excluded)", got, want)
+	}
+	if got, want := h.Total(), 202; got != want {
+		t.Fatalf("Total = %d, want %d (overflow still counts toward totals)", got, want)
+	}
+
+	// All samples out of range: no in-range population, defined as 0.
+	empty := NewHistogram(0, 1, 4)
+	empty.Add(-1)
+	empty.Add(2)
+	if got := empty.WeightedMean(); got != 0 {
+		t.Fatalf("all-out-of-range WeightedMean = %g, want 0", got)
+	}
+}

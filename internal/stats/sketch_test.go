@@ -1,0 +1,333 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSketchObserveUnobserveExact(t *testing.T) {
+	s := NewBinSketch()
+	s.Observe(3.2, 24.0)
+	s.Observe(3.2, 24.0)
+	s.Observe(4.1, 27.5)
+	if got := s.Accepted(); got != 3 {
+		t.Fatalf("Accepted = %d, want 3", got)
+	}
+	s.Unobserve(3.2, 24.0)
+	if got := s.Accepted(); got != 2 {
+		t.Fatalf("Accepted after one retract = %d, want 2", got)
+	}
+	s.Unobserve(3.2, 24.0)
+	s.Unobserve(4.1, 27.5)
+	if got := s.Accepted(); got != 0 {
+		t.Fatalf("Accepted after full retract = %d, want 0", got)
+	}
+	if got := s.Cells(); got != 0 {
+		t.Fatalf("Cells after full retract = %d, want 0 (zero cells must be deleted)", got)
+	}
+	empty := NewBinSketch()
+	if s.Digest() != empty.Digest() {
+		t.Fatalf("fully retracted sketch digest differs from empty sketch")
+	}
+}
+
+func TestSketchTransientNegative(t *testing.T) {
+	// Removal may race ahead of its paired addition under concurrent
+	// stripe application; the sketch must tolerate the intermediate
+	// negative and cancel exactly once the addition lands.
+	s := NewBinSketch()
+	s.Unobserve(3.2, 24.0)
+	if got := s.Accepted(); got != -1 {
+		t.Fatalf("Accepted mid-race = %d, want -1", got)
+	}
+	if pts := s.Points(); len(pts) != 0 {
+		t.Fatalf("Points must skip negative cells, got %v", pts)
+	}
+	s.Observe(3.2, 24.0)
+	if got, cells := s.Accepted(), s.Cells(); got != 0 || cells != 0 {
+		t.Fatalf("after cancel: Accepted=%d Cells=%d, want 0,0", got, cells)
+	}
+}
+
+// TestSketchOrderAndMergeIndependence is the property pin behind the
+// cluster story: any insertion order, any shard partitioning and any
+// merge grouping of the same observation multiset must produce
+// bit-identical canonical encodings and digests.
+func TestSketchOrderAndMergeIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	type obs struct{ score, amb float64 }
+	var all []obs
+	for i := 0; i < 500; i++ {
+		all = append(all, obs{
+			score: 2 + rng.Float64()*3,
+			amb:   20 + rng.Float64()*10,
+		})
+	}
+
+	build := func(order []int, shards int) *BinSketch {
+		parts := make([]*BinSketch, shards)
+		for i := range parts {
+			parts[i] = NewBinSketch()
+		}
+		for i, idx := range order {
+			parts[i%shards].Observe(all[idx].score, all[idx].amb)
+			parts[i%shards].NoteRecord()
+		}
+		out := NewBinSketch()
+		for _, p := range parts {
+			out.Merge(p)
+		}
+		return out
+	}
+
+	fwd := make([]int, len(all))
+	for i := range fwd {
+		fwd[i] = i
+	}
+	rev := make([]int, len(all))
+	for i := range rev {
+		rev[i] = len(all) - 1 - i
+	}
+	shuf := append([]int(nil), fwd...)
+	rng.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+
+	ref := build(fwd, 1)
+	refEnc := ref.AppendBinary(nil)
+	for _, tc := range []struct {
+		name   string
+		order  []int
+		shards int
+	}{
+		{"reverse-1shard", rev, 1},
+		{"shuffled-1shard", shuf, 1},
+		{"forward-7shards", fwd, 7},
+		{"shuffled-16shards", shuf, 16},
+	} {
+		got := build(tc.order, tc.shards)
+		if got.Digest() != ref.Digest() {
+			t.Errorf("%s: digest %#x != reference %#x", tc.name, got.Digest(), ref.Digest())
+		}
+		if enc := got.AppendBinary(nil); !bytes.Equal(enc, refEnc) {
+			t.Errorf("%s: canonical encoding differs from reference", tc.name)
+		}
+	}
+
+	// Removal commutes too: retracting half the observations after the
+	// fact equals never observing them.
+	half := NewBinSketch()
+	for i, o := range all {
+		half.Observe(o.score, o.amb)
+		half.NoteRecord()
+		if i%2 == 1 {
+			half.Unobserve(o.score, o.amb)
+		}
+	}
+	direct := NewBinSketch()
+	for i, o := range all {
+		direct.NoteRecord()
+		if i%2 == 0 {
+			direct.Observe(o.score, o.amb)
+		}
+	}
+	if half.Digest() != direct.Digest() {
+		t.Fatalf("retract-after digest %#x != never-observed digest %#x", half.Digest(), direct.Digest())
+	}
+}
+
+func TestSketchQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewBinSketch()
+	var vals []float64
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(rng.NormFloat64()*0.3 + 1.2) // lognormal, strictly positive
+		vals = append(vals, v)
+		s.Observe(v, 25)
+	}
+	sort.Float64s(vals)
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		idx := int(math.Ceil(p*float64(len(vals)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		want := vals[idx]
+		got := s.Quantile(p)
+		if rel := math.Abs(got-want) / want; rel > 3*SketchRelAcc {
+			t.Errorf("Quantile(%g) = %g, want %g (rel err %g > %g)", p, got, want, rel, 3*SketchRelAcc)
+		}
+	}
+	if got := NewBinSketch().Quantile(0.5); got != 0 {
+		t.Errorf("empty sketch Quantile = %g, want 0", got)
+	}
+}
+
+func TestSketchAmbientFit(t *testing.T) {
+	// Synthetic population with a known thermal slope: score = base +
+	// slope*(amb-26) plus per-device lottery noise.
+	rng := rand.New(rand.NewSource(12))
+	const slope = -0.04
+	s := NewBinSketch()
+	for i := 0; i < 5000; i++ {
+		amb := 20 + rng.Float64()*12
+		score := 3.5 + slope*(amb-26) + rng.NormFloat64()*0.01
+		s.Observe(score, amb)
+	}
+	got, ok := s.AmbientFit()
+	if !ok {
+		t.Fatalf("AmbientFit not ok on identifiable population")
+	}
+	if math.Abs(got-slope) > 0.004 {
+		t.Errorf("AmbientFit slope = %g, want ~%g", got, slope)
+	}
+
+	// Gate: too few points.
+	tiny := NewBinSketch()
+	tiny.Observe(3.0, 20)
+	tiny.Observe(3.1, 30)
+	if _, ok := tiny.AmbientFit(); ok {
+		t.Errorf("AmbientFit ok with 2 points; want gated")
+	}
+	// Gate: no ambient spread.
+	flat := NewBinSketch()
+	for i := 0; i < 10; i++ {
+		flat.Observe(3.0+float64(i)*0.01, 25)
+	}
+	if _, ok := flat.AmbientFit(); ok {
+		t.Errorf("AmbientFit ok with zero ambient spread; want gated")
+	}
+}
+
+func TestSketchCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := NewBinSketch()
+	for i := 0; i < 1000; i++ {
+		s.Observe(1+rng.Float64()*9, 15+rng.Float64()*20)
+		s.NoteRecord()
+	}
+	s.NoteRecord() // a rejected record: counted, not observed
+	enc := s.AppendBinary(nil)
+	dec, err := DecodeBinSketch(enc)
+	if err != nil {
+		t.Fatalf("DecodeBinSketch: %v", err)
+	}
+	if dec.Digest() != s.Digest() {
+		t.Fatalf("round-trip digest mismatch")
+	}
+	if dec.Records() != s.Records() || dec.Accepted() != s.Accepted() {
+		t.Fatalf("round-trip tallies: records %d/%d accepted %d/%d",
+			dec.Records(), s.Records(), dec.Accepted(), s.Accepted())
+	}
+	if re := dec.AppendBinary(nil); !bytes.Equal(re, enc) {
+		t.Fatalf("re-encoding differs from original encoding")
+	}
+
+	// A sketch carrying a transient negative must round-trip too (the
+	// codec is also the snapshot/digest carrier mid-race).
+	neg := NewBinSketch()
+	neg.Unobserve(3.0, 25)
+	neg.Observe(4.0, 25)
+	encNeg := neg.AppendBinary(nil)
+	decNeg, err := DecodeBinSketch(encNeg)
+	if err != nil {
+		t.Fatalf("DecodeBinSketch(negative cell): %v", err)
+	}
+	if decNeg.Digest() != neg.Digest() || decNeg.Accepted() != 0 {
+		t.Fatalf("negative-cell round trip broken")
+	}
+
+	empty := NewBinSketch().AppendBinary(nil)
+	if dec, err := DecodeBinSketch(empty); err != nil || dec.Cells() != 0 {
+		t.Fatalf("empty sketch round trip: %v", err)
+	}
+}
+
+func TestSketchDecodeRejectsCorruption(t *testing.T) {
+	s := NewBinSketch()
+	s.Observe(3.0, 25)
+	s.Observe(4.0, 22)
+	s.NoteRecord()
+	enc := s.AppendBinary(nil)
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad version":    append([]byte{99}, enc[1:]...),
+		"truncated":      enc[:len(enc)-1],
+		"trailing bytes": append(append([]byte{}, enc...), 0),
+		"huge cell count": func() []byte {
+			b := []byte{sketchVersion}
+			b = appendUvarint(b, 0)
+			b = appendUvarint(b, MaxSketchCells+1)
+			return b
+		}(),
+		"cells beyond buffer": func() []byte {
+			b := []byte{sketchVersion}
+			b = appendUvarint(b, 0)
+			b = appendUvarint(b, 1000)
+			return append(b, 1, 2)
+		}(),
+		"duplicate key": func() []byte {
+			b := []byte{sketchVersion}
+			b = appendUvarint(b, 0)
+			b = appendUvarint(b, 2)
+			b = appendUvarint(b, 7)
+			b = appendZigzag(b, 1)
+			b = appendUvarint(b, 0) // zero delta = same key again
+			b = appendZigzag(b, 1)
+			return b
+		}(),
+		"zero count": func() []byte {
+			b := []byte{sketchVersion}
+			b = appendUvarint(b, 0)
+			b = appendUvarint(b, 1)
+			b = appendUvarint(b, 7)
+			b = appendZigzag(b, 0)
+			return b
+		}(),
+		"key overflow": func() []byte {
+			b := []byte{sketchVersion}
+			b = appendUvarint(b, 0)
+			b = appendUvarint(b, 2)
+			b = appendUvarint(b, math.MaxUint64)
+			b = appendZigzag(b, 1)
+			b = appendUvarint(b, 1)
+			b = appendZigzag(b, 1)
+			return b
+		}(),
+	}
+	for name, buf := range cases {
+		if _, err := DecodeBinSketch(buf); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+// FuzzSketchDecode hammers the decoder with arbitrary bytes: it must
+// never panic, and anything it accepts must re-encode canonically to a
+// buffer that decodes to the same digest.
+func FuzzSketchDecode(f *testing.F) {
+	s := NewBinSketch()
+	for i := 0; i < 50; i++ {
+		s.Observe(2+float64(i)*0.1, 20+float64(i%8))
+		s.NoteRecord()
+	}
+	f.Add(s.AppendBinary(nil))
+	f.Add(NewBinSketch().AppendBinary(nil))
+	f.Add([]byte{})
+	f.Add([]byte{sketchVersion, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeBinSketch(data)
+		if err != nil {
+			return
+		}
+		re := dec.AppendBinary(nil)
+		dec2, err := DecodeBinSketch(re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted input failed to decode: %v", err)
+		}
+		if dec2.Digest() != dec.Digest() {
+			t.Fatalf("re-encode round trip changed digest")
+		}
+	})
+}

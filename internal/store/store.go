@@ -41,6 +41,7 @@ import (
 
 	"accubench/internal/hlc"
 	"accubench/internal/obs"
+	"accubench/internal/stats"
 	"accubench/internal/units"
 )
 
@@ -129,6 +130,7 @@ func (r Record) after(o Record) bool {
 type Store struct {
 	modelShards  []modelShard
 	deviceShards []deviceShard
+	sketchShards []sketchShard
 	seq          atomic.Uint64
 	total        atomic.Int64
 	accepted     atomic.Int64
@@ -155,6 +157,36 @@ type deviceShard struct {
 	devices map[string]Record
 }
 
+// sketchShard stripes the per-model population sketches the sketch-mode
+// binner folds instead of scanning the corpus. Each model's sketch lives
+// in the shard its name hashes to — the same index as its model shard —
+// but under its own lock: sketch maintenance is a commit-path side
+// effect that must not extend the model stripe's hold time, and bins
+// reads must not contend with history appends.
+type sketchShard struct {
+	mu       sync.Mutex
+	sketches map[string]*modelSketch
+}
+
+// modelSketch is one model's streaming population summary: the sketch of
+// the latest accepted record per device, plus the per-device latest map
+// that decides each record's delta. Keeping the latest map here — keyed
+// per (model, device), unlike the global device stripe — pins the
+// sketch's population definition to exactly what Latest(model) returns:
+// a device resubmitting under a different model leaves its old model's
+// population untouched, just as the exact scan would see it.
+type modelSketch struct {
+	sk *stats.BinSketch
+	// rev increments on every mutation — the sketch-mode binner's cache
+	// invalidation key.
+	rev uint64
+	// latest is the winning record per device within this model, by the
+	// same Record.after order Latest resolves with. Application is
+	// order-independent: whichever of two records lands first, the
+	// winner's observation is in the sketch and the loser's is not.
+	latest map[string]Record
+}
+
 // DefaultShards is the shard count New falls back to for n <= 0.
 const DefaultShards = 16
 
@@ -166,11 +198,13 @@ func New(n int) *Store {
 	s := &Store{
 		modelShards:  make([]modelShard, n),
 		deviceShards: make([]deviceShard, n),
+		sketchShards: make([]sketchShard, n),
 	}
 	for i := range s.modelShards {
 		s.modelShards[i].models = make(map[string][]Record)
 		s.modelShards[i].seen = make(map[Key]struct{})
 		s.deviceShards[i].devices = make(map[string]Record)
+		s.sketchShards[i].sketches = make(map[string]*modelSketch)
 	}
 	return s
 }
@@ -262,6 +296,7 @@ func (s *Store) Put(r Record) (uint64, error) {
 
 	s.noteInsert(idx)
 	s.finishPut(r)
+	s.noteSketch(r)
 	return r.Seq, nil
 }
 
@@ -294,6 +329,7 @@ func (s *Store) PutSeq(r Record) error {
 
 	s.noteInsert(idx)
 	s.finishPut(r)
+	s.noteSketch(r)
 	return nil
 }
 
@@ -365,6 +401,14 @@ func (s *Store) PutSeqBatch(recs []Record) error {
 			s.shardOcc[idx].Add(int64(len(group)))
 			s.shardPuts[idx].Add(uint64(len(group)))
 		}
+		// Sketches stripe on the same model-hash index, so the batch's
+		// grouping is reusable: one sketch lock per shard, not per record.
+		sh := &s.sketchShards[idx]
+		sh.mu.Lock()
+		for _, i := range group {
+			noteSketchLocked(sh, recs[i])
+		}
+		sh.mu.Unlock()
 	}
 	// Device stripe likewise, preserving batch order within a shard so
 	// a device submitting twice in one batch resolves like sequential
@@ -410,6 +454,96 @@ func (s *Store) finishPut(r Record) {
 	if r.Accepted {
 		s.accepted.Add(1)
 	}
+}
+
+// noteSketch folds one committed record into its model's sketch.
+func (s *Store) noteSketch(r Record) {
+	sh := &s.sketchShards[s.shardIndex(r.Model)]
+	sh.mu.Lock()
+	noteSketchLocked(sh, r)
+	sh.mu.Unlock()
+}
+
+// noteSketchLocked applies a record's sketch delta; the caller holds the
+// sketch shard's lock. Every record bumps the submission tally; the
+// observation set changes only when the record wins the per-device
+// `after` race — retracting the superseded winner's observation if it
+// was accepted, adding the new winner's if it is. The resulting sketch
+// is a pure function of the committed record set: any arrival order or
+// batch grouping converges to the same cells, so replicas that agree on
+// records agree on sketches (and therefore on sketch-mode bins).
+func noteSketchLocked(sh *sketchShard, r Record) {
+	ms := sh.sketches[r.Model]
+	if ms == nil {
+		ms = &modelSketch{sk: stats.NewBinSketch(), latest: make(map[string]Record)}
+		sh.sketches[r.Model] = ms
+	}
+	ms.sk.NoteRecord()
+	if prev, had := ms.latest[r.Device]; !had || !prev.after(r) {
+		if had && prev.Accepted {
+			ms.sk.Unobserve(prev.Score, float64(prev.EstimatedAmbient))
+		}
+		if r.Accepted {
+			ms.sk.Observe(r.Score, float64(r.EstimatedAmbient))
+		}
+		ms.latest[r.Device] = r
+	}
+	ms.rev++
+}
+
+// SketchSnapshot returns an independent copy of the model's population
+// sketch plus its revision; ok is false when the model has no records.
+// The revision increments on every committed record for the model, so a
+// caller holding bins derived from revision R knows they are current
+// iff SketchRevision still returns R.
+func (s *Store) SketchSnapshot(model string) (sk *stats.BinSketch, rev uint64, ok bool) {
+	sh := &s.sketchShards[s.shardIndex(model)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ms := sh.sketches[model]
+	if ms == nil {
+		return nil, 0, false
+	}
+	return ms.sk.Clone(), ms.rev, true
+}
+
+// SketchRevision returns the model's sketch revision without copying the
+// sketch — the sketch-mode binner's cache-freshness probe.
+func (s *Store) SketchRevision(model string) (uint64, bool) {
+	sh := &s.sketchShards[s.shardIndex(model)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ms := sh.sketches[model]
+	if ms == nil {
+		return 0, false
+	}
+	return ms.rev, true
+}
+
+// SketchBinary returns the model's sketch in its canonical binary
+// encoding (stats.DecodeBinSketch reads it back) — the GET /v1/sketch
+// payload; ok is false when the model has no records.
+func (s *Store) SketchBinary(model string) ([]byte, bool) {
+	sh := &s.sketchShards[s.shardIndex(model)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ms := sh.sketches[model]
+	if ms == nil {
+		return nil, false
+	}
+	return ms.sk.AppendBinary(nil), true
+}
+
+// sketchDigest returns the model's sketch digest (0 when absent).
+func (s *Store) sketchDigest(model string) uint64 {
+	sh := &s.sketchShards[s.shardIndex(model)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ms := sh.sketches[model]
+	if ms == nil {
+		return 0
+	}
+	return ms.sk.Digest()
 }
 
 // Model returns a copy of every record stored for the model, in arrival
@@ -572,6 +706,12 @@ type ModelDigest struct {
 	// records (0 when none are stamped) — the freshness horizon the
 	// replication-lag gauges read.
 	MaxWall int64 `json:"max_hlc_wall"`
+	// SketchDigest is the order-independent digest of the model's
+	// population sketch (stats.BinSketch.Digest). Replicas that agree on
+	// Records and Digest must agree on SketchDigest too — the proof that
+	// convergence extends past the record set to the bins the sketch
+	// path serves from it.
+	SketchDigest uint64 `json:"sketch_digest"`
 }
 
 // recordHash folds a record's replicated content — everything except the
@@ -618,12 +758,21 @@ func digestLocked(recs []Record) ModelDigest {
 func (s *Store) Digest(model string) (ModelDigest, bool) {
 	ms := &s.modelShards[s.shardIndex(model)]
 	ms.mu.RLock()
-	defer ms.mu.RUnlock()
 	recs, ok := ms.models[model]
+	var d ModelDigest
+	if ok {
+		d = digestLocked(recs)
+	}
+	ms.mu.RUnlock()
 	if !ok {
 		return ModelDigest{}, false
 	}
-	return digestLocked(recs), true
+	// The sketch stripe is read under its own lock; a record committing
+	// between the two reads skews one digest ahead of the other, which
+	// anti-entropy already tolerates — digests are point-in-time
+	// comparisons, re-checked next round.
+	d.SketchDigest = s.sketchDigest(model)
+	return d, true
 }
 
 // DigestAll returns the digest of every model the store holds — the
@@ -637,6 +786,10 @@ func (s *Store) DigestAll() map[string]ModelDigest {
 			out[model] = digestLocked(recs)
 		}
 		ms.mu.RUnlock()
+	}
+	for model, d := range out {
+		d.SketchDigest = s.sketchDigest(model)
+		out[model] = d
 	}
 	return out
 }

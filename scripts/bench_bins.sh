@@ -1,0 +1,33 @@
+#!/bin/sh
+# bench_bins.sh — measure the bins read path, exact recompute vs sketch
+# fold, across a corpus-size sweep (1k / 10k / 100k devices over 10
+# models) and record the numbers as BENCH_10.json (or $BENCH_OUT,
+# relative to the repo root). Each measured read follows a commit, so
+# both paths pay their invalidation cost. The measurement lives in
+# internal/server/bench_bins_test.go, gated behind $BENCH_BINS_OUT so
+# plain `go test ./...` never pays for it. `make bench` wires this in;
+# compare runs with
+#   scripts/bench_diff.sh BENCH_10.json /tmp/bench10-new.json
+# (ns_per_op regresses upward, speedup_vs_exact downward).
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${BENCH_OUT:-BENCH_10.json}
+case "$out" in
+/*) abs=$out ;;
+*) abs="$(pwd)/$out" ;;
+esac
+
+log=$(mktemp)
+trap 'rm -f "$log"' EXIT
+
+# go test output is captured, not piped: a pipe would mask its exit
+# status under plain POSIX sh.
+if ! BENCH_BINS_OUT="$abs" go test ./internal/server \
+    -run '^TestBinsReadLatencyBench$' -count=1 -v -timeout 20m >"$log" 2>&1; then
+    cat "$log" >&2
+    exit 1
+fi
+grep -E 'bins corpus=' "$log"
+
+echo "bench_bins: wrote $out"
